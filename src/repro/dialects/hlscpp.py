@@ -1,0 +1,137 @@
+"""The ``hlscpp`` dialect: HLS-specific directives as structured attributes.
+
+ScaleHLS represents the function and loop pipeline/dataflow directives as
+customized attributes (paper Section IV-C); array partitioning and the
+resource/interface directives are encoded into the memref type's layout map
+and memory space, so they need no operations here.  This module defines the
+two directive attribute classes and the helpers the transform passes and the
+C++ emitter use to read and write them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.ir.operation import Operation
+
+#: Attribute keys used on operations.
+FUNC_DIRECTIVE_ATTR = "func_directive"
+LOOP_DIRECTIVE_ATTR = "loop_directive"
+TOP_FUNCTION_ATTR = "top_function"
+DATAFLOW_STAGE_ATTR = "dataflow_stage"
+PARALLEL_FACTOR_ATTR = "parallel_factor"
+
+
+@dataclasses.dataclass
+class FuncDirective:
+    """Function-level directives: dataflow, pipeline and the target II."""
+
+    dataflow: bool = False
+    pipeline: bool = False
+    target_ii: int = 1
+
+    def clone(self) -> "FuncDirective":
+        return dataclasses.replace(self)
+
+    def __str__(self) -> str:
+        return (f"#hlscpp.func<dataflow={str(self.dataflow).lower()}, "
+                f"pipeline={str(self.pipeline).lower()}, targetII={self.target_ii}>")
+
+
+@dataclasses.dataclass
+class LoopDirective:
+    """Loop-level directives: pipeline (with target II), dataflow and flattening."""
+
+    pipeline: bool = False
+    target_ii: int = 1
+    dataflow: bool = False
+    flatten: bool = False
+    #: II actually achieved according to the QoR estimator (filled in lazily).
+    achieved_ii: Optional[int] = None
+
+    def clone(self) -> "LoopDirective":
+        return dataclasses.replace(self)
+
+    def __str__(self) -> str:
+        return (f"#hlscpp.loop<pipeline={str(self.pipeline).lower()}, "
+                f"targetII={self.target_ii}, dataflow={str(self.dataflow).lower()}, "
+                f"flatten={str(self.flatten).lower()}>")
+
+
+# -- directive accessors ---------------------------------------------------------------
+
+
+def set_func_directive(func_op: Operation, directive: FuncDirective) -> None:
+    func_op.set_attr(FUNC_DIRECTIVE_ATTR, directive)
+
+
+def get_func_directive(func_op: Operation) -> Optional[FuncDirective]:
+    return func_op.get_attr(FUNC_DIRECTIVE_ATTR)
+
+
+def ensure_func_directive(func_op: Operation) -> FuncDirective:
+    directive = get_func_directive(func_op)
+    if directive is None:
+        directive = FuncDirective()
+        set_func_directive(func_op, directive)
+    return directive
+
+
+def set_loop_directive(loop_op: Operation, directive: LoopDirective) -> None:
+    loop_op.set_attr(LOOP_DIRECTIVE_ATTR, directive)
+
+
+def get_loop_directive(loop_op: Operation) -> Optional[LoopDirective]:
+    return loop_op.get_attr(LOOP_DIRECTIVE_ATTR)
+
+
+def ensure_loop_directive(loop_op: Operation) -> LoopDirective:
+    directive = get_loop_directive(loop_op)
+    if directive is None:
+        directive = LoopDirective()
+        set_loop_directive(loop_op, directive)
+    return directive
+
+
+def is_pipelined(loop_op: Operation) -> bool:
+    directive = get_loop_directive(loop_op)
+    return directive is not None and directive.pipeline
+
+
+def is_flattened(loop_op: Operation) -> bool:
+    directive = get_loop_directive(loop_op)
+    return directive is not None and directive.flatten
+
+
+# -- top function marker ------------------------------------------------------------------
+
+
+def set_top_function(func_op: Operation, is_top: bool = True) -> None:
+    func_op.set_attr(TOP_FUNCTION_ATTR, bool(is_top))
+
+
+def is_top_function(func_op: Operation) -> bool:
+    return bool(func_op.get_attr(TOP_FUNCTION_ATTR, False))
+
+
+def find_top_function(module) -> Optional[Operation]:
+    """The function marked as the accelerator top (or the only function)."""
+    functions = module.functions() if hasattr(module, "functions") else []
+    for func_op in functions:
+        if is_top_function(func_op):
+            return func_op
+    if len(functions) == 1:
+        return functions[0]
+    return None
+
+
+# -- dataflow stages -----------------------------------------------------------------------
+
+
+def set_dataflow_stage(op: Operation, stage: int) -> None:
+    op.set_attr(DATAFLOW_STAGE_ATTR, int(stage))
+
+
+def get_dataflow_stage(op: Operation) -> Optional[int]:
+    return op.get_attr(DATAFLOW_STAGE_ATTR)

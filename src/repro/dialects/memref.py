@@ -1,0 +1,94 @@
+"""The ``memref`` dialect: buffer allocation and unstructured memory access."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.dialect import register_operation
+from repro.ir.operation import Operation
+from repro.ir.types import MemRefType
+from repro.ir.value import Value
+
+
+@register_operation("memref", "alloc")
+class AllocOp(Operation):
+    """Allocate an on-chip buffer of the given memref type."""
+
+    def __init__(self, memref_type: MemRefType, name: str = ""):
+        attrs = {"buffer_name": name} if name else {}
+        super().__init__("memref.alloc", result_types=[memref_type], attributes=attrs)
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.result().type
+
+
+@register_operation("memref", "dealloc")
+class DeallocOp(Operation):
+    """Release a buffer (emitted for symmetry; has no effect on estimation)."""
+
+    def __init__(self, memref: Value):
+        super().__init__("memref.dealloc", operands=[memref])
+
+
+@register_operation("memref", "load")
+class LoadOp(Operation):
+    """Load one element from a memref at dynamic indices."""
+
+    def __init__(self, memref: Value, indices: Sequence[Value]):
+        memref_type = memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise TypeError("memref.load requires a memref-typed operand")
+        if len(indices) != memref_type.rank:
+            raise ValueError("index count must match memref rank")
+        super().__init__("memref.load", operands=[memref, *indices],
+                         result_types=[memref_type.element_type])
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> tuple[Value, ...]:
+        return self.operands[1:]
+
+
+@register_operation("memref", "store")
+class StoreOp(Operation):
+    """Store one element to a memref at dynamic indices."""
+
+    def __init__(self, value: Value, memref: Value, indices: Sequence[Value]):
+        memref_type = memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise TypeError("memref.store requires a memref-typed operand")
+        if len(indices) != memref_type.rank:
+            raise ValueError("index count must match memref rank")
+        super().__init__("memref.store", operands=[value, memref, *indices])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def indices(self) -> tuple[Value, ...]:
+        return self.operands[2:]
+
+
+@register_operation("memref", "copy")
+class CopyOp(Operation):
+    """Copy the contents of one buffer into another (used by dataflow legalization)."""
+
+    def __init__(self, source: Value, target: Value):
+        super().__init__("memref.copy", operands=[source, target])
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def target(self) -> Value:
+        return self.operand(1)

@@ -1,0 +1,78 @@
+"""The ``scf`` dialect: structured control flow with SSA-value bounds.
+
+The HLS C front-end emits ``scf`` operations because C loop bounds and
+conditions are arbitrary expressions; the ``-raise-scf-to-affine`` pass then
+upgrades the loops and memory accesses that satisfy the affine restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.block import Block
+from repro.ir.dialect import register_operation
+from repro.ir.operation import Operation
+from repro.ir.types import Type, index
+from repro.ir.value import BlockArgument, Value
+
+
+@register_operation("scf", "for")
+class SCFForOp(Operation):
+    """A counted loop ``scf.for %iv = %lb to %ub step %step``."""
+
+    def __init__(self, lower: Value, upper: Value, step: Value):
+        super().__init__("scf.for", operands=[lower, upper, step], num_regions=1)
+        self.region(0).add_block(Block([index]))
+
+    @property
+    def lower(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def upper(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def step(self) -> Value:
+        return self.operand(2)
+
+    @property
+    def body(self) -> Block:
+        return self.region(0).front
+
+    @property
+    def induction_variable(self) -> BlockArgument:
+        return self.body.arguments[0]
+
+
+@register_operation("scf", "if")
+class SCFIfOp(Operation):
+    """A conditional with an ``i1`` condition operand."""
+
+    def __init__(self, condition: Value, with_else: bool = False,
+                 result_types: Sequence[Type] = ()):
+        super().__init__("scf.if", operands=[condition], result_types=result_types,
+                         num_regions=2)
+        self.region(0).add_block(Block())
+        if with_else or result_types:
+            self.region(1).add_block(Block())
+
+    @property
+    def condition(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def then_block(self) -> Block:
+        return self.region(0).front
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        return self.region(1).front if self.region(1).blocks else None
+
+
+@register_operation("scf", "yield")
+class SCFYieldOp(Operation):
+    """Terminator yielding values from an ``scf.if`` region."""
+
+    def __init__(self, operands: Sequence[Value] = ()):
+        super().__init__("scf.yield", operands=operands)

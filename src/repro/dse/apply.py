@@ -1,0 +1,159 @@
+"""Applying a design point: the bridge between the DSE engine and the
+transform library.
+
+Given a kernel module (scf/affine level) and a :class:`KernelDesignPoint`,
+:func:`apply_design_point` clones the module, runs the corresponding transform
+passes with the point's parameters, runs the redundancy-elimination passes,
+partitions the arrays and finally invokes the QoR estimator — mirroring how
+the ScaleHLS DSE drives its transform and analysis library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.dialects.affine_ops import outermost_loops, perfect_loop_band
+from repro.dse.space import KernelDesignPoint
+from repro.estimation.estimator import QoREstimator, QoRResult
+from repro.estimation.platform import Platform, XC7Z020
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import PassError
+from repro.transforms import (
+    canonicalize,
+    eliminate_common_subexpressions,
+    forward_stores,
+    partition_arrays,
+    perfectize_band,
+    permute_loop_band,
+    pipeline_loop,
+    remove_variable_bounds,
+    simplify_affine_ifs,
+    simplify_memref_accesses,
+    tile_loop_band,
+)
+
+
+@dataclasses.dataclass
+class AppliedDesign:
+    """The optimized module together with its estimated QoR."""
+
+    module: ModuleOp
+    func_op: Operation
+    point: KernelDesignPoint
+    qor: QoRResult
+    achieved_ii: Optional[int] = None
+    partition_factors: dict = dataclasses.field(default_factory=dict)
+
+
+def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
+                           func_name: Optional[str] = None) -> tuple[ModuleOp, Operation]:
+    """Clone ``module`` and apply the transforms selected by ``point``.
+
+    Returns the transformed clone and its kernel function.  Transform steps
+    that are not applicable to the design point (e.g. permutation of a
+    non-perfect band) are skipped rather than failing — the estimator will
+    simply see the weaker design, which is how unprofitable points lose in
+    the exploration.
+    """
+    cloned = module.clone()
+    func_op = cloned.lookup(func_name) if func_name else cloned.functions()[0]
+    if func_op is None:
+        raise ValueError(f"function {func_name!r} not found in the module")
+
+    canonicalize(func_op)
+
+    outer = _outer_loop(func_op)
+    if outer is None:
+        return cloned, func_op
+
+    if point.loop_perfectization:
+        perfectize_band(outer)
+    if point.remove_variable_bound:
+        remove_variable_bounds(func_op)
+
+    band = perfect_loop_band(_outer_loop(func_op))
+    if len(point.perm_map) == len(band):
+        try:
+            band = permute_loop_band(band, point.perm_map)
+        except PassError:
+            pass
+
+    tile_loops = band
+    if any(size > 1 for size in point.tile_sizes[: len(band)]):
+        sizes = list(point.tile_sizes[: len(band)])
+        sizes += [1] * (len(band) - len(sizes))
+        try:
+            tile_loops, _ = tile_loop_band(band, sizes)
+        except PassError:
+            tile_loops = band
+
+    try:
+        pipeline_loop(tile_loops[-1], point.target_ii)
+    except PassError:
+        pass
+
+    _cleanup(func_op)
+    partition_arrays(func_op)
+    return cloned, func_op
+
+
+def apply_design_point(module: ModuleOp, point: KernelDesignPoint,
+                       platform: Platform = XC7Z020,
+                       func_name: Optional[str] = None) -> AppliedDesign:
+    """Apply ``point`` to a clone of ``module`` and estimate the result."""
+    optimized, func_op = optimize_kernel_module(module, point, func_name)
+    estimator = QoREstimator(platform)
+    qor = estimator.estimate_function(func_op, module=optimized)
+    achieved_ii = _achieved_ii(func_op)
+    partition_factors = _collect_partitions(func_op)
+    return AppliedDesign(module=optimized, func_op=func_op, point=point, qor=qor,
+                         achieved_ii=achieved_ii, partition_factors=partition_factors)
+
+
+def estimate_baseline(module: ModuleOp, platform: Platform = XC7Z020,
+                      func_name: Optional[str] = None) -> QoRResult:
+    """Estimate the unoptimized kernel (no directives, no code rewriting)."""
+    cloned = module.clone()
+    func_op = cloned.lookup(func_name) if func_name else cloned.functions()[0]
+    canonicalize(func_op)
+    estimator = QoREstimator(platform)
+    return estimator.estimate_function(func_op, module=cloned)
+
+
+# -- helpers -----------------------------------------------------------------------------------
+
+
+def _outer_loop(func_op: Operation):
+    loops = outermost_loops(func_op)
+    return loops[0] if loops else None
+
+
+def _cleanup(func_op: Operation) -> None:
+    canonicalize(func_op)
+    simplify_affine_ifs(func_op)
+    forward_stores(func_op)
+    simplify_memref_accesses(func_op)
+    eliminate_common_subexpressions(func_op)
+    canonicalize(func_op)
+
+
+def _achieved_ii(func_op: Operation) -> Optional[int]:
+    from repro.dialects.hlscpp import get_loop_directive
+
+    for op in func_op.walk():
+        directive = get_loop_directive(op)
+        if directive is not None and directive.pipeline:
+            return directive.achieved_ii or directive.target_ii
+    return None
+
+
+def _collect_partitions(func_op: Operation) -> dict[str, tuple[int, ...]]:
+    from repro.ir.types import MemRefType
+
+    factors: dict[str, tuple[int, ...]] = {}
+    for index, argument in enumerate(func_op.region(0).front.arguments):
+        if isinstance(argument.type, MemRefType):
+            factors[f"arg{index}"] = tuple(f for _, f in argument.type.partition)
+    return factors

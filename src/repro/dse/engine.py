@@ -1,0 +1,145 @@
+"""The automated DSE engine (paper Section V-E2).
+
+The engine implements the paper's 5-step neighbor-traversing algorithm:
+
+1. **Initial sampling** — random design points are drawn from the space and
+   evaluated with the QoR estimator; the initial Pareto frontier is extracted.
+2. **Point proposal** — a random point of the current frontier proposes its
+   closest unexplored neighbor (one dimension changed by one step).
+3. **Point evaluation** — the neighbor is evaluated with the estimator and the
+   frontier is updated if it dominates an existing member.
+4. **Frontier evolution** — steps 2-3 repeat until no eligible neighbor
+   remains or the iteration budget is exhausted.
+5. **Design finalization** — the Pareto points are sorted by latency and the
+   first one satisfying the platform's resource constraints is selected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Optional
+
+from repro.dse.apply import AppliedDesign, apply_design_point
+from repro.dse.pareto import ParetoPoint, pareto_frontier
+from repro.dse.space import KernelDesignPoint, KernelDesignSpace
+from repro.estimation.platform import Platform, XC7Z020
+from repro.ir.module import ModuleOp
+
+
+@dataclasses.dataclass
+class DSEResult:
+    """Outcome of one exploration run."""
+
+    best: Optional[AppliedDesign]
+    frontier: list[ParetoPoint]
+    evaluations: dict[tuple[int, ...], AppliedDesign]
+    num_evaluations: int
+    space: KernelDesignSpace
+
+    @property
+    def best_point(self) -> Optional[KernelDesignPoint]:
+        return self.best.point if self.best is not None else None
+
+    def frontier_designs(self) -> list[AppliedDesign]:
+        return [self.evaluations[point.encoded] for point in self.frontier]
+
+
+class DesignSpaceExplorer:
+    """Explores the latency-area space of a kernel with the 5-step algorithm."""
+
+    def __init__(self, platform: Platform = XC7Z020, num_samples: int = 24,
+                 max_iterations: int = 48, seed: int = 2022,
+                 evaluator: Optional[Callable[[ModuleOp, KernelDesignPoint], AppliedDesign]] = None):
+        self.platform = platform
+        self.num_samples = num_samples
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self._evaluator = evaluator
+
+    # -- evaluation -------------------------------------------------------------------------
+
+    def _evaluate(self, module: ModuleOp, point: KernelDesignPoint) -> AppliedDesign:
+        if self._evaluator is not None:
+            return self._evaluator(module, point)
+        return apply_design_point(module, point, self.platform)
+
+    # -- exploration ------------------------------------------------------------------------
+
+    def explore(self, module: ModuleOp,
+                space: Optional[KernelDesignSpace] = None,
+                func_name: Optional[str] = None) -> DSEResult:
+        """Run the 5-step exploration on the kernel contained in ``module``."""
+        func_op = module.lookup(func_name) if func_name else module.functions()[0]
+        if space is None:
+            space = KernelDesignSpace.from_function(func_op)
+        rng = random.Random(self.seed)
+
+        evaluations: dict[tuple[int, ...], AppliedDesign] = {}
+
+        def evaluate(encoded: tuple[int, ...]) -> AppliedDesign:
+            if encoded not in evaluations:
+                evaluations[encoded] = self._evaluate(module, space.decode(encoded))
+            return evaluations[encoded]
+
+        # Step 1: initial sampling.
+        sampled: set[tuple[int, ...]] = set()
+        attempts = 0
+        while len(sampled) < min(self.num_samples, space.num_points) and attempts < 10 * self.num_samples:
+            sampled.add(space.random_point(rng))
+            attempts += 1
+        for encoded in sampled:
+            evaluate(encoded)
+
+        frontier = self._frontier_from(evaluations)
+
+        # Steps 2-4: frontier evolution by neighbor traversal.
+        for _ in range(self.max_iterations):
+            if not frontier:
+                break
+            proposal = self._propose_neighbor(frontier, space, evaluations, rng)
+            if proposal is None:
+                break
+            evaluate(proposal)
+            frontier = self._frontier_from(evaluations)
+
+        # Step 5: design finalization under the resource constraints.
+        best = self._finalize(frontier, evaluations)
+        return DSEResult(best=best, frontier=frontier, evaluations=evaluations,
+                         num_evaluations=len(evaluations), space=space)
+
+    # -- internals -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _frontier_from(evaluations: dict[tuple[int, ...], AppliedDesign]) -> list[ParetoPoint]:
+        points = [
+            ParetoPoint(latency=float(design.qor.latency), area=float(design.qor.dsp),
+                        encoded=encoded, payload=design)
+            for encoded, design in evaluations.items()
+        ]
+        return pareto_frontier(points)
+
+    @staticmethod
+    def _propose_neighbor(frontier: list[ParetoPoint], space: KernelDesignSpace,
+                          evaluations: dict, rng: random.Random) -> Optional[tuple[int, ...]]:
+        candidates = list(frontier)
+        rng.shuffle(candidates)
+        for pareto_point in candidates:
+            neighbors = [n for n in space.neighbors(pareto_point.encoded)
+                         if n not in evaluations]
+            if neighbors:
+                return rng.choice(neighbors)
+        return None
+
+    def _finalize(self, frontier: list[ParetoPoint],
+                  evaluations: dict[tuple[int, ...], AppliedDesign]) -> Optional[AppliedDesign]:
+        if not frontier:
+            return None
+        ordered = sorted(frontier, key=lambda p: (p.latency, p.area))
+        for point in ordered:
+            design = evaluations[point.encoded]
+            if self.platform.fits(design.qor.resources, memory_margin=float("inf")):
+                return design
+        # Nothing satisfies the constraints: fall back to the smallest design.
+        smallest = min(ordered, key=lambda p: p.area)
+        return evaluations[smallest.encoded]

@@ -1,0 +1,216 @@
+"""Design space construction for computation kernels.
+
+Each dimension of the multi-dimensional design space corresponds to the
+on/off switch or a tunable parameter of a transform pass (Tab. II):
+
+* loop perfectization on/off,
+* variable-bound removal on/off,
+* the loop permutation of the band,
+* one tile size per band loop (powers of two dividing the trip count),
+* the pipeline target II.
+
+A design point is encoded as a tuple of indices into the per-dimension
+option lists, which makes "closest neighbor" proposals (Step 2 of the DSE
+algorithm) a matter of bumping one index by one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Optional, Sequence
+
+from repro.dialects.affine_ops import AffineForOp, loop_band_from, outermost_loops
+from repro.ir.operation import Operation
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelDesignPoint:
+    """Decoded transform parameters for one kernel design."""
+
+    loop_perfectization: bool
+    remove_variable_bound: bool
+    perm_map: tuple[int, ...]
+    tile_sizes: tuple[int, ...]
+    target_ii: int
+
+    def describe(self) -> str:
+        return (f"LP={'yes' if self.loop_perfectization else 'no'} "
+                f"RVB={'yes' if self.remove_variable_bound else 'no'} "
+                f"perm={list(self.perm_map)} tiles={list(self.tile_sizes)} "
+                f"II={self.target_ii}")
+
+
+class KernelDesignSpace:
+    """The per-kernel design space, encoded dimension by dimension."""
+
+    #: Upper bound on the product of tile sizes: this is the unroll factor of
+    #: the pipelined body, so it directly bounds how large the IR (and the
+    #: resource usage) can grow.
+    MAX_UNROLL_PRODUCT = 128
+
+    def __init__(self, band_trip_counts: Sequence[int], has_variable_bounds: bool,
+                 is_imperfect: bool, max_tile: int = 16, max_target_ii: int = 8):
+        self.band_trip_counts = tuple(int(t) for t in band_trip_counts)
+        self.has_variable_bounds = has_variable_bounds
+        self.is_imperfect = is_imperfect
+        num_loops = len(self.band_trip_counts)
+
+        self.lp_options = [True, False] if is_imperfect else [False]
+        self.rvb_options = [True, False] if has_variable_bounds else [False]
+        self.perm_options = self._permutation_options(num_loops)
+        self.tile_options = [self._tile_sizes(trip, max_tile)
+                             for trip in self.band_trip_counts]
+        self.ii_options = [1, 2, 4, max_target_ii]
+
+        #: Dimension option lists, in a fixed order.
+        self.dimensions: list[list] = [self.lp_options, self.rvb_options, self.perm_options]
+        self.dimensions.extend(self.tile_options)
+        self.dimensions.append(self.ii_options)
+
+    # -- construction ----------------------------------------------------------------------
+
+    @classmethod
+    def from_function(cls, func_op: Operation, max_tile: int = 16) -> "KernelDesignSpace":
+        """Build the space by analysing the kernel's (possibly imperfect) loop band."""
+        outer_loops = outermost_loops(func_op)
+        if not outer_loops:
+            raise ValueError("the kernel has no affine loop nest to explore")
+        band = loop_band_from(outer_loops[0])
+        trip_counts = []
+        has_variable = False
+        for loop in band:
+            trip = loop.trip_count()
+            if trip is None:
+                has_variable = True
+                trip = _estimated_trip(loop)
+            trip_counts.append(max(1, trip))
+        is_imperfect = any(
+            len([op for op in loop.body.operations
+                 if op.name != "affine.yield" and not isinstance(op, AffineForOp)]) > 0
+            for loop in band[:-1])
+        return cls(trip_counts, has_variable, is_imperfect, max_tile=max_tile)
+
+    # -- encoding ---------------------------------------------------------------------------
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def num_points(self) -> int:
+        total = 1
+        for options in self.dimensions:
+            total *= len(options)
+        return total
+
+    def decode(self, encoded: Sequence[int]) -> KernelDesignPoint:
+        """Decode an index tuple into transform parameters."""
+        if len(encoded) != self.num_dimensions:
+            raise ValueError("encoded point has the wrong number of dimensions")
+        values = [options[index] for options, index in zip(self.dimensions, encoded)]
+        num_loops = len(self.band_trip_counts)
+        lp, rvb, perm = values[0], values[1], values[2]
+        tiles = list(values[3:3 + num_loops])
+        target_ii = values[3 + num_loops]
+        tiles = self._clamp_tile_product(tiles)
+        return KernelDesignPoint(
+            loop_perfectization=lp,
+            remove_variable_bound=rvb,
+            perm_map=tuple(perm),
+            tile_sizes=tuple(tiles),
+            target_ii=target_ii,
+        )
+
+    def encode_vector(self, encoded: Sequence[int]) -> list[float]:
+        """Numeric feature vector of a point (used for the Fig. 6 PCA profile)."""
+        point = self.decode(encoded)
+        vector: list[float] = [
+            1.0 if point.loop_perfectization else 0.0,
+            1.0 if point.remove_variable_bound else 0.0,
+        ]
+        vector.extend(float(p) for p in point.perm_map)
+        vector.extend(float(t) for t in point.tile_sizes)
+        vector.append(float(point.target_ii))
+        return vector
+
+    def random_point(self, rng: random.Random) -> tuple[int, ...]:
+        return tuple(rng.randrange(len(options)) for options in self.dimensions)
+
+    def neighbors(self, encoded: Sequence[int]) -> list[tuple[int, ...]]:
+        """All points that differ from ``encoded`` by one step in one dimension."""
+        result = []
+        for dimension, index in enumerate(encoded):
+            for delta in (-1, 1):
+                new_index = index + delta
+                if 0 <= new_index < len(self.dimensions[dimension]):
+                    neighbor = list(encoded)
+                    neighbor[dimension] = new_index
+                    result.append(tuple(neighbor))
+        return result
+
+    def all_points(self):
+        """Iterate the full cartesian space (only sensible for small spaces)."""
+        ranges = [range(len(options)) for options in self.dimensions]
+        return itertools.product(*ranges)
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    @staticmethod
+    def _permutation_options(num_loops: int) -> list[tuple[int, ...]]:
+        identity = tuple(range(num_loops))
+        if num_loops <= 1:
+            return [identity]
+        if num_loops <= 3:
+            return [tuple(p) for p in _permutation_maps(num_loops)]
+        # Larger bands: identity, full reversal and single rotations.
+        options = {identity, tuple(reversed(identity))}
+        rotated = tuple(list(identity[1:]) + [identity[0]])
+        options.add(rotated)
+        return sorted(options)
+
+    @staticmethod
+    def _tile_sizes(trip: int, max_tile: int) -> list[int]:
+        sizes = [1]
+        size = 2
+        while size <= min(trip, max_tile):
+            if trip % size == 0:
+                sizes.append(size)
+            size *= 2
+        return sizes
+
+    def _clamp_tile_product(self, tiles: list[int]) -> list[int]:
+        product = 1
+        for tile in tiles:
+            product *= tile
+        while product > self.MAX_UNROLL_PRODUCT:
+            largest = max(range(len(tiles)), key=lambda i: tiles[i])
+            if tiles[largest] <= 1:
+                break
+            tiles[largest] //= 2
+            product //= 2
+        return tiles
+
+
+def _permutation_maps(num_loops: int) -> list[tuple[int, ...]]:
+    """All permutation maps for a small band (``perm_map[i]`` = new position of loop i)."""
+    maps = []
+    for ordering in itertools.permutations(range(num_loops)):
+        perm_map = [0] * num_loops
+        for new_position, original in enumerate(ordering):
+            perm_map[original] = new_position
+        maps.append(tuple(perm_map))
+    return sorted(set(maps))
+
+
+def _estimated_trip(loop: AffineForOp) -> int:
+    """Best-effort trip estimate for variable-bound loops (max extent)."""
+    from repro.transforms.loop.remove_variable_bound import _constant_extreme
+
+    result = _constant_extreme(loop.upper_map, loop.ub_operands, want_max=True)
+    if result is None:
+        return 1
+    upper = result[0]
+    lower = loop.constant_lower_bound if loop.has_constant_lower_bound() else 0
+    return max(1, (upper - lower) // max(1, loop.step))

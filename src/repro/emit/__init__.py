@@ -1,0 +1,5 @@
+"""HLS C++ emission back-end (paper Section VI-B)."""
+
+from repro.emit.hlscpp_emitter import HLSCppEmitter, emit_hlscpp
+
+__all__ = ["HLSCppEmitter", "emit_hlscpp"]

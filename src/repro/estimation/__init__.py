@@ -1,0 +1,19 @@
+"""QoR estimation: the analytical latency / resource model (paper Section V-E1)."""
+
+from repro.estimation.resources import OpCharacteristics, ResourceUsage, op_characteristics
+from repro.estimation.platform import Platform, XC7Z020, VU9P_SLR
+from repro.estimation.scheduler import ALAPScheduler, ScheduleResult
+from repro.estimation.estimator import QoREstimator, QoRResult
+
+__all__ = [
+    "OpCharacteristics",
+    "ResourceUsage",
+    "op_characteristics",
+    "Platform",
+    "XC7Z020",
+    "VU9P_SLR",
+    "ALAPScheduler",
+    "ScheduleResult",
+    "QoREstimator",
+    "QoRResult",
+]

@@ -1,0 +1,631 @@
+"""The analytical QoR estimator (paper Section V-E1).
+
+Estimates the latency (cycles), initiation interval / throughput interval,
+and resource utilization of a directive-level design without invoking a
+downstream HLS tool.  The model follows the paper's description:
+
+* every block is scheduled with an ALAP list scheduler under data and memory
+  order dependences,
+* memory ports are non-shareable resources — the number of physical banks of
+  a partitioned array bounds how many accesses per cycle it can serve (reads
+  with identical addresses share a port),
+* pipelined loops get ``II = max(target II, resource II, recurrence II)`` and
+  a latency of ``II * (trip - 1) + depth``,
+* perfectly nested loops annotated with ``flatten`` multiply into the trip
+  count of the pipelined loop they wrap,
+* dataflow functions overlap their stages: the interval is the maximum stage
+  latency while the single-frame latency is the sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+from repro.affine.analysis import linearize
+from repro.dialects.affine_ops import (
+    AffineForOp,
+    AffineIfOp,
+    access_expressions,
+    access_is_write,
+    access_memref,
+    is_affine_access,
+)
+from repro.dialects.hlscpp import get_func_directive, get_loop_directive
+from repro.estimation.platform import Platform, XC7Z020
+from repro.estimation.resources import (
+    ResourceUsage,
+    SHAREABLE_OPS,
+    element_bits,
+    memory_resource,
+    op_characteristics,
+    op_latency,
+)
+from repro.estimation.scheduler import ALAPScheduler
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.types import MemRefType
+from repro.ir.value import OpResult, Value
+
+
+@dataclasses.dataclass
+class QoRResult:
+    """Estimated quality of result of a function or module."""
+
+    latency: int
+    interval: int
+    resources: ResourceUsage
+
+    @property
+    def dsp(self) -> int:
+        return self.resources.dsp
+
+    @property
+    def memory_bits(self) -> int:
+        return self.resources.memory_bits
+
+    @property
+    def lut(self) -> int:
+        return self.resources.lut
+
+    def __repr__(self) -> str:
+        return (f"QoRResult(latency={self.latency}, interval={self.interval}, "
+                f"dsp={self.resources.dsp}, lut={self.resources.lut}, "
+                f"memory_bits={self.resources.memory_bits})")
+
+
+#: Structured description of a pipelined (possibly flattened) loop nest.
+@dataclasses.dataclass
+class _PipelineInfo:
+    ii: int
+    depth: int
+    total_trip: int
+
+
+@dataclasses.dataclass
+class _AccessRecord:
+    """One memory access of a pipelined body, with precomputed index analysis."""
+
+    op: Operation
+    memref: Value
+    exprs: Optional[list]
+    linear: Optional[tuple]
+    is_write: bool
+    address_key: tuple
+
+
+class QoREstimator:
+    """Estimates latency, interval and resources of functions and modules."""
+
+    def __init__(self, platform: Platform = XC7Z020):
+        self.platform = platform
+        self._module: Optional[ModuleOp] = None
+        self._function_cache: dict[str, QoRResult] = {}
+
+    # -- public API --------------------------------------------------------------------------
+
+    def estimate_module(self, module: ModuleOp, top_name: Optional[str] = None) -> QoRResult:
+        """Estimate the top function of ``module`` (callees are resolved and cached)."""
+        from repro.dialects.hlscpp import find_top_function
+
+        self._module = module
+        self._function_cache = {}
+        top = module.lookup(top_name) if top_name else find_top_function(module)
+        if top is None:
+            raise ValueError("could not determine the top function of the module")
+        return self.estimate_function(top)
+
+    def estimate_function(self, func_op: Operation, module: Optional[ModuleOp] = None) -> QoRResult:
+        """Estimate a single function (recursively resolving its callees)."""
+        if module is not None:
+            self._module = module
+        name = func_op.get_attr("sym_name", "")
+        if name and name in self._function_cache:
+            return self._function_cache[name]
+
+        directive = get_func_directive(func_op)
+        body = func_op.region(0).front
+
+        if directive is not None and directive.dataflow:
+            result = self._estimate_dataflow_function(func_op)
+        elif directive is not None and directive.pipeline:
+            latency, resources, info = self._estimate_pipelined_ops(
+                self._gather_straightline_ops(body), directive.target_ii, trip=1,
+                enclosing_loops=[])
+            result = QoRResult(latency=latency, interval=info.ii, resources=resources)
+        else:
+            latency, resources = self._estimate_block(body)
+            result = QoRResult(latency=latency, interval=latency, resources=resources)
+
+        if name:
+            self._function_cache[name] = result
+        return result
+
+    # -- dataflow functions --------------------------------------------------------------------
+
+    def _estimate_dataflow_function(self, func_op: Operation) -> QoRResult:
+        body = func_op.region(0).front
+        stage_latencies: list[int] = []
+        total_latency = 0
+        resources = ResourceUsage()
+        for op in body.operations:
+            if op.name == "func.call":
+                callee_result = self._estimate_callee(op)
+                if callee_result is None:
+                    continue
+                stage_latencies.append(max(callee_result.latency, callee_result.interval))
+                total_latency += callee_result.latency
+                resources = resources + callee_result.resources
+                resources = resources + self._double_buffer_memory(op)
+            elif isinstance(op, AffineForOp):
+                latency, loop_resources, _ = self._estimate_loop(op)
+                stage_latencies.append(latency)
+                total_latency += latency
+                resources = resources + loop_resources
+            elif op.name == "memref.alloc":
+                resources = resources + self._buffer_memory(op)
+        interval = max(stage_latencies) if stage_latencies else total_latency
+        return QoRResult(latency=max(total_latency, 1), interval=max(interval, 1),
+                         resources=resources)
+
+    def _estimate_callee(self, call_op: Operation) -> Optional[QoRResult]:
+        if self._module is None:
+            return None
+        callee = self._module.lookup(call_op.get_attr("callee"))
+        if callee is None:
+            return None
+        return self.estimate_function(callee)
+
+    def _double_buffer_memory(self, call_op: Operation) -> ResourceUsage:
+        """Dataflow channels between stages are ping-pong buffered: count the
+        callee's returned buffers a second time."""
+        if self._module is None:
+            return ResourceUsage()
+        callee = self._module.lookup(call_op.get_attr("callee"))
+        if callee is None:
+            return ResourceUsage()
+        return_op = None
+        for op in reversed(callee.region(0).front.operations):
+            if op.name == "func.return":
+                return_op = op
+                break
+        if return_op is None:
+            return ResourceUsage()
+        extra = ResourceUsage()
+        for operand in return_op.operands:
+            if isinstance(operand, OpResult) and operand.owner.name == "memref.alloc":
+                extra = extra + self._buffer_memory(operand.owner)
+        return extra
+
+    # -- blocks -----------------------------------------------------------------------------------
+
+    def _estimate_block(self, block) -> tuple[int, ResourceUsage]:
+        latency = 0
+        resources = ResourceUsage()
+        scalar_ops: list[Operation] = []
+        for op in block.operations:
+            if isinstance(op, AffineForOp):
+                loop_latency, loop_resources, _ = self._estimate_loop(op)
+                latency += loop_latency
+                resources = resources + loop_resources
+            elif isinstance(op, AffineIfOp):
+                then_latency, then_resources = self._estimate_block(op.then_block)
+                else_latency, else_resources = (0, ResourceUsage())
+                if op.else_block is not None:
+                    else_latency, else_resources = self._estimate_block(op.else_block)
+                latency += max(then_latency, else_latency) + 1
+                resources = resources + then_resources + else_resources
+            elif op.name == "scf.for":
+                body_latency, body_resources = self._estimate_block(op.body)
+                trip = self._scf_trip_count(op)
+                latency += trip * (body_latency + 1) + 2
+                resources = resources + body_resources
+            elif op.name == "scf.if":
+                then_latency, then_resources = self._estimate_block(op.then_block)
+                latency += then_latency + 1
+                resources = resources + then_resources
+                if op.else_block is not None:
+                    else_latency, else_resources = self._estimate_block(op.else_block)
+                    latency = latency + else_latency
+                    resources = resources + else_resources
+            elif op.name == "func.call":
+                callee_result = self._estimate_callee(op)
+                if callee_result is not None:
+                    latency += callee_result.latency
+                    resources = resources + callee_result.resources
+            elif op.name == "memref.alloc":
+                resources = resources + self._buffer_memory(op)
+            elif op.name in ("func.return", "affine.yield", "scf.yield"):
+                continue
+            else:
+                scalar_ops.append(op)
+
+        if scalar_ops:
+            scalar_records = self._access_records(scalar_ops, self._enclosing_loops(scalar_ops[0]))
+            schedule = ALAPScheduler(
+                self._memory_edges(scalar_records, 0)).schedule(scalar_ops)
+            latency += schedule.depth
+            resources = resources + self._shared_scalar_resources(scalar_ops)
+        return latency, resources
+
+    @staticmethod
+    def _scf_trip_count(op: Operation) -> int:
+        from repro.dialects import arith
+
+        lower = arith.constant_value(op.operand(0))
+        upper = arith.constant_value(op.operand(1))
+        step = arith.constant_value(op.operand(2))
+        if lower is None or upper is None or step is None or step == 0:
+            return 1
+        return max(0, -(-(int(upper) - int(lower)) // int(step)))
+
+    @staticmethod
+    def _shared_scalar_resources(ops: Sequence[Operation]) -> ResourceUsage:
+        """Resources of straight-line code outside pipelined loops.
+
+        Operators are reused over time, so each operation *kind* contributes a
+        single hardware unit.
+        """
+        resources = ResourceUsage()
+        seen_kinds: set[str] = set()
+        for op in ops:
+            characteristics = op_characteristics(op.name)
+            if op.name in SHAREABLE_OPS:
+                if op.name in seen_kinds:
+                    continue
+                seen_kinds.add(op.name)
+            resources = resources + ResourceUsage(
+                dsp=characteristics.dsp, lut=characteristics.lut, ff=characteristics.ff)
+        return resources
+
+    def _buffer_memory(self, alloc_op: Operation) -> ResourceUsage:
+        memref_type: MemRefType = alloc_op.result().type
+        return memory_resource(memref_type.num_elements,
+                               element_bits(memref_type.element_type),
+                               memref_type.num_partitions)
+
+    # -- loops -------------------------------------------------------------------------------------
+
+    def _estimate_loop(self, loop: AffineForOp) -> tuple[int, ResourceUsage, Optional[_PipelineInfo]]:
+        directive = get_loop_directive(loop)
+        trip = self._loop_trip(loop)
+
+        if directive is not None and directive.pipeline:
+            ops = self._gather_straightline_ops(loop.body)
+            latency, resources, info = self._estimate_pipelined_ops(
+                ops, directive.target_ii, trip, self._enclosing_loops(loop) + [loop])
+            directive.achieved_ii = info.ii
+            return latency, resources, info
+
+        body_ops = [op for op in loop.body.operations if op.name != "affine.yield"]
+        single_child = len(body_ops) == 1 and isinstance(body_ops[0], AffineForOp)
+        if single_child:
+            child_latency, child_resources, child_info = self._estimate_loop(body_ops[0])
+            if child_info is not None and directive is not None and directive.flatten:
+                total_trip = child_info.total_trip * trip
+                latency = child_info.ii * max(0, total_trip - 1) + child_info.depth + 1
+                info = _PipelineInfo(child_info.ii, child_info.depth, total_trip)
+                return latency, child_resources, info
+            latency = trip * (child_latency + 1) + 2
+            return latency, child_resources, None
+
+        body_latency, body_resources = self._estimate_block(loop.body)
+        latency = trip * (body_latency + 1) + 2
+        return latency, body_resources, None
+
+    def _loop_trip(self, loop: AffineForOp) -> int:
+        trip = loop.trip_count()
+        if trip is not None:
+            return max(trip, 0)
+        # Variable bounds: use the average extent over the outer iteration domain
+        # (triangular loops like SYRK's j-loop average to roughly half the range).
+        bounds = self._variable_bound_extent(loop)
+        return max(1, bounds)
+
+    def _variable_bound_extent(self, loop: AffineForOp) -> int:
+        from repro.affine.analysis import expr_min_max
+        from repro.transforms.loop.remove_variable_bound import _operand_range
+
+        try:
+            lower = (loop.constant_lower_bound if loop.has_constant_lower_bound()
+                     else None)
+            upper_expr = loop.upper_map.results[0]
+            ranges = []
+            for operand in loop.ub_operands:
+                operand_range = _operand_range(operand)
+                if operand_range is None:
+                    return 1
+                ranges.append(operand_range)
+            if ranges:
+                low, high = expr_min_max(upper_expr, ranges)
+            else:
+                low = high = upper_expr.evaluate([])
+            average_upper = (low + high) / 2.0
+            lower = lower if lower is not None else 0
+            return int(max(1, round((average_upper - lower) / max(1, loop.step))))
+        except Exception:
+            return 1
+
+    # -- pipelined regions ----------------------------------------------------------------------------
+
+    def _gather_straightline_ops(self, block) -> list[Operation]:
+        """All computational ops of a pipelined body, flattening affine.if regions."""
+        ops: list[Operation] = []
+        for op in block.operations:
+            if op.name in ("affine.yield", "scf.yield", "func.return"):
+                continue
+            if isinstance(op, AffineIfOp):
+                ops.extend(self._gather_straightline_ops(op.then_block))
+                if op.else_block is not None:
+                    ops.extend(self._gather_straightline_ops(op.else_block))
+                continue
+            if op.regions:
+                for region in op.regions:
+                    for nested_block in region.blocks:
+                        ops.extend(self._gather_straightline_ops(nested_block))
+                continue
+            ops.append(op)
+        return ops
+
+    def _estimate_pipelined_ops(self, ops: list[Operation], target_ii: int, trip: int,
+                                enclosing_loops: list[AffineForOp]
+                                ) -> tuple[int, ResourceUsage, _PipelineInfo]:
+        records = self._access_records(ops, enclosing_loops)
+        edges = self._memory_edges(records, len(enclosing_loops))
+        schedule = ALAPScheduler(edges).schedule(ops)
+        depth = max(1, schedule.depth)
+
+        resource_ii = self._resource_ii(records)
+        recurrence_ii = self._recurrence_ii(records, schedule, enclosing_loops)
+        ii = max(1, int(target_ii), resource_ii, recurrence_ii)
+
+        latency = ii * max(0, trip - 1) + depth + 1
+        resources = self._pipelined_resources(ops, ii)
+        return latency, resources, _PipelineInfo(ii=ii, depth=depth, total_trip=trip)
+
+    @staticmethod
+    def _enclosing_loops(op: Operation) -> list[AffineForOp]:
+        loops = [ancestor for ancestor in op.ancestors() if isinstance(ancestor, AffineForOp)]
+        loops.reverse()
+        return loops
+
+    # -- memory modelling -------------------------------------------------------------------------------
+
+    def _access_records(self, ops: Sequence[Operation],
+                        enclosing_loops: list[AffineForOp]) -> list[_AccessRecord]:
+        """One :class:`_AccessRecord` per memory access in ``ops``.
+
+        Index expressions are linearized once here so that the alias, port
+        and recurrence analyses below are cheap pairwise comparisons.
+        """
+        dim_map = {loop.induction_variable: position
+                   for position, loop in enumerate(enclosing_loops)}
+        num_dims = len(enclosing_loops)
+        records: list[_AccessRecord] = []
+        for op in ops:
+            if not is_affine_access(op) and op.name not in ("memref.load", "memref.store"):
+                continue
+            exprs = access_expressions(op, dim_map)
+            linear = None
+            key: tuple
+            if exprs is not None:
+                linear = []
+                for expr in exprs:
+                    decomposed = linearize(expr, num_dims)
+                    if decomposed is None:
+                        linear = None
+                        break
+                    linear.append((tuple(decomposed[0]), decomposed[1]))
+                key = tuple(linear) if linear is not None else ("op", id(op))
+            else:
+                key = ("op", id(op))
+            records.append(_AccessRecord(op=op, memref=access_memref(op), exprs=exprs,
+                                         linear=tuple(linear) if linear else None,
+                                         is_write=access_is_write(op), address_key=key))
+        return records
+
+    @staticmethod
+    def _group_by_memref(records: Sequence["_AccessRecord"]) -> dict[int, list]:
+        groups: dict[int, list] = {}
+        for record in records:
+            groups.setdefault(id(record.memref), []).append(record)
+        return groups
+
+    def _memory_edges(self, records: Sequence["_AccessRecord"],
+                      num_dims: int) -> list[tuple[Operation, Operation]]:
+        """Ordering edges between accesses that may touch the same address.
+
+        Accesses are bucketed by their (linearized) address: accesses in the
+        same bucket are chained in program order whenever a write is involved,
+        which captures accumulation chains without the quadratic cross-check
+        of provably distinct addresses.  Accesses whose address could not be
+        linearized are conservatively ordered against every other access of
+        the same buffer.
+        """
+        edges: list[tuple[Operation, Operation]] = []
+        for group in self._group_by_memref(records).values():
+            buckets: dict[tuple, list[_AccessRecord]] = {}
+            unknown: list[_AccessRecord] = []
+            for record in group:
+                if record.linear is None:
+                    unknown.append(record)
+                else:
+                    buckets.setdefault(record.address_key, []).append(record)
+            for bucket in buckets.values():
+                previous_write = None
+                previous_reads: list[_AccessRecord] = []
+                for record in bucket:
+                    if record.is_write:
+                        if previous_write is not None:
+                            edges.append((previous_write.op, record.op))
+                        for read in previous_reads:
+                            edges.append((read.op, record.op))
+                        previous_write = record
+                        previous_reads = []
+                    else:
+                        if previous_write is not None:
+                            edges.append((previous_write.op, record.op))
+                        previous_reads.append(record)
+            if unknown:
+                for record in unknown:
+                    for other in group:
+                        if other is record or (not record.is_write and not other.is_write):
+                            continue
+                        source, target = (other, record)
+                        edges.append((source.op, target.op))
+        return edges
+
+    @staticmethod
+    def _may_alias_same_iteration(a: "_AccessRecord", b: "_AccessRecord") -> bool:
+        if a.linear is None or b.linear is None:
+            return True
+        if len(a.linear) != len(b.linear):
+            return True
+        for (coeffs_a, const_a), (coeffs_b, const_b) in zip(a.linear, b.linear):
+            if coeffs_a != coeffs_b:
+                return True
+            if const_a != const_b:
+                return False
+        return True
+
+    def _resource_ii(self, records: Sequence["_AccessRecord"]) -> int:
+        """Port-limited II: unique access addresses per cycle per physical bank."""
+        worst = 1
+        for group in self._group_by_memref(records).values():
+            memref_type = group[0].memref.type
+            banks = memref_type.num_partitions if isinstance(memref_type, MemRefType) else 1
+            unique_reads = {record.address_key for record in group if not record.is_write}
+            unique_writes = {record.address_key for record in group if record.is_write}
+            read_ii = -(-len(unique_reads) // banks) if unique_reads else 1
+            write_ii = -(-len(unique_writes) // banks) if unique_writes else 1
+            worst = max(worst, read_ii, write_ii)
+        return worst
+
+    def _recurrence_ii(self, records: Sequence["_AccessRecord"], schedule,
+                       enclosing_loops: list[AffineForOp]) -> int:
+        """Recurrence-constrained II of a pipelined (possibly flattened) nest."""
+        if not enclosing_loops:
+            return 1
+        num_dims = len(enclosing_loops)
+
+        # Pipeline dims: the pipelined loop itself plus flatten-marked perfect parents.
+        pipeline_dims = []
+        for position in range(num_dims - 1, -1, -1):
+            loop = enclosing_loops[position]
+            directive = get_loop_directive(loop)
+            if position == num_dims - 1:
+                pipeline_dims.append(position)
+            elif directive is not None and directive.flatten:
+                pipeline_dims.append(position)
+            else:
+                break
+        pipeline_dims = sorted(pipeline_dims)
+
+        strides = self._flattened_strides(enclosing_loops, pipeline_dims)
+        steps = [max(1, loop.step) for loop in enclosing_loops]
+
+        worst = 1
+        for group in self._group_by_memref(records).values():
+            # Collapse accesses with identical addresses: the recurrence chain of a
+            # (write address, read address) pair is bounded by the latest write and
+            # the earliest read of those addresses.
+            writes: dict[tuple, tuple] = {}
+            reads: dict[tuple, tuple] = {}
+            for record in group:
+                if record.is_write:
+                    finish = schedule.asap.get(record.op, 0) + op_latency(record.op.name)
+                    current = writes.get(record.address_key)
+                    if current is None or finish > current[1]:
+                        writes[record.address_key] = (record, finish)
+                else:
+                    start = schedule.asap.get(record.op, 0)
+                    current = reads.get(record.address_key)
+                    if current is None or start < current[1]:
+                        reads[record.address_key] = (record, start)
+            for write, write_finish in writes.values():
+                for read, read_start in reads.values():
+                    distance = self._carried_distance(
+                        write, read, num_dims, pipeline_dims, strides, steps)
+                    if distance is None or distance <= 0:
+                        continue
+                    chain = max(1, write_finish - read_start)
+                    worst = max(worst, math.ceil(chain / distance))
+        return worst
+
+    @staticmethod
+    def _flattened_strides(enclosing_loops: list[AffineForOp],
+                           pipeline_dims: list[int]) -> dict[int, int]:
+        """Iteration-space stride of each pipeline dim in the flattened nest."""
+        strides: dict[int, int] = {}
+        stride = 1
+        for position in sorted(pipeline_dims, reverse=True):
+            strides[position] = stride
+            trip = enclosing_loops[position].trip_count() or 1
+            stride *= max(1, trip)
+        return strides
+
+    def _carried_distance(self, write: "_AccessRecord", read: "_AccessRecord",
+                          num_dims: int, pipeline_dims: list[int],
+                          strides: dict[int, int], steps: list[int]) -> Optional[int]:
+        """Flattened iteration distance of the dependence, if carried by the pipeline.
+
+        Distances are measured in loop *iterations*, so index offsets are
+        divided by ``coefficient * step`` of the loop they vary with; a
+        non-integral quotient means the two accesses never touch the same
+        address across iterations of that loop.
+        """
+        if write.linear is None or read.linear is None:
+            return 1
+        if len(write.linear) != len(read.linear):
+            return 1
+        per_dim: dict[int, object] = {d: "free" for d in range(num_dims)}
+        referenced: set[int] = set()
+        for (coeffs_w, const_w), (coeffs_r, const_r) in zip(write.linear, read.linear):
+            if coeffs_w != coeffs_r:
+                return 1
+            offset = const_w - const_r
+            nonzero = [d for d, c in enumerate(coeffs_w) if c != 0]
+            referenced.update(nonzero)
+            if not nonzero:
+                if offset != 0:
+                    return None
+                continue
+            if len(nonzero) == 1:
+                d = nonzero[0]
+                per_iteration = coeffs_w[d] * steps[d]
+                if offset % per_iteration != 0:
+                    return None
+                distance = abs(offset // per_iteration)
+                current = per_dim[d]
+                per_dim[d] = distance if current == "free" else max(current, distance)
+
+        # Find the innermost pipeline dim that carries the dependence.
+        for position in sorted(pipeline_dims, reverse=True):
+            value = per_dim[position]
+            if value == "free" and position not in referenced:
+                return strides[position]  # same address regardless of this dim
+            if value != "free" and value not in (0,):
+                return strides[position] * int(value)
+        return None
+
+    # -- resources of pipelined bodies ------------------------------------------------------------------
+
+    @staticmethod
+    def _pipelined_resources(ops: Sequence[Operation], ii: int) -> ResourceUsage:
+        counts: dict[str, int] = {}
+        for op in ops:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        resources = ResourceUsage(lut=32)  # loop control overhead
+        for name, count in counts.items():
+            characteristics = op_characteristics(name)
+            if name in SHAREABLE_OPS:
+                units = -(-count // max(1, ii))
+            else:
+                units = count
+            resources = resources + ResourceUsage(
+                dsp=units * characteristics.dsp,
+                lut=units * characteristics.lut,
+                ff=units * characteristics.ff,
+            )
+        return resources

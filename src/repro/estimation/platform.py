@@ -1,0 +1,67 @@
+"""FPGA platform resource budgets.
+
+Two platforms appear in the paper's evaluation:
+
+* **XC7Z020** — the edge device used for the computation-kernel experiments
+  (Table III / IV, Fig. 6 / 7): 4.9 Mb of on-chip memory, 220 DSPs and
+  53,200 LUTs.
+* **One SLR of a VU9P** — used for the DNN experiments (Table V, Fig. 8):
+  115.3 Mb of memory, 2,280 DSPs and 394,080 LUTs per SLR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.estimation.resources import ResourceUsage
+
+
+@dataclasses.dataclass(frozen=True)
+class Platform:
+    """Resource budget of a target FPGA (or a partition of one)."""
+
+    name: str
+    memory_bits: int
+    dsp: int
+    lut: int
+    ff: int = 0
+    clock_mhz: float = 100.0
+
+    def fits(self, usage: ResourceUsage,
+             dsp_margin: float = 1.0, memory_margin: float = 1.0,
+             lut_margin: float = 1.0) -> bool:
+        """True when a design's resource usage fits the budget (with margins)."""
+        return (usage.dsp <= self.dsp * dsp_margin
+                and usage.memory_bits <= self.memory_bits * memory_margin
+                and usage.lut <= self.lut * lut_margin)
+
+    def utilization(self, usage: ResourceUsage) -> dict[str, float]:
+        """Per-resource utilization fractions (1.0 == 100%)."""
+        return {
+            "dsp": usage.dsp / self.dsp if self.dsp else 0.0,
+            "memory": usage.memory_bits / self.memory_bits if self.memory_bits else 0.0,
+            "lut": usage.lut / self.lut if self.lut else 0.0,
+        }
+
+
+#: Xilinx Zynq XC7Z020 (PYNQ-Z1 class edge device).
+XC7Z020 = Platform(
+    name="xc7z020",
+    memory_bits=int(4.9e6),
+    dsp=220,
+    lut=53200,
+    ff=106400,
+    clock_mhz=100.0,
+)
+
+#: One super logic region (SLR) of a Xilinx VU9P.
+VU9P_SLR = Platform(
+    name="vu9p-slr",
+    memory_bits=int(115.3e6),
+    dsp=2280,
+    lut=394080,
+    ff=788160,
+    clock_mhz=200.0,
+)
+
+PLATFORMS = {platform.name: platform for platform in (XC7Z020, VU9P_SLR)}

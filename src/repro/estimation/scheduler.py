@@ -1,0 +1,88 @@
+"""ALAP scheduling of straight-line operation lists.
+
+The QoR estimator schedules the operations of each block to obtain the block
+latency (critical path under data and memory-order dependences) and the
+operation start times used for recurrence-II computation.  Following the
+paper, the schedule is computed as-late-as-possible (ALAP); the ASAP times
+are computed as well since the difference (the slack) is occasionally useful
+to tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.estimation.resources import op_latency
+from repro.ir.operation import Operation
+from repro.ir.value import OpResult
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """Start times (ASAP and ALAP) and the overall schedule depth."""
+
+    asap: dict[Operation, int]
+    alap: dict[Operation, int]
+    depth: int
+
+    def start_time(self, op: Operation) -> int:
+        return self.alap.get(op, 0)
+
+    def finish_time(self, op: Operation) -> int:
+        return self.alap.get(op, 0) + op_latency(op.name)
+
+    def slack(self, op: Operation) -> int:
+        return self.alap.get(op, 0) - self.asap.get(op, 0)
+
+
+class ALAPScheduler:
+    """Schedules a list of operations with data and extra (memory) edges."""
+
+    def __init__(self, extra_edges: Optional[Sequence[tuple[Operation, Operation]]] = None):
+        self.extra_edges = list(extra_edges or [])
+
+    def schedule(self, ops: Sequence[Operation]) -> ScheduleResult:
+        ops = list(ops)
+        op_set = set(ops)
+        predecessors: dict[Operation, list[Operation]] = {op: [] for op in ops}
+        successors: dict[Operation, list[Operation]] = {op: [] for op in ops}
+
+        for op in ops:
+            for operand in op.operands:
+                if isinstance(operand, OpResult) and operand.owner in op_set:
+                    predecessors[op].append(operand.owner)
+                    successors[operand.owner].append(op)
+        for source, target in self.extra_edges:
+            if source in op_set and target in op_set:
+                predecessors[target].append(source)
+                successors[source].append(target)
+
+        asap = self._asap(ops, predecessors)
+        depth = max((asap[op] + op_latency(op.name) for op in ops), default=0)
+        alap = self._alap(ops, successors, depth)
+        return ScheduleResult(asap=asap, alap=alap, depth=depth)
+
+    # -- internals ----------------------------------------------------------------------
+
+    @staticmethod
+    def _asap(ops: Sequence[Operation],
+              predecessors: dict[Operation, list[Operation]]) -> dict[Operation, int]:
+        times: dict[Operation, int] = {}
+        for op in ops:  # ops are in program order, so defs precede uses
+            earliest = 0
+            for pred in predecessors[op]:
+                earliest = max(earliest, times.get(pred, 0) + op_latency(pred.name))
+            times[op] = earliest
+        return times
+
+    @staticmethod
+    def _alap(ops: Sequence[Operation], successors: dict[Operation, list[Operation]],
+              depth: int) -> dict[Operation, int]:
+        times: dict[Operation, int] = {}
+        for op in reversed(list(ops)):
+            latest = depth - op_latency(op.name)
+            for succ in successors[op]:
+                latest = min(latest, times.get(succ, depth) - op_latency(op.name))
+            times[op] = max(0, latest)
+        return times

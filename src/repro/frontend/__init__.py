@@ -1,0 +1,22 @@
+"""Front-ends: HLS C parsing and PyTorch-like graph construction.
+
+* :mod:`repro.frontend.c_parser` / :mod:`repro.frontend.c_to_mlir` — parse the
+  synthesizable C subset and emit ``scf``-level IR (paper Section VI-A).
+* :mod:`repro.frontend.raise_to_affine` — the ``-raise-scf-to-affine`` pass.
+* :mod:`repro.frontend.pytorch_like` / :mod:`repro.frontend.models` — build
+  graph-level IR for DNN models the way Torch-MLIR / ONNX-MLIR would.
+"""
+
+from repro.frontend.c_to_mlir import parse_c_to_module
+from repro.frontend.raise_to_affine import RaiseSCFToAffinePass
+from repro.frontend.pytorch_like import GraphBuilder
+from repro.frontend.models import resnet18, vgg16, mobilenet
+
+__all__ = [
+    "parse_c_to_module",
+    "RaiseSCFToAffinePass",
+    "GraphBuilder",
+    "resnet18",
+    "vgg16",
+    "mobilenet",
+]

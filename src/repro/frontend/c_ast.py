@@ -1,0 +1,142 @@
+"""Abstract syntax tree of the HLS C subset."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Union
+
+
+# -- expressions -----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class IntLiteral:
+    value: int
+
+
+@dataclasses.dataclass
+class FloatLiteral:
+    value: float
+
+
+@dataclasses.dataclass
+class VarRef:
+    name: str
+
+
+@dataclasses.dataclass
+class ArrayRef:
+    name: str
+    indices: list["Expr"]
+
+
+@dataclasses.dataclass
+class BinaryExpr:
+    op: str  # + - * / % < <= > >= == != && ||
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclasses.dataclass
+class UnaryExpr:
+    op: str  # - !
+    operand: "Expr"
+
+
+@dataclasses.dataclass
+class TernaryExpr:
+    condition: "Expr"
+    true_value: "Expr"
+    false_value: "Expr"
+
+
+Expr = Union[IntLiteral, FloatLiteral, VarRef, ArrayRef, BinaryExpr, UnaryExpr, TernaryExpr]
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Declaration:
+    """A local variable or array declaration, e.g. ``float tmp[64];``."""
+
+    name: str
+    base_type: str  # "float", "int", "double"
+    dims: list[int]
+    init: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Assignment:
+    """``target op value`` where op is one of ``=``, ``+=``, ``-=``, ``*=``, ``/=``."""
+
+    target: Union[VarRef, ArrayRef]
+    op: str
+    value: Expr
+
+
+@dataclasses.dataclass
+class ForLoop:
+    """A canonical counted loop ``for (int i = init; i < bound; i += step)``."""
+
+    var: str
+    init: Expr
+    bound: Expr
+    compare_op: str  # "<" or "<="
+    step: int
+    body: "BlockStmt"
+
+
+@dataclasses.dataclass
+class IfStmt:
+    condition: Expr
+    then_body: "BlockStmt"
+    else_body: Optional["BlockStmt"] = None
+
+
+@dataclasses.dataclass
+class ReturnStmt:
+    value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class BlockStmt:
+    statements: list["Stmt"]
+
+
+Stmt = Union[Declaration, Assignment, ForLoop, IfStmt, ReturnStmt, BlockStmt]
+
+
+# -- top level --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Param:
+    """A function parameter: a scalar or a fixed-size array."""
+
+    name: str
+    base_type: str
+    dims: list[int]
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclasses.dataclass
+class FunctionDef:
+    name: str
+    return_type: str
+    params: list[Param]
+    body: BlockStmt
+
+
+@dataclasses.dataclass
+class Program:
+    functions: list[FunctionDef]
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,293 @@
+"""Recursive-descent parser for the synthesizable HLS C subset.
+
+Supported constructs mirror what Vivado HLS accepts for the PolyBench-style
+kernels this reproduction compiles: ``void`` functions with scalar and
+fixed-size array parameters, local declarations, canonical counted ``for``
+loops, ``if``/``else``, assignments (including the compound forms), and
+arithmetic / comparison expressions with array subscripts.  Pointers,
+structs, ``while`` loops and function calls are rejected — the paper's
+front-end rejects unsupported constructs the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import c_ast as ast
+from repro.frontend.c_lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised when the source is outside the supported C subset."""
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.c_ast.Program`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {self.current.line}: expected {want!r}, found {self.current.text!r}")
+        return self.advance()
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self.check("eof"):
+            functions.append(self.parse_function())
+        return ast.Program(functions)
+
+    def parse_function(self) -> ast.FunctionDef:
+        return_type = self.expect("keyword").text
+        name = self.expect("identifier").text
+        self.expect("punct", "(")
+        params = []
+        if not self.check("punct", ")"):
+            params.append(self.parse_param())
+            while self.accept("punct", ","):
+                params.append(self.parse_param())
+        self.expect("punct", ")")
+        body = self.parse_block()
+        return ast.FunctionDef(name, return_type, params, body)
+
+    def parse_param(self) -> ast.Param:
+        self.accept("keyword", "const")
+        base_type = self.expect("keyword").text
+        if base_type not in ("float", "double", "int"):
+            raise ParseError(f"unsupported parameter type {base_type!r}")
+        name = self.expect("identifier").text
+        dims = []
+        while self.accept("punct", "["):
+            dims.append(int(self.expect("number").text))
+            self.expect("punct", "]")
+        return ast.Param(name, base_type, dims)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_block(self) -> ast.BlockStmt:
+        self.expect("punct", "{")
+        statements = []
+        while not self.check("punct", "}"):
+            statements.append(self.parse_statement())
+        self.expect("punct", "}")
+        return ast.BlockStmt(statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.check("punct", "{"):
+            return self.parse_block()
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None
+            if not self.check("punct", ";"):
+                value = self.parse_expression()
+            self.expect("punct", ";")
+            return ast.ReturnStmt(value)
+        if self.check("keyword"):
+            return self.parse_declaration()
+        return self.parse_assignment()
+
+    def parse_declaration(self) -> ast.Declaration:
+        base_type = self.expect("keyword").text
+        if base_type not in ("float", "double", "int"):
+            raise ParseError(f"unsupported declaration type {base_type!r}")
+        name = self.expect("identifier").text
+        dims = []
+        while self.accept("punct", "["):
+            dims.append(int(self.expect("number").text))
+            self.expect("punct", "]")
+        init = None
+        if self.accept("operator", "="):
+            init = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.Declaration(name, base_type, dims, init)
+
+    def parse_assignment(self) -> ast.Assignment:
+        target = self.parse_postfix()
+        if not isinstance(target, (ast.VarRef, ast.ArrayRef)):
+            raise ParseError("assignment target must be a variable or array element")
+        token = self.current
+        if token.kind == "operator" and token.text in ("=", "+=", "-=", "*=", "/="):
+            op = self.advance().text
+            value = self.parse_expression()
+            self.expect("punct", ";")
+            return ast.Assignment(target, op, value)
+        if token.kind == "operator" and token.text in ("++", "--"):
+            self.advance()
+            self.expect("punct", ";")
+            delta = ast.IntLiteral(1)
+            op = "+=" if token.text == "++" else "-="
+            return ast.Assignment(target, op, delta)
+        raise ParseError(f"line {token.line}: expected an assignment operator")
+
+    def parse_for(self) -> ast.ForLoop:
+        self.expect("keyword", "for")
+        self.expect("punct", "(")
+        # Initialisation: "int i = <expr>" or "i = <expr>".
+        self.accept("keyword", "int")
+        var = self.expect("identifier").text
+        self.expect("operator", "=")
+        init = self.parse_expression()
+        self.expect("punct", ";")
+        # Condition: "<var> < <expr>" or "<var> <= <expr>".
+        cond_var = self.expect("identifier").text
+        if cond_var != var:
+            raise ParseError(f"loop condition must test the induction variable {var!r}")
+        cmp_token = self.expect("operator")
+        if cmp_token.text not in ("<", "<="):
+            raise ParseError("loop condition must use < or <=")
+        bound = self.parse_expression()
+        self.expect("punct", ";")
+        # Update: "i++", "++i", "i += c" or "i = i + c".
+        step = self.parse_for_update(var)
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        if not isinstance(body, ast.BlockStmt):
+            body = ast.BlockStmt([body])
+        return ast.ForLoop(var, init, bound, cmp_token.text, step, body)
+
+    def parse_for_update(self, var: str) -> int:
+        if self.accept("operator", "++"):
+            self.expect("identifier", var) if self.check("identifier", var) else None
+            return 1
+        name = self.expect("identifier").text
+        if name != var:
+            raise ParseError("loop update must modify the induction variable")
+        if self.accept("operator", "++"):
+            return 1
+        if self.accept("operator", "--"):
+            raise ParseError("decrementing loops are not supported")
+        if self.accept("operator", "+="):
+            step_token = self.expect("number")
+            return int(step_token.text)
+        if self.accept("operator", "="):
+            # i = i + c
+            lhs = self.expect("identifier").text
+            if lhs != var:
+                raise ParseError("loop update must be of the form i = i + c")
+            self.expect("operator", "+")
+            step_token = self.expect("number")
+            return int(step_token.text)
+        raise ParseError("unsupported loop update expression")
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect("keyword", "if")
+        self.expect("punct", "(")
+        condition = self.parse_expression()
+        self.expect("punct", ")")
+        then_body = self.parse_statement()
+        if not isinstance(then_body, ast.BlockStmt):
+            then_body = ast.BlockStmt([then_body])
+        else_body = None
+        if self.accept("keyword", "else"):
+            parsed = self.parse_statement()
+            else_body = parsed if isinstance(parsed, ast.BlockStmt) else ast.BlockStmt([parsed])
+        return ast.IfStmt(condition, then_body, else_body)
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        condition = self.parse_logical()
+        if self.accept("operator", "?"):
+            true_value = self.parse_expression()
+            self.expect("operator", ":")
+            false_value = self.parse_expression()
+            return ast.TernaryExpr(condition, true_value, false_value)
+        return condition
+
+    def parse_logical(self) -> ast.Expr:
+        expr = self.parse_comparison()
+        while self.check("operator", "&&") or self.check("operator", "||"):
+            op = self.advance().text
+            rhs = self.parse_comparison()
+            expr = ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_comparison(self) -> ast.Expr:
+        expr = self.parse_additive()
+        while self.current.kind == "operator" and self.current.text in (
+                "<", "<=", ">", ">=", "==", "!="):
+            op = self.advance().text
+            rhs = self.parse_additive()
+            expr = ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_additive(self) -> ast.Expr:
+        expr = self.parse_multiplicative()
+        while self.current.kind == "operator" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            rhs = self.parse_multiplicative()
+            expr = ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_multiplicative(self) -> ast.Expr:
+        expr = self.parse_unary()
+        while self.current.kind == "operator" and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            rhs = self.parse_unary()
+            expr = ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept("operator", "-"):
+            return ast.UnaryExpr("-", self.parse_unary())
+        if self.accept("operator", "!"):
+            return ast.UnaryExpr("!", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        if self.check("punct", "("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        if self.check("number"):
+            text = self.advance().text.rstrip("fF")
+            if "." in text or "e" in text or "E" in text:
+                return ast.FloatLiteral(float(text))
+            return ast.IntLiteral(int(text))
+        name = self.expect("identifier").text
+        if self.check("punct", "["):
+            indices = []
+            while self.accept("punct", "["):
+                indices.append(self.parse_expression())
+                self.expect("punct", "]")
+            return ast.ArrayRef(name, indices)
+        return ast.VarRef(name)
+
+
+def parse_c(source: str) -> ast.Program:
+    """Parse C source text into an AST program."""
+    return Parser(source).parse_program()

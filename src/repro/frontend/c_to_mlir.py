@@ -1,0 +1,332 @@
+"""Lower the C AST to ``scf``-level IR.
+
+The front-end mirrors the paper's design: C constructs map 1:1 onto ``scf``
+operations (``for`` → ``scf.for``, ``if`` → ``scf.if``), fixed-size arrays
+map onto memrefs, and scalar locals are modelled as single-element memrefs so
+that loop-carried scalar updates stay within memory semantics.  The
+``-raise-scf-to-affine`` pass (see :mod:`repro.frontend.raise_to_affine`)
+subsequently upgrades everything that satisfies the affine restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dialects import arith, func, memref, scf
+from repro.frontend import c_ast as ast
+from repro.frontend.c_parser import parse_c
+from repro.ir.builder import Builder
+from repro.ir.module import ModuleOp
+from repro.ir.types import (
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    f32,
+    i32,
+    index,
+)
+from repro.ir.value import Value
+
+
+class FrontendError(Exception):
+    """Raised when the program uses constructs outside the supported subset."""
+
+
+_BASE_TYPES = {"float": f32, "double": FloatType(64), "int": i32}
+
+
+class _SymbolTable:
+    """Per-function mapping from C names to IR values."""
+
+    def __init__(self):
+        self.scalars: dict[str, Value] = {}
+        self.memrefs: dict[str, Value] = {}
+        self.scalar_slots: dict[str, Value] = {}
+        self.loop_vars: dict[str, Value] = {}
+
+    def lookup_kind(self, name: str) -> Optional[str]:
+        if name in self.loop_vars:
+            return "loop"
+        if name in self.memrefs:
+            return "memref"
+        if name in self.scalar_slots:
+            return "slot"
+        if name in self.scalars:
+            return "scalar"
+        return None
+
+
+class CToMLIR:
+    """Translates one :class:`~repro.frontend.c_ast.Program` into a module."""
+
+    def __init__(self, program: ast.Program, module_name: str = "c_module"):
+        self.program = program
+        self.module = ModuleOp(module_name)
+        self.builder = Builder()
+        self.symbols = _SymbolTable()
+
+    # -- top level ------------------------------------------------------------------------
+
+    def convert(self) -> ModuleOp:
+        for function in self.program.functions:
+            self._convert_function(function)
+        return self.module
+
+    def _convert_function(self, function: ast.FunctionDef) -> None:
+        if function.return_type != "void":
+            raise FrontendError("only void functions are supported (arrays are in/out)")
+        input_types = []
+        for param in function.params:
+            element_type = _BASE_TYPES.get(param.base_type)
+            if element_type is None:
+                raise FrontendError(f"unsupported parameter type {param.base_type!r}")
+            if param.is_array:
+                input_types.append(MemRefType(param.dims, element_type))
+            else:
+                input_types.append(element_type)
+        func_op = func.FuncOp(function.name, FunctionType(input_types, []),
+                              attributes={"arg_names": [p.name for p in function.params]})
+        self.module.append(func_op)
+
+        self.symbols = _SymbolTable()
+        for param, argument in zip(function.params, func_op.arguments):
+            if param.is_array:
+                self.symbols.memrefs[param.name] = argument
+            else:
+                self.symbols.scalars[param.name] = argument
+
+        self.builder.set_insertion_point_to_end(func_op.body)
+        self._convert_block(function.body)
+        self.builder.set_insertion_point_to_end(func_op.body)
+        self.builder.insert(func.ReturnOp())
+
+    # -- statements -------------------------------------------------------------------------
+
+    def _convert_block(self, block: ast.BlockStmt) -> None:
+        for statement in block.statements:
+            self._convert_statement(statement)
+
+    def _convert_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.BlockStmt):
+            self._convert_block(statement)
+        elif isinstance(statement, ast.Declaration):
+            self._convert_declaration(statement)
+        elif isinstance(statement, ast.Assignment):
+            self._convert_assignment(statement)
+        elif isinstance(statement, ast.ForLoop):
+            self._convert_for(statement)
+        elif isinstance(statement, ast.IfStmt):
+            self._convert_if(statement)
+        elif isinstance(statement, ast.ReturnStmt):
+            if statement.value is not None:
+                raise FrontendError("returning values is not supported")
+        else:
+            raise FrontendError(f"unsupported statement {statement!r}")
+
+    def _convert_declaration(self, decl: ast.Declaration) -> None:
+        element_type = _BASE_TYPES.get(decl.base_type)
+        if element_type is None:
+            raise FrontendError(f"unsupported declaration type {decl.base_type!r}")
+        if decl.dims:
+            alloc = self.builder.insert(memref.AllocOp(
+                MemRefType(decl.dims, element_type), name=decl.name))
+            self.symbols.memrefs[decl.name] = alloc.result()
+            if decl.init is not None:
+                raise FrontendError("array initialisers are not supported")
+            return
+        # Scalar local: a single-element buffer keeps assignment semantics simple.
+        alloc = self.builder.insert(memref.AllocOp(
+            MemRefType((1,), element_type), name=decl.name))
+        self.symbols.scalar_slots[decl.name] = alloc.result()
+        if decl.init is not None:
+            value = self._emit_expr(decl.init, element_type)
+            zero = self._index_constant(0)
+            self.builder.insert(memref.StoreOp(value, alloc.result(), [zero]))
+
+    def _convert_assignment(self, assignment: ast.Assignment) -> None:
+        target = assignment.target
+        if isinstance(target, ast.ArrayRef):
+            buffer = self.symbols.memrefs.get(target.name)
+            if buffer is None:
+                raise FrontendError(f"unknown array {target.name!r}")
+            indices = [self._emit_expr(expr, index) for expr in target.indices]
+            element_type = buffer.type.element_type
+            value = self._emit_expr(assignment.value, element_type)
+            if assignment.op != "=":
+                current = self.builder.insert(memref.LoadOp(buffer, indices)).result()
+                value = self._apply_compound(assignment.op, current, value, element_type)
+            self.builder.insert(memref.StoreOp(value, buffer, indices))
+            return
+        # Scalar target.
+        kind = self.symbols.lookup_kind(target.name)
+        if kind == "slot":
+            slot = self.symbols.scalar_slots[target.name]
+            element_type = slot.type.element_type
+            value = self._emit_expr(assignment.value, element_type)
+            zero = self._index_constant(0)
+            if assignment.op != "=":
+                current = self.builder.insert(memref.LoadOp(slot, [zero])).result()
+                value = self._apply_compound(assignment.op, current, value, element_type)
+            self.builder.insert(memref.StoreOp(value, slot, [zero]))
+            return
+        raise FrontendError(
+            f"cannot assign to {target.name!r} (function parameters are read-only)")
+
+    def _apply_compound(self, op: str, current: Value, value: Value, element_type) -> Value:
+        is_float = isinstance(element_type, FloatType)
+        table = {
+            "+=": arith.AddFOp if is_float else arith.AddIOp,
+            "-=": arith.SubFOp if is_float else arith.SubIOp,
+            "*=": arith.MulFOp if is_float else arith.MulIOp,
+            "/=": arith.DivFOp if is_float else arith.DivSIOp,
+        }
+        op_class = table.get(op)
+        if op_class is None:
+            raise FrontendError(f"unsupported compound assignment {op!r}")
+        return self.builder.insert(op_class(current, value)).result()
+
+    def _convert_for(self, loop: ast.ForLoop) -> None:
+        lower = self._emit_expr(loop.init, index)
+        upper = self._emit_expr(loop.bound, index)
+        if loop.compare_op == "<=":
+            one = self._index_constant(1)
+            upper = self.builder.insert(arith.AddIOp(upper, one)).result()
+        step = self._index_constant(loop.step)
+        loop_op = self.builder.insert(scf.SCFForOp(lower, upper, step))
+
+        saved_loop_vars = dict(self.symbols.loop_vars)
+        self.symbols.loop_vars[loop.var] = loop_op.induction_variable
+        saved_point = self.builder.insertion_point
+        self.builder.set_insertion_point_to_end(loop_op.body)
+        self._convert_block(loop.body)
+        self.builder.insertion_point = saved_point
+        self.symbols.loop_vars = saved_loop_vars
+
+    def _convert_if(self, statement: ast.IfStmt) -> None:
+        condition = self._emit_condition(statement.condition)
+        if_op = self.builder.insert(scf.SCFIfOp(condition,
+                                                with_else=statement.else_body is not None))
+        saved_point = self.builder.insertion_point
+        self.builder.set_insertion_point_to_end(if_op.then_block)
+        self._convert_block(statement.then_body)
+        if statement.else_body is not None:
+            self.builder.set_insertion_point_to_end(if_op.else_block)
+            self._convert_block(statement.else_body)
+        self.builder.insertion_point = saved_point
+
+    # -- expressions ---------------------------------------------------------------------------
+
+    def _emit_condition(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.BinaryExpr) and expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            lhs_float = self._expr_is_float(expr.lhs) or self._expr_is_float(expr.rhs)
+            target_type = f32 if lhs_float else index
+            lhs = self._emit_expr(expr.lhs, target_type)
+            rhs = self._emit_expr(expr.rhs, target_type)
+            predicate = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge",
+                         "==": "eq", "!=": "ne"}[expr.op]
+            if lhs_float:
+                predicate = {"slt": "olt", "sle": "ole", "sgt": "ogt",
+                             "sge": "oge", "eq": "eq", "ne": "ne"}[predicate]
+                return self.builder.insert(arith.CmpFOp(predicate, lhs, rhs)).result()
+            return self.builder.insert(arith.CmpIOp(predicate, lhs, rhs)).result()
+        raise FrontendError("conditions must be comparisons")
+
+    def _expr_is_float(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.FloatLiteral):
+            return True
+        if isinstance(expr, ast.VarRef):
+            value = self.symbols.scalars.get(expr.name)
+            if value is not None:
+                return isinstance(value.type, FloatType)
+            slot = self.symbols.scalar_slots.get(expr.name)
+            if slot is not None:
+                return isinstance(slot.type.element_type, FloatType)
+            return False
+        if isinstance(expr, ast.ArrayRef):
+            buffer = self.symbols.memrefs.get(expr.name)
+            return buffer is not None and isinstance(buffer.type.element_type, FloatType)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._expr_is_float(expr.lhs) or self._expr_is_float(expr.rhs)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._expr_is_float(expr.operand)
+        if isinstance(expr, ast.TernaryExpr):
+            return self._expr_is_float(expr.true_value) or self._expr_is_float(expr.false_value)
+        return False
+
+    def _emit_expr(self, expr: ast.Expr, target_type) -> Value:
+        is_float = isinstance(target_type, FloatType)
+        if isinstance(expr, ast.IntLiteral):
+            return self.builder.insert(arith.ConstantOp(
+                float(expr.value) if is_float else expr.value, target_type)).result()
+        if isinstance(expr, ast.FloatLiteral):
+            if not is_float:
+                raise FrontendError("float literal used where an integer is required")
+            return self.builder.insert(arith.ConstantOp(expr.value, target_type)).result()
+        if isinstance(expr, ast.VarRef):
+            return self._emit_var(expr, target_type)
+        if isinstance(expr, ast.ArrayRef):
+            buffer = self.symbols.memrefs.get(expr.name)
+            if buffer is None:
+                raise FrontendError(f"unknown array {expr.name!r}")
+            indices = [self._emit_expr(e, index) for e in expr.indices]
+            return self.builder.insert(memref.LoadOp(buffer, indices)).result()
+        if isinstance(expr, ast.UnaryExpr):
+            if expr.op == "-":
+                operand = self._emit_expr(expr.operand, target_type)
+                zero = self.builder.insert(arith.ConstantOp(
+                    0.0 if is_float else 0, target_type)).result()
+                op_class = arith.SubFOp if is_float else arith.SubIOp
+                return self.builder.insert(op_class(zero, operand)).result()
+            raise FrontendError(f"unsupported unary operator {expr.op!r}")
+        if isinstance(expr, ast.TernaryExpr):
+            condition = self._emit_condition(expr.condition)
+            true_value = self._emit_expr(expr.true_value, target_type)
+            false_value = self._emit_expr(expr.false_value, target_type)
+            return self.builder.insert(arith.SelectOp(condition, true_value, false_value)).result()
+        if isinstance(expr, ast.BinaryExpr):
+            return self._emit_binary(expr, target_type)
+        raise FrontendError(f"unsupported expression {expr!r}")
+
+    def _emit_var(self, expr: ast.VarRef, target_type) -> Value:
+        kind = self.symbols.lookup_kind(expr.name)
+        if kind == "loop":
+            value = self.symbols.loop_vars[expr.name]
+            if isinstance(target_type, IndexType):
+                return value
+            if isinstance(target_type, FloatType):
+                return self.builder.insert(arith.SIToFPOp(value, target_type)).result()
+            return self.builder.insert(arith.IndexCastOp(value, target_type)).result()
+        if kind == "scalar":
+            return self.symbols.scalars[expr.name]
+        if kind == "slot":
+            slot = self.symbols.scalar_slots[expr.name]
+            zero = self._index_constant(0)
+            return self.builder.insert(memref.LoadOp(slot, [zero])).result()
+        if kind == "memref":
+            raise FrontendError(f"array {expr.name!r} used as a scalar")
+        raise FrontendError(f"unknown identifier {expr.name!r}")
+
+    def _emit_binary(self, expr: ast.BinaryExpr, target_type) -> Value:
+        is_float = isinstance(target_type, FloatType)
+        lhs = self._emit_expr(expr.lhs, target_type)
+        rhs = self._emit_expr(expr.rhs, target_type)
+        if is_float:
+            table = {"+": arith.AddFOp, "-": arith.SubFOp, "*": arith.MulFOp, "/": arith.DivFOp}
+        else:
+            table = {"+": arith.AddIOp, "-": arith.SubIOp, "*": arith.MulIOp,
+                     "/": arith.DivSIOp, "%": arith.RemSIOp}
+        op_class = table.get(expr.op)
+        if op_class is None:
+            raise FrontendError(f"unsupported binary operator {expr.op!r}")
+        return self.builder.insert(op_class(lhs, rhs)).result()
+
+    def _index_constant(self, value: int) -> Value:
+        return self.builder.insert(arith.ConstantOp(value, index)).result()
+
+
+def parse_c_to_module(source: str, module_name: str = "c_module") -> ModuleOp:
+    """Parse C source and lower it to an ``scf``-level module."""
+    program = parse_c(source)
+    return CToMLIR(program, module_name).convert()

@@ -1,0 +1,107 @@
+"""DNN model builders for the paper's evaluation (Section VII-B).
+
+The three models — ResNet-18, VGG-16 and MobileNet — are built for the
+CIFAR-10 image-classification task (1x3x32x32 inputs, 10 classes), matching
+the configurations the paper evaluates on one SLR of a Xilinx VU9P.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.pytorch_like import GraphBuilder
+from repro.ir.module import ModuleOp
+
+
+def resnet18(num_classes: int = 10, input_shape=(1, 3, 32, 32)) -> ModuleOp:
+    """ResNet-18 (CIFAR-10 variant: 3x3 stem, no initial max-pool)."""
+    builder = GraphBuilder("resnet18", input_shape)
+    x = builder.conv_bn_relu(builder.input, 64, 3, stride=1, padding=1, name="stem")
+
+    def basic_block(x, out_channels, stride):
+        identity = x
+        out = builder.conv_bn_relu(x, out_channels, 3, stride=stride, padding=1)
+        out = builder.conv2d(out, out_channels, 3, stride=1, padding=1)
+        out = builder.batchnorm(out)
+        if stride != 1 or identity.type.shape[1] != out_channels:
+            identity = builder.conv2d(identity, out_channels, 1, stride=stride, padding=0)
+            identity = builder.batchnorm(identity)
+        out = builder.add(out, identity)
+        return builder.relu(out)
+
+    stage_channels = (64, 128, 256, 512)
+    for stage_index, channels in enumerate(stage_channels):
+        stride = 1 if stage_index == 0 else 2
+        x = basic_block(x, channels, stride)
+        x = basic_block(x, channels, 1)
+
+    x = builder.global_avgpool2d(x)
+    x = builder.flatten(x)
+    x = builder.dense(x, num_classes, name="classifier")
+    return builder.finish(x)
+
+
+def vgg16(num_classes: int = 10, input_shape=(1, 3, 32, 32)) -> ModuleOp:
+    """VGG-16 with batch normalization (CIFAR-10 variant)."""
+    builder = GraphBuilder("vgg16", input_shape)
+    x = builder.input
+    configuration = [
+        (64, 2), (128, 2), (256, 3), (512, 3), (512, 3),
+    ]
+    for channels, repeats in configuration:
+        for _ in range(repeats):
+            x = builder.conv_bn_relu(x, channels, 3, stride=1, padding=1)
+        x = builder.maxpool2d(x, 2)
+    x = builder.flatten(x)
+    x = builder.dense(x, 512)
+    x = builder.relu(x)
+    x = builder.dense(x, 512)
+    x = builder.relu(x)
+    x = builder.dense(x, num_classes, name="classifier")
+    return builder.finish(x)
+
+
+def mobilenet(num_classes: int = 10, input_shape=(1, 3, 32, 32),
+              width_multiplier: float = 1.0) -> ModuleOp:
+    """MobileNet-V1 built from depthwise-separable blocks (CIFAR-10 variant)."""
+    builder = GraphBuilder("mobilenet", input_shape)
+
+    def channels(base: int) -> int:
+        return max(8, int(base * width_multiplier))
+
+    def separable_block(x, out_channels, stride):
+        x = builder.depthwise_conv2d(x, 3, stride=stride, padding=1)
+        x = builder.batchnorm(x)
+        x = builder.relu(x)
+        x = builder.conv_bn_relu(x, out_channels, 1, stride=1, padding=0)
+        return x
+
+    x = builder.conv_bn_relu(builder.input, channels(32), 3, stride=1, padding=1, name="stem")
+    block_configuration = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1),
+        (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+        (1024, 2), (1024, 1),
+    ]
+    for out_channels, stride in block_configuration:
+        x = separable_block(x, channels(out_channels), stride)
+
+    x = builder.global_avgpool2d(x)
+    x = builder.flatten(x)
+    x = builder.dense(x, num_classes, name="classifier")
+    return builder.finish(x)
+
+
+#: Registry used by the DNN benchmarks.
+MODEL_BUILDERS = {
+    "resnet18": resnet18,
+    "vgg16": vgg16,
+    "mobilenet": mobilenet,
+}
+
+
+def build_model(name: str, **kwargs) -> ModuleOp:
+    """Build a model by name (``resnet18``, ``vgg16`` or ``mobilenet``)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError as error:
+        raise ValueError(f"unknown model {name!r}; expected one of {sorted(MODEL_BUILDERS)}") \
+            from error
+    return builder(**kwargs)

@@ -1,0 +1,208 @@
+"""The ``-raise-scf-to-affine`` pass.
+
+Upgrades ``scf.for`` loops whose bounds are affine functions of enclosing
+affine induction variables into ``affine.for`` loops, ``scf.if`` conditionals
+with affine comparisons into ``affine.if``, and ``memref.load`` /
+``memref.store`` accesses with affine index expressions into ``affine.load``
+/ ``affine.store``.  Anything that does not satisfy the affine restrictions
+is left untouched (paper Section VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.affine.expr import AffineExpr
+from repro.affine.map import AffineMap
+from repro.affine.set import Constraint, IntegerSet
+from repro.dialects import arith
+from repro.dialects.affine_ops import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    value_to_affine_expr,
+)
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+from repro.ir.value import Value
+
+
+class RaiseSCFToAffinePass(FunctionPass):
+    """Raise scf-level control flow and memory accesses to the affine dialect."""
+
+    name = "raise-scf-to-affine"
+
+    def run(self, func_op: Operation) -> None:
+        self._process_block(func_op.region(0).front, [])
+
+    # -- block / op processing ----------------------------------------------------------
+
+    def _process_block(self, block: Block, affine_ivs: list[Value]) -> None:
+        for op in list(block.operations):
+            if op.parent is not block:
+                continue  # already replaced
+            self._process_op(op, affine_ivs)
+
+    def _process_op(self, op: Operation, affine_ivs: list[Value]) -> None:
+        if op.name == "scf.for":
+            self._raise_for(op, affine_ivs)
+        elif op.name == "scf.if":
+            self._raise_if(op, affine_ivs)
+        elif op.name in ("memref.load", "memref.store"):
+            self._raise_access(op, affine_ivs)
+        elif isinstance(op, AffineForOp):
+            self._process_block(op.body, affine_ivs + [op.induction_variable])
+        elif op.regions:
+            for region in op.regions:
+                for nested_block in region.blocks:
+                    self._process_block(nested_block, affine_ivs)
+
+    # -- scf.for -------------------------------------------------------------------------
+
+    def _raise_for(self, op, affine_ivs: list[Value]) -> None:
+        dim_map = {iv: position for position, iv in enumerate(affine_ivs)}
+        lower_expr = value_to_affine_expr(op.lower, dim_map)
+        upper_expr = value_to_affine_expr(op.upper, dim_map)
+        step = arith.constant_value(op.step)
+        if lower_expr is None or upper_expr is None or step is None:
+            # Not affine: keep the scf loop but still process its body.
+            self._process_block(op.body, affine_ivs)
+            return
+
+        lower_map, lb_operands = _compact_map(lower_expr, affine_ivs)
+        upper_map, ub_operands = _compact_map(upper_expr, affine_ivs)
+        new_for = AffineForOp(lower_map, upper_map, int(step),
+                              lb_operands=lb_operands, ub_operands=ub_operands)
+        op.parent.insert_before(op, new_for)
+
+        old_iv = op.induction_variable
+        for inner in list(op.body.operations):
+            new_for.body.append(inner)
+        old_iv.replace_all_uses_with(new_for.induction_variable)
+        op.erase()
+
+        self._process_block(new_for.body, affine_ivs + [new_for.induction_variable])
+
+    # -- scf.if ---------------------------------------------------------------------------
+
+    def _raise_if(self, op, affine_ivs: list[Value]) -> None:
+        if op.results:
+            # Value-yielding conditionals are left in scf form.
+            for region in op.regions:
+                for nested_block in region.blocks:
+                    self._process_block(nested_block, affine_ivs)
+            return
+        dim_map = {iv: position for position, iv in enumerate(affine_ivs)}
+        condition = _condition_to_set(op.condition, dim_map, len(affine_ivs))
+        if condition is None:
+            for region in op.regions:
+                for nested_block in region.blocks:
+                    self._process_block(nested_block, affine_ivs)
+            return
+
+        integer_set, operands = _compact_set(condition, affine_ivs)
+        has_else = op.else_block is not None and not op.else_block.empty()
+        new_if = AffineIfOp(integer_set, operands, with_else=has_else)
+        op.parent.insert_before(op, new_if)
+        for inner in list(op.then_block.operations):
+            new_if.then_block.append(inner)
+        if has_else:
+            for inner in list(op.else_block.operations):
+                new_if.else_block.append(inner)
+        op.erase()
+
+        self._process_block(new_if.then_block, affine_ivs)
+        if has_else:
+            self._process_block(new_if.else_block, affine_ivs)
+
+    # -- memory accesses ---------------------------------------------------------------------
+
+    def _raise_access(self, op, affine_ivs: list[Value]) -> None:
+        dim_map = {iv: position for position, iv in enumerate(affine_ivs)}
+        if op.name == "memref.load":
+            memref_value, indices = op.operand(0), op.operands[1:]
+        else:
+            memref_value, indices = op.operand(1), op.operands[2:]
+        exprs = []
+        for index_value in indices:
+            expr = value_to_affine_expr(index_value, dim_map)
+            if expr is None:
+                return
+            exprs.append(expr)
+        access_map, operands = _compact_multi_map(exprs, affine_ivs)
+        if op.name == "memref.load":
+            new_op = AffineLoadOp(memref_value, operands, access_map)
+            op.parent.insert_before(op, new_op)
+            op.result().replace_all_uses_with(new_op.result())
+            op.erase()
+        else:
+            new_op = AffineStoreOp(op.operand(0), memref_value, operands, access_map)
+            op.parent.insert_before(op, new_op)
+            op.erase()
+
+
+# -- helpers -----------------------------------------------------------------------------------
+
+
+def _compact_map(expr: AffineExpr, affine_ivs: Sequence[Value]) -> tuple[AffineMap, list[Value]]:
+    """Build a single-result map over only the dims the expression uses."""
+    compact_expr, operands = _compact_exprs([expr], affine_ivs)
+    return AffineMap(len(operands), 0, compact_expr), operands
+
+
+def _compact_multi_map(exprs: Sequence[AffineExpr],
+                       affine_ivs: Sequence[Value]) -> tuple[AffineMap, list[Value]]:
+    compact, operands = _compact_exprs(exprs, affine_ivs)
+    return AffineMap(len(operands), 0, compact), operands
+
+
+def _compact_exprs(exprs: Sequence[AffineExpr],
+                   affine_ivs: Sequence[Value]) -> tuple[list[AffineExpr], list[Value]]:
+    used = sorted(set().union(*[expr.used_dims() for expr in exprs]) if exprs else set())
+    remap = {old: new for new, old in enumerate(used)}
+    from repro.affine.expr import dim as dim_expr
+
+    replacements = {old: dim_expr(new) for old, new in remap.items()}
+    compact = [expr.replace(replacements) for expr in exprs]
+    operands = [affine_ivs[d] for d in used]
+    return compact, operands
+
+
+def _condition_to_set(condition: Value, dim_map: dict[Value, int],
+                      num_dims: int) -> Optional[IntegerSet]:
+    """Convert an ``arith.cmpi`` condition into an integer set, if possible."""
+    from repro.ir.value import OpResult
+
+    if not isinstance(condition, OpResult):
+        return None
+    cmp_op = condition.owner
+    if cmp_op.name != "arith.cmpi":
+        return None
+    lhs = value_to_affine_expr(cmp_op.operand(0), dim_map)
+    rhs = value_to_affine_expr(cmp_op.operand(1), dim_map)
+    if lhs is None or rhs is None:
+        return None
+    predicate = cmp_op.get_attr("predicate")
+    if predicate == "sge":
+        return IntegerSet(num_dims, 0, [Constraint(lhs - rhs, False)])
+    if predicate == "sle":
+        return IntegerSet(num_dims, 0, [Constraint(rhs - lhs, False)])
+    if predicate == "sgt":
+        return IntegerSet(num_dims, 0, [Constraint(lhs - rhs - 1, False)])
+    if predicate == "slt":
+        return IntegerSet(num_dims, 0, [Constraint(rhs - lhs - 1, False)])
+    if predicate == "eq":
+        return IntegerSet(num_dims, 0, [Constraint(lhs - rhs, True)])
+    return None
+
+
+def _compact_set(integer_set: IntegerSet,
+                 affine_ivs: Sequence[Value]) -> tuple[IntegerSet, list[Value]]:
+    """Shrink an integer set to only the dims it references."""
+    exprs = [c.expr for c in integer_set.constraints]
+    compact, operands = _compact_exprs(exprs, affine_ivs)
+    constraints = [Constraint(expr, c.is_equality)
+                   for expr, c in zip(compact, integer_set.constraints)]
+    return IntegerSet(len(operands), 0, constraints), operands

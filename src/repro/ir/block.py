@@ -1,0 +1,114 @@
+"""Blocks: sequential lists of operations with block arguments."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from repro.ir.value import BlockArgument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+    from repro.ir.region import Region
+    from repro.ir.types import Type
+
+
+class Block:
+    """A straight-line sequence of operations.
+
+    Blocks own their operations and may declare block arguments; loop bodies
+    use a block argument for the induction variable.
+    """
+
+    def __init__(self, arg_types: Sequence["Type"] = ()):
+        self.parent: Optional["Region"] = None
+        self.arguments: list[BlockArgument] = []
+        self.operations: list["Operation"] = []
+        for arg_type in arg_types:
+            self.add_argument(arg_type)
+
+    # -- arguments ---------------------------------------------------------------
+
+    def add_argument(self, type: "Type") -> BlockArgument:
+        arg = BlockArgument(type, self, len(self.arguments))
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses():
+            raise ValueError("cannot erase a block argument that still has uses")
+        del self.arguments[index]
+        for i, remaining in enumerate(self.arguments):
+            remaining.index = i
+
+    # -- operation list management -------------------------------------------------
+
+    def append(self, op: "Operation") -> "Operation":
+        """Append an operation to the end of the block."""
+        self._take(op)
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: "Operation") -> "Operation":
+        self._take(op)
+        self.operations.insert(index, op)
+        return op
+
+    def insert_all(self, index: int, ops: Sequence["Operation"]) -> None:
+        """Insert many operations at ``index`` in one splice (O(n + k))."""
+        ops = list(ops)
+        for op in ops:
+            self._take(op)
+        self.operations[index:index] = ops
+
+    def insert_before(self, anchor: "Operation", op: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor), op)
+
+    def insert_after(self, anchor: "Operation", op: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor) + 1, op)
+
+    def remove(self, op: "Operation") -> None:
+        """Detach an operation from this block without erasing it."""
+        self.operations.remove(op)
+        op.parent = None
+
+    def index_of(self, op: "Operation") -> int:
+        for i, candidate in enumerate(self.operations):
+            if candidate is op:
+                return i
+        raise ValueError(f"operation {op.name} is not in this block")
+
+    def _take(self, op: "Operation") -> None:
+        if op.parent is not None:
+            op.parent.remove(op)
+        op.parent = self
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional["Operation"]:
+        """The last operation of the block if it is a terminator, else None."""
+        if not self.operations:
+            return None
+        last = self.operations[-1]
+        return last if last.is_terminator() else None
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def empty(self) -> bool:
+        return not self.operations
+
+    def __iter__(self) -> Iterator["Operation"]:
+        return iter(list(self.operations))
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def walk(self) -> Iterator["Operation"]:
+        for op in list(self.operations):
+            yield from op.walk()
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.arguments)} args, {len(self.operations)} ops)"

@@ -1,0 +1,109 @@
+"""Operation builders and insertion points."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import Block
+    from repro.ir.operation import Operation
+
+
+class InsertionPoint:
+    """A position inside a block where new operations are inserted."""
+
+    def __init__(self, block: "Block", index: Optional[int] = None):
+        self.block = block
+        #: None means "at the end of the block".
+        self.index = index
+
+    @staticmethod
+    def at_end(block: "Block") -> "InsertionPoint":
+        return InsertionPoint(block, None)
+
+    @staticmethod
+    def at_start(block: "Block") -> "InsertionPoint":
+        return InsertionPoint(block, 0)
+
+    @staticmethod
+    def before(op: "Operation") -> "InsertionPoint":
+        return InsertionPoint(op.parent, op.parent.index_of(op))
+
+    @staticmethod
+    def after(op: "Operation") -> "InsertionPoint":
+        return InsertionPoint(op.parent, op.parent.index_of(op) + 1)
+
+    def insert(self, op: "Operation") -> "Operation":
+        if self.index is None:
+            return self.block.append(op)
+        inserted = self.block.insert(self.index, op)
+        self.index += 1
+        return inserted
+
+
+class Builder:
+    """Creates operations at a movable insertion point.
+
+    The builder is deliberately dialect-agnostic: dialect modules provide
+    functions taking a builder and returning the created operation, e.g.
+    ``arith.constant(builder, 1.0, f32)``.
+    """
+
+    def __init__(self, insertion_point: Optional[InsertionPoint] = None):
+        self.insertion_point = insertion_point
+
+    # -- insertion point management --------------------------------------------------
+
+    def set_insertion_point_to_end(self, block: "Block") -> None:
+        self.insertion_point = InsertionPoint.at_end(block)
+
+    def set_insertion_point_to_start(self, block: "Block") -> None:
+        self.insertion_point = InsertionPoint.at_start(block)
+
+    def set_insertion_point_before(self, op: "Operation") -> None:
+        self.insertion_point = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: "Operation") -> None:
+        self.insertion_point = InsertionPoint.after(op)
+
+    @contextlib.contextmanager
+    def at_end(self, block: "Block"):
+        """Temporarily move the insertion point to the end of ``block``."""
+        saved = self.insertion_point
+        self.set_insertion_point_to_end(block)
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    @contextlib.contextmanager
+    def at_start(self, block: "Block"):
+        saved = self.insertion_point
+        self.set_insertion_point_to_start(block)
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    @contextlib.contextmanager
+    def before(self, op: "Operation"):
+        saved = self.insertion_point
+        self.set_insertion_point_before(op)
+        try:
+            yield self
+        finally:
+            self.insertion_point = saved
+
+    # -- op creation ---------------------------------------------------------------------
+
+    def insert(self, op: "Operation") -> "Operation":
+        """Insert an already constructed operation at the insertion point."""
+        if self.insertion_point is None:
+            raise RuntimeError("builder has no insertion point")
+        return self.insertion_point.insert(op)
+
+    def create(self, op_class, *args, **kwargs) -> "Operation":
+        """Construct ``op_class(*args, **kwargs)`` and insert it."""
+        op = op_class(*args, **kwargs)
+        return self.insert(op)

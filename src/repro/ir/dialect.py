@@ -1,0 +1,75 @@
+"""Dialect registry.
+
+A dialect is a namespace of operation names.  The registry is a light
+bookkeeping layer: it lets the verifier and tests confirm that an operation
+name belongs to a registered dialect and gives the printer/emitter a place to
+look up per-op metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Dialect:
+    """A namespace of operations."""
+
+    def __init__(self, namespace: str, description: str = ""):
+        self.namespace = namespace
+        self.description = description
+        self.operations: dict[str, type] = {}
+
+    def register_op(self, mnemonic: str, op_class: type) -> None:
+        self.operations[mnemonic] = op_class
+
+    def op_class(self, mnemonic: str) -> Optional[type]:
+        return self.operations.get(mnemonic)
+
+    def __repr__(self) -> str:
+        return f"<Dialect {self.namespace} ({len(self.operations)} ops)>"
+
+
+class DialectRegistry:
+    """Global registry of dialects."""
+
+    def __init__(self):
+        self._dialects: dict[str, Dialect] = {}
+
+    def register(self, dialect: Dialect) -> Dialect:
+        self._dialects[dialect.namespace] = dialect
+        return dialect
+
+    def get_or_create(self, namespace: str, description: str = "") -> Dialect:
+        if namespace not in self._dialects:
+            self._dialects[namespace] = Dialect(namespace, description)
+        return self._dialects[namespace]
+
+    def get(self, namespace: str) -> Optional[Dialect]:
+        return self._dialects.get(namespace)
+
+    def is_registered_op(self, op_name: str) -> bool:
+        if "." not in op_name:
+            return False
+        namespace, mnemonic = op_name.split(".", 1)
+        dialect = self._dialects.get(namespace)
+        return dialect is not None and mnemonic in dialect.operations
+
+    @property
+    def dialects(self) -> dict[str, Dialect]:
+        return dict(self._dialects)
+
+
+#: The process-wide dialect registry.
+registry = DialectRegistry()
+
+
+def register_operation(dialect_namespace: str, mnemonic: str) -> Callable[[type], type]:
+    """Class decorator registering an operation class with a dialect."""
+
+    def decorator(op_class: type) -> type:
+        dialect = registry.get_or_create(dialect_namespace)
+        dialect.register_op(mnemonic, op_class)
+        op_class.OP_NAME = f"{dialect_namespace}.{mnemonic}"
+        return op_class
+
+    return decorator

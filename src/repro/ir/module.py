@@ -1,0 +1,41 @@
+"""The top-level ``builtin.module`` operation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+
+
+class ModuleOp(Operation):
+    """A container for functions (and other top-level operations)."""
+
+    OP_NAME = "builtin.module"
+
+    def __init__(self, name: str = ""):
+        super().__init__(self.OP_NAME, attributes={"sym_name": name} if name else {},
+                         num_regions=1)
+        self.region(0).add_block(Block())
+
+    @property
+    def body(self) -> Block:
+        return self.region(0).front
+
+    def functions(self) -> list[Operation]:
+        """Every ``func.func`` directly contained in the module."""
+        return [op for op in self.body.operations if op.name == "func.func"]
+
+    def lookup(self, symbol_name: str) -> Optional[Operation]:
+        """Find a function by its ``sym_name`` attribute."""
+        for op in self.body.operations:
+            if op.get_attr("sym_name") == symbol_name:
+                return op
+        return None
+
+    def append(self, op: Operation) -> Operation:
+        return self.body.append(op)
+
+    def clone_module(self) -> "ModuleOp":
+        """Deep-copy the whole module."""
+        return self.clone()

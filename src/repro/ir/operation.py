@@ -1,0 +1,324 @@
+"""Operations: the minimal unit of code in the IR.
+
+An operation has a name (``dialect.mnemonic``), typed operands and results,
+an attribute dictionary, and an ordered list of regions.  Dialect-specific
+operation classes subclass :class:`Operation` and keep all of their state in
+the base fields, which lets :meth:`Operation.clone` reproduce any operation
+without knowing its concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
+
+from repro.ir.region import Region
+from repro.ir.value import OpResult, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import Block
+    from repro.ir.types import Type
+
+#: Operation names that terminate a block.
+TERMINATOR_OPS = {
+    "func.return",
+    "affine.yield",
+    "scf.yield",
+    "cf.br",
+    "cf.cond_br",
+}
+
+#: Operation names with memory or other side effects (never dead-code eliminated).
+SIDE_EFFECT_OPS = {
+    "memref.store",
+    "affine.store",
+    "memref.copy",
+    "memref.dealloc",
+    "func.call",
+    "func.return",
+    "affine.yield",
+    "scf.yield",
+    "graph.output",
+}
+
+
+class Operation:
+    """A generic operation."""
+
+    def __init__(self, name: str, operands: Sequence[Value] = (),
+                 result_types: Sequence["Type"] = (),
+                 attributes: Optional[dict[str, Any]] = None,
+                 num_regions: int = 0):
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.parent: Optional["Block"] = None
+        self._operands: list[Value] = []
+        self.results: list[OpResult] = []
+        self.regions: list[Region] = []
+        for operand in operands:
+            self.append_operand(operand)
+        for i, result_type in enumerate(result_types):
+            self.results.append(OpResult(result_type, self, i))
+        for _ in range(num_regions):
+            self.regions.append(Region(self))
+
+    # -- operand management --------------------------------------------------------
+
+    @property
+    def operands(self) -> tuple[Value, ...]:
+        return tuple(self._operands)
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index]
+
+    def append_operand(self, value: Value) -> None:
+        if not isinstance(value, Value):
+            raise TypeError(f"operand of {self.name} must be a Value, got {value!r}")
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(self, index)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.remove_use(self, index)
+        self._operands[index] = value
+        value.add_use(self, index)
+
+    def set_operands(self, values: Sequence[Value]) -> None:
+        self.drop_operand_uses()
+        self._operands = []
+        for value in values:
+            self.append_operand(value)
+
+    def erase_operand(self, index: int) -> None:
+        self._operands[index].remove_use(self, index)
+        del self._operands[index]
+        # Re-index the remaining uses.
+        for i in range(index, len(self._operands)):
+            value = self._operands[i]
+            for use in value.uses:
+                if use.owner is self and use.index == i + 1:
+                    use.index = i
+                    break
+
+    def drop_operand_uses(self) -> None:
+        for index, value in enumerate(self._operands):
+            try:
+                value.remove_use(self, index)
+            except ValueError:
+                pass
+
+    def replaces_uses_of(self, old: Value, new: Value) -> None:
+        for i, operand in enumerate(self._operands):
+            if operand is old:
+                self.set_operand(i, new)
+
+    # -- results ---------------------------------------------------------------------
+
+    @property
+    def num_results(self) -> int:
+        return len(self.results)
+
+    def result(self, index: int = 0) -> OpResult:
+        return self.results[index]
+
+    # -- regions ---------------------------------------------------------------------
+
+    def add_region(self) -> Region:
+        region = Region(self)
+        self.regions.append(region)
+        return region
+
+    def region(self, index: int = 0) -> Region:
+        return self.regions[index]
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    # -- structural properties ----------------------------------------------------------
+
+    @property
+    def dialect(self) -> str:
+        return self.name.split(".", 1)[0] if "." in self.name else ""
+
+    def is_terminator(self) -> bool:
+        return self.name in TERMINATOR_OPS
+
+    def has_side_effects(self) -> bool:
+        if self.name in SIDE_EFFECT_OPS:
+            return True
+        # Conservatively treat region-holding ops as side-effecting containers.
+        return bool(self.regions)
+
+    @property
+    def parent_block(self) -> Optional["Block"]:
+        return self.parent
+
+    @property
+    def parent_region(self) -> Optional[Region]:
+        return self.parent.parent if self.parent is not None else None
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        region = self.parent_region
+        return region.parent if region is not None else None
+
+    def parent_of_type(self, op_name: str) -> Optional["Operation"]:
+        """Closest ancestor operation with the given name (or None)."""
+        current = self.parent_op
+        while current is not None:
+            if current.name == op_name:
+                return current
+            current = current.parent_op
+        return None
+
+    def ancestors(self) -> Iterator["Operation"]:
+        current = self.parent_op
+        while current is not None:
+            yield current
+            current = current.parent_op
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        return any(ancestor is self for ancestor in other.ancestors())
+
+    def is_before_in_block(self, other: "Operation") -> bool:
+        if self.parent is None or self.parent is not other.parent:
+            raise ValueError("operations are not in the same block")
+        return self.parent.index_of(self) < self.parent.index_of(other)
+
+    # -- movement and deletion --------------------------------------------------------------
+
+    def move_before(self, anchor: "Operation") -> None:
+        block = anchor.parent
+        if block is None:
+            raise ValueError("anchor operation is not in a block")
+        if self.parent is not None:
+            self.parent.remove(self)
+        block.insert_before(anchor, self)
+
+    def move_after(self, anchor: "Operation") -> None:
+        block = anchor.parent
+        if block is None:
+            raise ValueError("anchor operation is not in a block")
+        if self.parent is not None:
+            self.parent.remove(self)
+        block.insert_after(anchor, self)
+
+    def detach(self) -> "Operation":
+        if self.parent is not None:
+            self.parent.remove(self)
+        return self
+
+    def erase(self) -> None:
+        """Remove the operation from its block and drop every reference it holds."""
+        for result in self.results:
+            if result.has_uses():
+                raise ValueError(
+                    f"cannot erase {self.name}: result still has "
+                    f"{result.num_uses()} uses")
+        self.drop_all_references()
+        if self.parent is not None:
+            self.parent.remove(self)
+
+    def drop_all_references(self) -> None:
+        """Drop operand uses of this op and of everything nested inside it."""
+        self.drop_operand_uses()
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    op.drop_all_references()
+
+    # -- traversal ---------------------------------------------------------------------------
+
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order traversal of this operation and everything nested inside."""
+        yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk()
+
+    def walk_post_order(self) -> Iterator["Operation"]:
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk_post_order()
+        yield self
+
+    def ops_of_name(self, name: str) -> list["Operation"]:
+        return [op for op in self.walk() if op.name == name]
+
+    # -- cloning ------------------------------------------------------------------------------
+
+    def clone(self, value_map: Optional[dict[Value, Value]] = None) -> "Operation":
+        """Deep-copy the operation (and its regions), remapping operands.
+
+        ``value_map`` maps values defined outside the clone to their
+        replacements; values defined inside the cloned region are remapped
+        automatically.  The map is updated with the cloned results so that
+        callers can chain clones.
+        """
+        if value_map is None:
+            value_map = {}
+        new_op = object.__new__(type(self))
+        Operation.__init__(
+            new_op,
+            self.name,
+            operands=[value_map.get(operand, operand) for operand in self._operands],
+            result_types=[result.type for result in self.results],
+            attributes=_clone_attributes(self.attributes),
+            num_regions=0,
+        )
+        for old_result, new_result in zip(self.results, new_op.results):
+            value_map[old_result] = new_result
+        for region in self.regions:
+            new_region = new_op.add_region()
+            for block in region.blocks:
+                from repro.ir.block import Block
+
+                new_block = Block()
+                new_region.add_block(new_block)
+                for argument in block.arguments:
+                    new_argument = new_block.add_argument(argument.type)
+                    value_map[argument] = new_argument
+                for op in block.operations:
+                    new_block.append(op.clone(value_map))
+        return new_op
+
+    # -- attribute helpers -------------------------------------------------------------------------
+
+    def get_attr(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def remove_attr(self, key: str) -> None:
+        self.attributes.pop(key, None)
+
+    def has_attr(self, key: str) -> bool:
+        return key in self.attributes
+
+    # -- misc ---------------------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        results = ", ".join(str(r.type) for r in self.results)
+        return f"<{self.name} -> ({results})>"
+
+
+def _clone_attributes(attributes: dict[str, Any]) -> dict[str, Any]:
+    cloned: dict[str, Any] = {}
+    for key, value in attributes.items():
+        if isinstance(value, list):
+            cloned[key] = list(value)
+        elif isinstance(value, dict):
+            cloned[key] = dict(value)
+        elif hasattr(value, "clone") and not isinstance(value, type):
+            cloned[key] = value.clone() if callable(getattr(value, "clone")) else value
+        else:
+            cloned[key] = value
+    return cloned

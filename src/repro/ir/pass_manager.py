@@ -1,0 +1,115 @@
+"""Passes and the pass manager.
+
+A :class:`Pass` transforms (or analyses) one operation — usually a
+``builtin.module`` or a ``func.func``.  The :class:`PassManager` runs a
+sequence of passes over a module, optionally verifying after each pass and
+collecting per-pass timing statistics (the paper reports ScaleHLS runtimes
+via MLIR's ``-pass-timing``; :attr:`PassManager.timings` plays that role
+here).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.ir.verifier import verify
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+
+
+class PassError(Exception):
+    """Raised when a pass fails or its target is not legalizable."""
+
+
+class Pass:
+    """Base class of transform and analysis passes."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    #: Operation name this pass anchors on ("func.func", "builtin.module", ...).
+    #: None means the pass is run directly on whatever op it is given.
+    target_op: Optional[str] = "func.func"
+
+    def run(self, op: "Operation") -> None:
+        """Transform ``op`` in place.  Subclasses must override."""
+        raise NotImplementedError
+
+    def run_on_module(self, module: "Operation") -> None:
+        """Run the pass on every matching op nested in ``module``."""
+        if self.target_op is None or module.name == self.target_op:
+            self.run(module)
+            return
+        for op in list(module.walk()):
+            if op.name == self.target_op:
+                self.run(op)
+
+    @property
+    def display_name(self) -> str:
+        return self.name or type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.display_name}>"
+
+
+class FunctionPass(Pass):
+    """A pass anchored on ``func.func`` operations."""
+
+    target_op = "func.func"
+
+
+class ModulePass(Pass):
+    """A pass anchored on the top-level ``builtin.module``."""
+
+    target_op = "builtin.module"
+
+
+class LambdaPass(Pass):
+    """Wraps a plain callable as a pass (handy for tests and pipelines)."""
+
+    def __init__(self, fn: Callable[["Operation"], None], name: str = "",
+                 target_op: Optional[str] = "func.func"):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "lambda")
+        self.target_op = target_op
+
+    def run(self, op: "Operation") -> None:
+        self._fn(op)
+
+
+class PassManager:
+    """Runs a pipeline of passes over a module."""
+
+    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = False):
+        self.passes: list[Pass] = list(passes)
+        self.verify_each = verify_each
+        #: Pass display name -> accumulated wall-clock seconds.
+        self.timings: dict[str, float] = {}
+
+    def add(self, *passes: Pass) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def run(self, module: "Operation") -> "Operation":
+        for pass_ in self.passes:
+            started = time.perf_counter()
+            pass_.run_on_module(module)
+            elapsed = time.perf_counter() - started
+            self.timings[pass_.display_name] = (
+                self.timings.get(pass_.display_name, 0.0) + elapsed)
+            if self.verify_each:
+                verify(module)
+        return module
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def timing_report(self) -> str:
+        """A ``-pass-timing`` style report, slowest pass first."""
+        lines = ["===-- Pass execution timing report --==="]
+        for name, seconds in sorted(self.timings.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {seconds * 1000.0:10.3f} ms  {name}")
+        lines.append(f"  {self.total_time() * 1000.0:10.3f} ms  Total")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Textual printing of the IR in an MLIR-like syntax.
+
+The printed form is for humans, diagnostics and tests; the framework does not
+round-trip text back into IR (the C front-end and the Python builders are the
+ways in).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ir.value import BlockArgument, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import Block
+    from repro.ir.operation import Operation
+    from repro.ir.region import Region
+
+
+class Printer:
+    """Prints operations with stable, per-function SSA value numbering."""
+
+    def __init__(self, indent_width: int = 2):
+        self.indent_width = indent_width
+        self._names: dict[Value, str] = {}
+        self._next_id = 0
+        self._lines: list[str] = []
+
+    # -- public API -----------------------------------------------------------------
+
+    def print(self, op: "Operation") -> str:
+        self._names = {}
+        self._next_id = 0
+        self._lines = []
+        self._print_op(op, 0)
+        return "\n".join(self._lines)
+
+    # -- naming ----------------------------------------------------------------------
+
+    def _name_of(self, value: Value) -> str:
+        if value not in self._names:
+            if isinstance(value, BlockArgument):
+                self._names[value] = f"%arg{value.index}_{id(value.block) % 9973}"
+            else:
+                self._names[value] = f"%{self._next_id}"
+                self._next_id += 1
+        return self._names[value]
+
+    def _assign_result_names(self, op: "Operation") -> list[str]:
+        return [self._name_of(result) for result in op.results]
+
+    # -- printing ---------------------------------------------------------------------
+
+    def _print_op(self, op: "Operation", depth: int) -> None:
+        indent = " " * (depth * self.indent_width)
+        results = self._assign_result_names(op)
+        prefix = f"{', '.join(results)} = " if results else ""
+        operands = ", ".join(self._name_of(v) for v in op.operands)
+        attrs = self._format_attributes(op)
+        header = f"{indent}{prefix}\"{op.name}\"({operands})"
+        if attrs:
+            header += f" {attrs}"
+        if op.results:
+            header += " : " + ", ".join(str(r.type) for r in op.results)
+        if not op.regions:
+            self._lines.append(header)
+            return
+        self._lines.append(header + " {")
+        for region in op.regions:
+            self._print_region(region, depth + 1)
+        self._lines.append(f"{indent}}}")
+
+    def _print_region(self, region: "Region", depth: int) -> None:
+        indent = " " * (depth * self.indent_width)
+        for block_index, block in enumerate(region.blocks):
+            if block.arguments or len(region.blocks) > 1:
+                args = ", ".join(
+                    f"{self._name_of(arg)}: {arg.type}" for arg in block.arguments)
+                self._lines.append(f"{indent}^bb{block_index}({args}):")
+            for op in block.operations:
+                self._print_op(op, depth)
+
+    def _format_attributes(self, op: "Operation") -> str:
+        if not op.attributes:
+            return ""
+        parts = []
+        for key in sorted(op.attributes):
+            value = op.attributes[key]
+            parts.append(f"{key} = {self._format_attr_value(value)}")
+        return "{" + ", ".join(parts) + "}"
+
+    def _format_attr_value(self, value) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return f'"{value}"'
+        if isinstance(value, (list, tuple)):
+            return "[" + ", ".join(self._format_attr_value(v) for v in value) + "]"
+        if isinstance(value, dict):
+            inner = ", ".join(f"{k} = {self._format_attr_value(v)}" for k, v in value.items())
+            return "{" + inner + "}"
+        return str(value)
+
+
+def print_op(op: "Operation") -> str:
+    """Convenience wrapper: print a single operation tree."""
+    return Printer().print(op)

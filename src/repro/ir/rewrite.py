@@ -1,0 +1,100 @@
+"""A small greedy pattern-rewrite driver.
+
+Canonicalization-style passes register :class:`RewritePattern` objects; the
+driver repeatedly walks the IR applying patterns until a fixed point is
+reached (or an iteration limit trips, which indicates a non-converging
+pattern set).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.ir.builder import Builder, InsertionPoint
+from repro.ir.value import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+
+
+class PatternRewriter(Builder):
+    """Builder handed to patterns; records whether the IR changed."""
+
+    def __init__(self):
+        super().__init__()
+        self.changed = False
+        self._erased: set[int] = set()
+
+    def replace_op(self, op: "Operation", new_values: Sequence[Value] | Value) -> None:
+        """Replace all results of ``op`` with ``new_values`` and erase it."""
+        if isinstance(new_values, Value):
+            new_values = [new_values]
+        if len(new_values) != len(op.results):
+            raise ValueError("replacement value count mismatch")
+        for result, new_value in zip(op.results, new_values):
+            result.replace_all_uses_with(new_value)
+        self.erase_op(op)
+
+    def erase_op(self, op: "Operation") -> None:
+        self._erased.add(id(op))
+        op.erase()
+        self.changed = True
+
+    def was_erased(self, op: "Operation") -> bool:
+        return id(op) in self._erased
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class of rewrite patterns.
+
+    Subclasses set :attr:`op_name` (or None to match every operation) and
+    implement :meth:`match_and_rewrite`, returning True when they changed the
+    IR.
+    """
+
+    op_name: Optional[str] = None
+    benefit: int = 1
+
+    def match_and_rewrite(self, op: "Operation", rewriter: PatternRewriter) -> bool:
+        raise NotImplementedError
+
+
+def apply_patterns_greedily(root: "Operation", patterns: Iterable[RewritePattern],
+                            max_iterations: int = 32) -> bool:
+    """Apply ``patterns`` to every op nested under ``root`` until fixpoint.
+
+    Returns True if anything changed.  ``root`` itself is not rewritten.
+    """
+    patterns = sorted(patterns, key=lambda p: -p.benefit)
+    changed_any = False
+    for _ in range(max_iterations):
+        rewriter = PatternRewriter()
+        _apply_once(root, patterns, rewriter)
+        if not rewriter.changed:
+            return changed_any
+        changed_any = True
+    raise RuntimeError(
+        f"pattern application did not converge after {max_iterations} iterations")
+
+
+def _apply_once(root: "Operation", patterns: Sequence[RewritePattern],
+                rewriter: PatternRewriter) -> None:
+    # Walk a snapshot so erasures during iteration are safe; skip ops that
+    # were erased by an earlier pattern in this sweep.
+    for op in list(root.walk()):
+        if op is root or rewriter.was_erased(op):
+            continue
+        if op.parent is None:
+            continue
+        for pattern in patterns:
+            if pattern.op_name is not None and op.name != pattern.op_name:
+                continue
+            rewriter.insertion_point = InsertionPoint.before(op)
+            if pattern.match_and_rewrite(op, rewriter):
+                rewriter.notify_changed()
+                break
+            if rewriter.was_erased(op):
+                break

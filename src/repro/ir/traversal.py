@@ -1,0 +1,101 @@
+"""Traversal and def-use utilities shared by passes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from repro.ir.value import BlockArgument, OpResult, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import Block
+    from repro.ir.operation import Operation
+
+
+def walk(op: "Operation", callback: Callable[["Operation"], None]) -> None:
+    """Apply ``callback`` to ``op`` and every nested operation (pre-order)."""
+    for nested in op.walk():
+        callback(nested)
+
+
+def collect(op: "Operation", predicate: Callable[["Operation"], bool]) -> list["Operation"]:
+    """All nested operations (including ``op``) satisfying ``predicate``."""
+    return [nested for nested in op.walk() if predicate(nested)]
+
+
+def ops_with_name(op: "Operation", name: str) -> list["Operation"]:
+    return collect(op, lambda candidate: candidate.name == name)
+
+
+def defining_op(value: Value) -> Optional["Operation"]:
+    """The operation defining ``value`` (None for block arguments)."""
+    return value.owner if isinstance(value, OpResult) else None
+
+
+def is_defined_by(value: Value, op_name: str) -> bool:
+    op = defining_op(value)
+    return op is not None and op.name == op_name
+
+
+def enclosing_block_chain(op: "Operation") -> Iterator["Block"]:
+    """Blocks enclosing ``op``, innermost first."""
+    block = op.parent
+    while block is not None:
+        yield block
+        parent_op = block.parent_op
+        block = parent_op.parent if parent_op is not None else None
+
+
+def values_defined_above(block: "Block") -> set[Value]:
+    """Values visible inside ``block`` that are defined outside of it."""
+    visible: set[Value] = set()
+    parent_op = block.parent_op
+    while parent_op is not None:
+        enclosing = parent_op.parent
+        if enclosing is None:
+            break
+        visible.update(enclosing.arguments)
+        for op in enclosing.operations:
+            if op is parent_op:
+                break
+            visible.update(op.results)
+        parent_op = enclosing.parent_op
+    return visible
+
+
+def uses_outside(op: "Operation") -> list[Value]:
+    """Results of ``op`` (or of its nested ops) that are used outside ``op``."""
+    inside = set(op.walk())
+    escaping: list[Value] = []
+    for nested in op.walk():
+        for result in nested.results:
+            if any(use.owner not in inside for use in result.uses):
+                escaping.append(result)
+    return escaping
+
+
+def topological_order(ops: list["Operation"]) -> list["Operation"]:
+    """Order ``ops`` so that defs come before uses (ops must share a block)."""
+    index = {op: i for i, op in enumerate(ops)}
+    produced = {result: op for op in ops for result in op.results}
+    ordered: list["Operation"] = []
+    visiting: set[int] = set()
+    visited: set[int] = set()
+
+    def visit(op: "Operation") -> None:
+        key = index[op]
+        if key in visited:
+            return
+        if key in visiting:
+            raise ValueError("cycle detected in def-use graph")
+        visiting.add(key)
+        for operand in op.operands:
+            producer = produced.get(operand)
+            if producer is not None:
+                visit(producer)
+        visiting.discard(key)
+        visited.add(key)
+        ordered.append(op)
+
+    for op in ops:
+        visit(op)
+    return ordered

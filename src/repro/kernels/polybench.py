@@ -1,0 +1,130 @@
+"""PolyBench-C computation kernels as parameterized C sources.
+
+The six kernels evaluated in the paper (BICG, GEMM, GESUMMV, SYR2K, SYRK and
+TRMM, Section VII-A) are generated as synthesizable C text for a given
+problem size and fed through the HLS C front-end, exactly as the original
+PolyBench sources are fed to ScaleHLS.
+"""
+
+from __future__ import annotations
+
+
+def gemm(n: int) -> str:
+    """General matrix multiply: ``C = beta*C + alpha*A*B``."""
+    return f"""
+void gemm(float alpha, float beta, float C[{n}][{n}], float A[{n}][{n}], float B[{n}][{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      C[i][j] *= beta;
+      for (int k = 0; k < {n}; k++) {{
+        C[i][j] += alpha * A[i][k] * B[k][j];
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def bicg(n: int) -> str:
+    """BiCG sub-kernel: ``s = A^T * r`` and ``q = A * p``."""
+    return f"""
+void bicg(float A[{n}][{n}], float s[{n}], float q[{n}], float p[{n}], float r[{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      s[j] += r[i] * A[i][j];
+      q[i] += A[i][j] * p[j];
+    }}
+  }}
+}}
+"""
+
+
+def gesummv(n: int) -> str:
+    """Scalar, vector and matrix multiplication: ``y = alpha*A*x + beta*B*x``."""
+    return f"""
+void gesummv(float alpha, float beta, float A[{n}][{n}], float B[{n}][{n}],
+             float tmp[{n}], float x[{n}], float y[{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      tmp[i] += A[i][j] * x[j];
+      y[i] += B[i][j] * x[j];
+    }}
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }}
+}}
+"""
+
+
+def syrk(n: int) -> str:
+    """Symmetric rank-k update: ``C = beta*C + alpha*A*A^T`` (lower triangle)."""
+    k = max(2, n // 2)
+    return f"""
+void syrk(float alpha, float beta, float C[{n}][{n}], float A[{n}][{k}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j <= i; j++) {{
+      C[i][j] *= beta;
+      for (int k = 0; k < {k}; k++) {{
+        C[i][j] += alpha * A[i][k] * A[j][k];
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def syr2k(n: int) -> str:
+    """Symmetric rank-2k update (lower triangle)."""
+    k = max(2, n // 2)
+    return f"""
+void syr2k(float alpha, float beta, float C[{n}][{n}], float A[{n}][{k}], float B[{n}][{k}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j <= i; j++) {{
+      C[i][j] *= beta;
+      for (int k = 0; k < {k}; k++) {{
+        C[i][j] += alpha * A[j][k] * B[i][k] + alpha * B[j][k] * A[i][k];
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def trmm(n: int) -> str:
+    """Triangular matrix multiply: ``B = alpha*A^T*B`` with unit-diagonal A."""
+    return f"""
+void trmm(float alpha, float A[{n}][{n}], float B[{n}][{n}]) {{
+  for (int i = 0; i < {n}; i++) {{
+    for (int j = 0; j < {n}; j++) {{
+      for (int k = i + 1; k < {n}; k++) {{
+        B[i][j] += A[k][i] * B[k][j];
+      }}
+      B[i][j] = alpha * B[i][j];
+    }}
+  }}
+}}
+"""
+
+
+_GENERATORS = {
+    "bicg": bicg,
+    "gemm": gemm,
+    "gesummv": gesummv,
+    "syr2k": syr2k,
+    "syrk": syrk,
+    "trmm": trmm,
+}
+
+#: Kernel names in the order the paper's Table III lists them.
+KERNEL_NAMES = ("bicg", "gemm", "gesummv", "syr2k", "syrk", "trmm")
+
+
+def kernel_source(name: str, problem_size: int) -> str:
+    """C source of ``name`` at the given problem size."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError as error:
+        raise ValueError(f"unknown kernel {name!r}; expected one of {sorted(_GENERATORS)}") \
+            from error
+    if problem_size < 2:
+        raise ValueError("problem size must be at least 2")
+    return generator(problem_size)

@@ -1,0 +1,248 @@
+"""End-to-end compilation flows.
+
+This module packages the front-ends, the transform library, the estimator and
+the emitter into the flows the paper evaluates:
+
+* :func:`compile_kernel` — HLS C in, affine-level kernel module out (the
+  ``scalehls-clang`` + ``-raise-scf-to-affine`` part of Fig. 5).
+* :func:`optimize_kernel` / the DSE engine in :mod:`repro.dse` — the
+  computation-kernel flow of Section VII-A.
+* :func:`compile_dnn` — the DNN flow of Section VII-B: graph-level dataflow
+  optimization, graph-to-loop lowering, loop/directive optimization and QoR
+  estimation, parameterized by the graph and loop optimization levels of the
+  paper's Fig. 8 ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Optional
+
+from repro.dialects.affine_ops import AffineForOp, innermost_loops
+from repro.dse.apply import AppliedDesign, apply_design_point, estimate_baseline
+from repro.dse.space import KernelDesignPoint
+from repro.emit.hlscpp_emitter import emit_hlscpp
+from repro.estimation.estimator import QoREstimator, QoRResult
+from repro.estimation.platform import Platform, VU9P_SLR, XC7Z020
+from repro.frontend.c_to_mlir import parse_c_to_module
+from repro.frontend.models import build_model
+from repro.frontend.pytorch_like import model_flops
+from repro.frontend.raise_to_affine import RaiseSCFToAffinePass
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import PassError, PassManager
+from repro.kernels import kernel_source
+from repro.transforms import (
+    canonicalize,
+    eliminate_common_subexpressions,
+    forward_stores,
+    legalize_dataflow,
+    lower_graph_to_loops,
+    partition_arrays,
+    pipeline_loop,
+    simplify_affine_ifs,
+    simplify_memref_accesses,
+    split_function,
+)
+from repro.transforms.loop.loop_unroll import fully_unroll, unroll_loop
+
+
+# -- computation kernels -----------------------------------------------------------------------------
+
+
+def compile_kernel(name: str, problem_size: int) -> ModuleOp:
+    """Parse a PolyBench kernel and raise it to the affine level."""
+    module = parse_c_to_module(kernel_source(name, problem_size), name)
+    RaiseSCFToAffinePass().run_on_module(module)
+    for func_op in module.functions():
+        canonicalize(func_op)
+    return module
+
+
+def compile_c(source: str, module_name: str = "c_module") -> ModuleOp:
+    """Parse arbitrary HLS C source and raise it to the affine level."""
+    module = parse_c_to_module(source, module_name)
+    RaiseSCFToAffinePass().run_on_module(module)
+    for func_op in module.functions():
+        canonicalize(func_op)
+    return module
+
+
+def optimize_kernel(module: ModuleOp, point: KernelDesignPoint,
+                    platform: Platform = XC7Z020) -> AppliedDesign:
+    """Apply one explicit design point to a kernel (see also the DSE engine)."""
+    return apply_design_point(module, point, platform)
+
+
+def kernel_baseline(module: ModuleOp, platform: Platform = XC7Z020) -> QoRResult:
+    """Estimate the unoptimized kernel (Vivado HLS with no directives)."""
+    return estimate_baseline(module, platform)
+
+
+def emit_kernel_cpp(design: AppliedDesign) -> str:
+    """Emit the optimized kernel as synthesizable HLS C++."""
+    return emit_hlscpp(design.module)
+
+
+# -- DNN models --------------------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class DNNCompilationResult:
+    """Outcome of one DNN compilation configuration."""
+
+    module: ModuleOp
+    qor: QoRResult
+    flops: int
+    runtime_seconds: float
+    num_dataflow_stages: int
+
+    @property
+    def dsp_efficiency(self) -> float:
+        """Operations per cycle per DSP (the paper's Table V metric)."""
+        if self.qor.interval <= 0 or self.qor.dsp <= 0:
+            return 0.0
+        return self.flops / self.qor.interval / self.qor.dsp
+
+
+def compile_dnn(model_name: str, graph_level: int = 0, loop_level: int = 0,
+                directive_level: bool = False, platform: Platform = VU9P_SLR,
+                model_module: Optional[ModuleOp] = None) -> DNNCompilationResult:
+    """Compile a DNN model with the requested optimization levels.
+
+    * ``graph_level`` 0 disables the graph optimizations (no dataflow, single
+      function); levels 1..7 enable dataflow legalization and function
+      splitting with progressively finer granularity (paper Fig. 8, G1..G7).
+    * ``loop_level`` 0 disables loop optimization; levels 1..7 unroll the
+      lowered loop nests by ``2**level`` before pipelining (L1..L7).
+    * ``directive_level`` enables loop pipelining and array partitioning (D).
+    """
+    started = time.perf_counter()
+    module = model_module.clone() if model_module is not None else build_model(model_name)
+    flops = model_flops(module)
+    top = module.functions()[0]
+
+    num_stages = 1
+    if graph_level > 0:
+        num_stages = legalize_dataflow(top, insert_copy=graph_level >= 6)
+        min_granularity = max(1, math.ceil(num_stages / 2 ** (graph_level - 1)))
+        split_function(module, top, min_granularity)
+        num_stages = math.ceil(num_stages / min_granularity)
+
+    # Per-stage work estimate (used to balance unroll factors across stages).
+    stage_flops = {
+        func_op.get_attr("sym_name"): _function_flops(func_op)
+        for func_op in module.functions()
+    }
+    lower_graph_to_loops(module)
+
+    if directive_level or loop_level > 0:
+        unroll_factor = 2 ** loop_level if loop_level > 0 else 1
+        heaviest = max(stage_flops.values()) if stage_flops else 1
+        for func_op in module.functions():
+            if func_op is top and graph_level > 0:
+                continue  # the dataflow top only contains calls
+            function_factor = unroll_factor
+            if graph_level > 0 and heaviest > 0:
+                # Balance the dataflow: lighter stages need proportionally less
+                # parallelism to keep up with the heaviest stage, which saves
+                # DSPs without increasing the dataflow interval.
+                share = stage_flops.get(func_op.get_attr("sym_name"), heaviest) / heaviest
+                function_factor = max(1, _round_power_of_two(unroll_factor * share))
+            _optimize_lowered_function(func_op, function_factor)
+
+    estimator = QoREstimator(platform)
+    qor = estimator.estimate_module(module)
+    runtime = time.perf_counter() - started
+    return DNNCompilationResult(module=module, qor=qor, flops=flops,
+                                runtime_seconds=runtime, num_dataflow_stages=num_stages)
+
+
+def dnn_baseline(model_name: str, platform: Platform = VU9P_SLR,
+                 model_module: Optional[ModuleOp] = None) -> DNNCompilationResult:
+    """The Table V baseline: lowered from the graph with no optimization."""
+    return compile_dnn(model_name, graph_level=0, loop_level=0, directive_level=False,
+                       platform=platform, model_module=model_module)
+
+
+# -- internals ----------------------------------------------------------------------------------------
+
+
+def _optimize_lowered_function(func_op: Operation, unroll_factor: int) -> None:
+    """Loop + directive optimization of one lowered (loop-level) function.
+
+    Each lowered loop nest is first loop-order optimized (reduction loops are
+    permuted outwards so the pipelined loop carries no dependence), then the
+    innermost loops are unrolled towards the requested factor, and the
+    innermost remaining loop is pipelined.
+    """
+    from repro.dialects.affine_ops import outermost_loops, perfect_loop_band
+    from repro.transforms import optimize_loop_order
+
+    for outer in outermost_loops(func_op):
+        if outer.parent is None:
+            continue
+        band = perfect_loop_band(outer)
+        try:
+            band = optimize_loop_order(band)
+        except PassError:
+            pass
+        target = _unroll_towards_factor(band[-1], unroll_factor)
+        if target is None:
+            continue
+        try:
+            pipeline_loop(target, 1)
+        except PassError:
+            continue
+    canonicalize(func_op)
+    simplify_affine_ifs(func_op)
+    forward_stores(func_op)
+    simplify_memref_accesses(func_op)
+    eliminate_common_subexpressions(func_op)
+    canonicalize(func_op)
+    partition_arrays(func_op)
+
+
+def _function_flops(func_op: Operation) -> int:
+    """Multiply-accumulate style work of the graph ops contained in a function."""
+    from repro.dialects.graph import GraphOp
+
+    total = 0
+    for op in func_op.walk():
+        if isinstance(op, GraphOp):
+            total += op.flops()
+    return total
+
+
+def _round_power_of_two(value: float) -> int:
+    """Round to the nearest power of two (at least 1)."""
+    if value <= 1:
+        return 1
+    return 2 ** int(round(math.log2(value)))
+
+
+def _unroll_towards_factor(innermost: AffineForOp, factor: int) -> Optional[AffineForOp]:
+    """Unroll a loop nest bottom-up until roughly ``factor`` copies exist.
+
+    Fully unrolls inner loops while their trip count fits in the remaining
+    factor, then partially unrolls the next enclosing loop.  Returns the loop
+    that should be pipelined afterwards.
+    """
+    loop = innermost
+    remaining = max(1, factor)
+    while remaining > 1 and loop is not None:
+        trip = loop.trip_count()
+        if trip is None:
+            break
+        parent = loop.parent_op
+        parent_loop = parent if isinstance(parent, AffineForOp) else None
+        if trip <= remaining and parent_loop is not None:
+            fully_unroll(loop)
+            remaining = max(1, -(-remaining // max(1, trip)))
+            loop = parent_loop
+        else:
+            unroll_loop(loop, remaining)
+            remaining = 1
+    return loop

@@ -1,0 +1,5 @@
+"""Command-line tools (the reproduction's ``scalehls-opt`` / ``scalehls-translate``)."""
+
+from repro.tools.driver import main
+
+__all__ = ["main"]

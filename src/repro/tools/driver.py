@@ -1,0 +1,221 @@
+"""A command-line driver for the compilation flows.
+
+The original ScaleHLS ships three binaries — ``scalehls-clang`` (the C
+front-end), ``scalehls-opt`` (conversion/transform passes) and
+``scalehls-translate`` (the C++ emitter).  This driver packages the same
+functionality behind one entry point with sub-commands:
+
+``compile``
+    Parse an HLS C file (or a named PolyBench kernel), raise it to the affine
+    level and print the IR.
+
+``estimate``
+    Estimate latency / resources of a kernel, optionally after applying an
+    explicit design point.
+
+``dse``
+    Run the automated DSE engine on a kernel and print the Pareto frontier
+    plus the finalized design.
+
+``emit``
+    Apply a design point (or the DSE result) and emit synthesizable HLS C++.
+
+``dnn``
+    Compile one of the bundled DNN models with the multi-level optimization
+    and report its QoR.
+
+Run ``python -m repro.tools.driver <command> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.dse import DesignSpaceExplorer
+from repro.dse.apply import apply_design_point, estimate_baseline
+from repro.dse.space import KernelDesignPoint
+from repro.emit import emit_hlscpp
+from repro.estimation import PLATFORMS, XC7Z020
+from repro.estimation.platform import Platform
+from repro.ir import print_op, verify
+from repro.kernels import KERNEL_NAMES
+from repro.pipeline import compile_c, compile_dnn, compile_kernel, dnn_baseline
+
+
+def _platform(name: str) -> Platform:
+    try:
+        return PLATFORMS[name]
+    except KeyError as error:
+        raise SystemExit(f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}") \
+            from error
+
+
+def _load_module(args) -> "ModuleOp":
+    if args.kernel:
+        return compile_kernel(args.kernel, args.size)
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            return compile_c(handle.read())
+    raise SystemExit("either --kernel or an input C file is required")
+
+
+def _design_point(args, num_loops: int = 3) -> Optional[KernelDesignPoint]:
+    if not (args.tiles or args.perm or args.ii != 1 or args.perfectize or args.rvb):
+        return None
+    tiles = tuple(int(v) for v in args.tiles.split(",")) if args.tiles else (1,) * num_loops
+    perm = tuple(int(v) for v in args.perm.split(",")) if args.perm \
+        else tuple(range(num_loops))
+    return KernelDesignPoint(
+        loop_perfectization=args.perfectize,
+        remove_variable_bound=args.rvb,
+        perm_map=perm,
+        tile_sizes=tiles,
+        target_ii=args.ii,
+    )
+
+
+def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", nargs="?", help="HLS C source file")
+    parser.add_argument("--kernel", choices=KERNEL_NAMES,
+                        help="use a bundled PolyBench kernel instead of a C file")
+    parser.add_argument("--size", type=int, default=256,
+                        help="problem size of the bundled kernel (default 256)")
+    parser.add_argument("--platform", default="xc7z020", help="target platform name")
+
+
+def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--perfectize", action="store_true", help="run loop perfectization")
+    parser.add_argument("--rvb", action="store_true", help="remove variable loop bounds")
+    parser.add_argument("--perm", help="comma-separated permutation map, e.g. 1,2,0")
+    parser.add_argument("--tiles", help="comma-separated tile sizes, e.g. 8,1,16")
+    parser.add_argument("--ii", type=int, default=1, help="pipeline target II")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-hls",
+                                     description="ScaleHLS reproduction driver")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser("compile", help="parse C and print affine-level IR")
+    _add_kernel_arguments(compile_parser)
+
+    estimate_parser = commands.add_parser("estimate", help="estimate latency and resources")
+    _add_kernel_arguments(estimate_parser)
+    _add_point_arguments(estimate_parser)
+
+    dse_parser = commands.add_parser("dse", help="run the automated DSE engine")
+    _add_kernel_arguments(dse_parser)
+    dse_parser.add_argument("--samples", type=int, default=16)
+    dse_parser.add_argument("--iterations", type=int, default=24)
+    dse_parser.add_argument("--seed", type=int, default=2022)
+
+    emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
+    _add_kernel_arguments(emit_parser)
+    _add_point_arguments(emit_parser)
+    emit_parser.add_argument("--dse", action="store_true",
+                             help="pick the design point with the DSE engine")
+    emit_parser.add_argument("-o", "--output", help="write the C++ to a file")
+
+    dnn_parser = commands.add_parser("dnn", help="compile a DNN model")
+    dnn_parser.add_argument("model", choices=("resnet18", "vgg16", "mobilenet"))
+    dnn_parser.add_argument("--graph-level", type=int, default=4)
+    dnn_parser.add_argument("--loop-level", type=int, default=3)
+    dnn_parser.add_argument("--platform", default="vu9p-slr")
+    return parser
+
+
+def run_compile(args) -> int:
+    module = _load_module(args)
+    verify(module)
+    print(print_op(module))
+    return 0
+
+
+def run_estimate(args) -> int:
+    module = _load_module(args)
+    platform = _platform(args.platform)
+    baseline = estimate_baseline(module, platform)
+    print(f"baseline: latency={baseline.latency:,} cycles dsp={baseline.dsp} "
+          f"lut={baseline.lut}")
+    point = _design_point(args)
+    if point is not None:
+        design = apply_design_point(module, point, platform)
+        print(f"design point {point.describe()}")
+        print(f"optimized: latency={design.qor.latency:,} cycles dsp={design.qor.dsp} "
+              f"lut={design.qor.lut} II={design.achieved_ii}")
+        print(f"speedup: {baseline.latency / design.qor.latency:.1f}x")
+    return 0
+
+
+def run_dse(args) -> int:
+    module = _load_module(args)
+    platform = _platform(args.platform)
+    baseline = estimate_baseline(module, platform)
+    explorer = DesignSpaceExplorer(platform, num_samples=args.samples,
+                                   max_iterations=args.iterations, seed=args.seed)
+    result = explorer.explore(module)
+    print(f"evaluated {result.num_evaluations} points; Pareto frontier:")
+    for point in result.frontier:
+        design = result.evaluations[point.encoded]
+        print(f"  latency={design.qor.latency:<14,} dsp={design.qor.dsp:<5} "
+              f"{design.point.describe()}")
+    best = result.best
+    print(f"finalized: latency={best.qor.latency:,} dsp={best.qor.dsp} "
+          f"speedup={baseline.latency / best.qor.latency:.1f}x")
+    return 0
+
+
+def run_emit(args) -> int:
+    module = _load_module(args)
+    platform = _platform(args.platform)
+    if args.dse:
+        result = DesignSpaceExplorer(platform).explore(module)
+        design = result.best
+    else:
+        point = _design_point(args) or KernelDesignPoint(
+            True, True, (0, 1, 2), (1, 1, 1), 1)
+        design = apply_design_point(module, point, platform)
+    code = emit_hlscpp(design.module)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(code)
+        print(f"wrote {args.output}")
+    else:
+        print(code)
+    return 0
+
+
+def run_dnn(args) -> int:
+    platform = _platform(args.platform)
+    baseline = dnn_baseline(args.model, platform=platform)
+    result = compile_dnn(args.model, graph_level=args.graph_level,
+                         loop_level=args.loop_level, directive_level=True,
+                         platform=platform)
+    speedup = baseline.qor.interval / result.qor.interval
+    utilization = platform.utilization(result.qor.resources)
+    print(f"{args.model}: speedup={speedup:.1f}x interval={result.qor.interval:,} cycles")
+    print(f"  dsp={result.qor.dsp} ({utilization['dsp'] * 100:.1f}%) "
+          f"memory={result.qor.memory_bits / 1e6:.1f}Mb lut={result.qor.lut}")
+    print(f"  dsp efficiency={result.dsp_efficiency:.3f} OP/cycle/DSP "
+          f"stages={result.num_dataflow_stages} runtime={result.runtime_seconds:.1f}s")
+    return 0
+
+
+_COMMANDS = {
+    "compile": run_compile,
+    "estimate": run_estimate,
+    "dse": run_dse,
+    "emit": run_emit,
+    "dnn": run_dnn,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

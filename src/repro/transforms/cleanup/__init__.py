@@ -1,0 +1,18 @@
+"""Redundancy-elimination passes (paper Section V-D)."""
+
+from repro.transforms.cleanup.canonicalize import CanonicalizePass, canonicalize
+from repro.transforms.cleanup.cse import CSEPass, eliminate_common_subexpressions
+from repro.transforms.cleanup.simplify_affine_if import SimplifyAffineIfPass, simplify_affine_ifs
+from repro.transforms.cleanup.store_forward import AffineStoreForwardPass, forward_stores
+from repro.transforms.cleanup.simplify_memref_access import (
+    SimplifyMemrefAccessPass,
+    simplify_memref_accesses,
+)
+
+__all__ = [
+    "CanonicalizePass", "canonicalize",
+    "CSEPass", "eliminate_common_subexpressions",
+    "SimplifyAffineIfPass", "simplify_affine_ifs",
+    "AffineStoreForwardPass", "forward_stores",
+    "SimplifyMemrefAccessPass", "simplify_memref_accesses",
+]

@@ -1,0 +1,192 @@
+"""The ``-canonicalize`` pass: constant folding, dead-code elimination and
+trivial loop simplifications.
+
+ScaleHLS leans on MLIR's canonicalizer between its own transforms to remove
+the redundancies they leave behind; this pass plays that role for the
+reproduction.  It iterates to a fixed point:
+
+* fold arithmetic on constants and ``affine.apply`` of constants,
+* erase side-effect-free operations whose results are unused,
+* erase zero-trip loops and promote single-iteration loops,
+* erase empty ``affine.if`` operations.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import arith
+from repro.dialects.affine_ops import AffineForOp, AffineIfOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+from repro.ir.types import IndexType, IntegerType, index
+
+
+def canonicalize(root: Operation, max_iterations: int = 64) -> bool:
+    """Canonicalize everything nested under ``root``.  Returns True if changed."""
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        changed |= _fold_constants(root)
+        changed |= _simplify_loops(root)
+        changed |= _erase_dead_ops(root)
+        if not changed:
+            return changed_any
+        changed_any = True
+    return changed_any
+
+
+class CanonicalizePass(FunctionPass):
+    """Pass wrapper around :func:`canonicalize`."""
+
+    name = "canonicalize"
+
+    def run(self, op: Operation) -> None:
+        canonicalize(op)
+
+
+# -- folding ---------------------------------------------------------------------------
+
+
+_FOLDABLE_INT = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: int(a / b) if b != 0 else None,
+    "arith.remsi": lambda a, b: a - b * int(a / b) if b != 0 else None,
+}
+
+_FOLDABLE_FLOAT = {
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b if b != 0 else None,
+    "arith.maxf": max,
+}
+
+_CMP_FUNCS = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+    "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+}
+
+
+def _fold_constants(root: Operation) -> bool:
+    changed = False
+    for op in list(root.walk()):
+        if op.parent is None or op is root:
+            continue
+        folded = _try_fold(op)
+        if folded is None:
+            continue
+        constant = arith.ConstantOp(folded, op.result().type)
+        op.parent.insert_before(op, constant)
+        op.result().replace_all_uses_with(constant.result())
+        op.erase()
+        changed = True
+    return changed
+
+
+def _try_fold(op: Operation):
+    if op.num_results != 1:
+        return None
+    if op.name in _FOLDABLE_INT or op.name in _FOLDABLE_FLOAT or op.name in (
+            "arith.cmpi", "arith.cmpf"):
+        values = [arith.constant_value(operand) for operand in op.operands]
+        if any(value is None for value in values):
+            return None
+        if op.name in _FOLDABLE_INT:
+            return _FOLDABLE_INT[op.name](int(values[0]), int(values[1]))
+        if op.name in _FOLDABLE_FLOAT:
+            return _FOLDABLE_FLOAT[op.name](float(values[0]), float(values[1]))
+        predicate = op.get_attr("predicate")
+        return 1 if _CMP_FUNCS[predicate](values[0], values[1]) else 0
+    if op.name == "affine.apply":
+        values = [arith.constant_value(operand) for operand in op.operands]
+        if any(value is None for value in values):
+            return None
+        return op.get_attr("map").evaluate([int(v) for v in values])[0]
+    if op.name == "arith.select":
+        condition = arith.constant_value(op.operand(0))
+        if condition is None:
+            return None
+        chosen = op.operand(1) if condition else op.operand(2)
+        chosen_constant = arith.constant_value(chosen)
+        return chosen_constant
+    if op.name == "arith.index_cast":
+        value = arith.constant_value(op.operand(0))
+        return None if value is None else int(value)
+    return None
+
+
+# -- dead code ---------------------------------------------------------------------------
+
+
+def _erase_dead_ops(root: Operation) -> bool:
+    changed = False
+    for op in list(root.walk_post_order()):
+        if op is root or op.parent is None:
+            continue
+        if op.regions or op.has_side_effects():
+            continue
+        if op.num_results == 0:
+            continue
+        if any(result.has_uses() for result in op.results):
+            continue
+        op.erase()
+        changed = True
+    return changed
+
+
+# -- loop simplifications --------------------------------------------------------------------
+
+
+def _simplify_loops(root: Operation) -> bool:
+    changed = False
+    for op in list(root.walk_post_order()):
+        if op.parent is None:
+            continue
+        if isinstance(op, AffineForOp):
+            changed |= _simplify_for(op)
+        elif isinstance(op, AffineIfOp):
+            changed |= _erase_empty_if(op)
+    return changed
+
+
+def _simplify_for(loop: AffineForOp) -> bool:
+    trip = loop.trip_count()
+    if trip == 0:
+        loop.drop_all_references()
+        loop.parent.remove(loop)
+        return True
+    if trip == 1 and loop.has_constant_lower_bound():
+        block = loop.parent
+        constant = arith.ConstantOp(loop.constant_lower_bound, index)
+        block.insert_before(loop, constant)
+        loop.induction_variable.replace_all_uses_with(constant.result())
+        anchor = loop
+        for inner in list(loop.body.operations):
+            if inner.name == "affine.yield":
+                continue
+            inner.detach()
+            block.insert_after(anchor, inner)
+            anchor = inner
+        loop.erase()
+        return True
+    # Erase loops whose body is empty (e.g. after other simplifications).
+    body_ops = [inner for inner in loop.body.operations if inner.name != "affine.yield"]
+    if not body_ops:
+        loop.erase()
+        return True
+    return False
+
+
+def _erase_empty_if(if_op: AffineIfOp) -> bool:
+    if if_op.results:
+        return False
+    then_empty = if_op.then_block.empty()
+    else_empty = if_op.else_block is None or if_op.else_block.empty()
+    if then_empty and else_empty:
+        if_op.erase()
+        return True
+    return False

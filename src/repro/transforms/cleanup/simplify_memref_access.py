@@ -1,0 +1,98 @@
+"""The ``-simplify-memref-access`` pass.
+
+Folds identical memory accesses when no dependency conflict exists:
+
+* a load whose address matches an earlier load in the same block, with no
+  potentially conflicting store in between, reuses the earlier result;
+* a store that is overwritten by a later store to the same address, with no
+  intervening load of the buffer, is removed as dead.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.affine_ops import access_is_write, access_memref
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+from repro.transforms.cleanup.store_forward import access_key
+
+_ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
+
+
+def simplify_memref_accesses(root: Operation) -> int:
+    """Fold redundant accesses under ``root``.  Returns the number of ops removed."""
+    removed = 0
+    for op in list(root.walk()):
+        for region in op.regions:
+            for block in region.blocks:
+                removed += _fold_loads(block)
+                removed += _remove_dead_stores(block)
+    return removed
+
+
+class SimplifyMemrefAccessPass(FunctionPass):
+    """Pass wrapper around :func:`simplify_memref_accesses`."""
+
+    name = "simplify-memref-access"
+
+    def run(self, op: Operation) -> None:
+        simplify_memref_accesses(op)
+
+
+def _touched_memrefs(op: Operation) -> set[int]:
+    return {id(access_memref(inner)) for inner in op.walk() if inner.name in _ACCESS_OPS}
+
+
+def _fold_loads(block: Block) -> int:
+    removed = 0
+    available: dict[tuple, Operation] = {}
+    for op in list(block.operations):
+        if op.parent is not block:
+            continue
+        if op.name not in _ACCESS_OPS:
+            if op.regions:
+                touched = _touched_memrefs(op)
+                available = {key: load for key, load in available.items()
+                             if key[0] not in touched}
+            continue
+        if access_is_write(op):
+            memref_id = id(access_memref(op))
+            available = {key: load for key, load in available.items()
+                         if key[0] != memref_id}
+            continue
+        key = access_key(op)
+        earlier = available.get(key)
+        if earlier is not None:
+            op.result().replace_all_uses_with(earlier.result())
+            op.erase()
+            removed += 1
+        else:
+            available[key] = op
+    return removed
+
+
+def _remove_dead_stores(block: Block) -> int:
+    removed = 0
+    pending: dict[tuple, Operation] = {}
+    for op in list(block.operations):
+        if op.parent is not block:
+            continue
+        if op.name not in _ACCESS_OPS:
+            if op.regions:
+                touched = _touched_memrefs(op)
+                pending = {key: store for key, store in pending.items()
+                           if key[0] not in touched}
+            continue
+        memref_id = id(access_memref(op))
+        if access_is_write(op):
+            key = access_key(op)
+            earlier = pending.get(key)
+            if earlier is not None:
+                earlier.erase()
+                removed += 1
+            pending[key] = op
+        else:
+            # A load of the buffer makes every pending store to it observable.
+            pending = {key: store for key, store in pending.items()
+                       if key[0] != memref_id}
+    return removed

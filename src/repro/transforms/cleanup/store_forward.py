@@ -1,0 +1,98 @@
+"""The ``-affine-store-forward`` pass.
+
+Performs store-to-load forwarding inside straight-line blocks: a load whose
+address matches a dominating store in the same block (with no potentially
+conflicting store in between) is replaced by the stored value.  The pass also
+removes buffers that end up write-only (every user is a store), which is how
+"unused memory instances" disappear after forwarding.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.affine_ops import access_indices, access_is_write, access_memref
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+
+_ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
+
+
+def forward_stores(root: Operation) -> int:
+    """Forward stores to loads under ``root``.  Returns the number of forwards."""
+    forwarded = 0
+    for op in list(root.walk()):
+        for region in op.regions:
+            for block in region.blocks:
+                forwarded += _forward_in_block(block)
+    forwarded += _remove_write_only_buffers(root)
+    return forwarded
+
+
+class AffineStoreForwardPass(FunctionPass):
+    """Pass wrapper around :func:`forward_stores`."""
+
+    name = "affine-store-forward"
+
+    def run(self, op: Operation) -> None:
+        forward_stores(op)
+
+
+def access_key(op: Operation) -> tuple:
+    """Hashable address identity of an access (memref, index values, access map)."""
+    memref = access_memref(op)
+    indices = tuple(id(v) for v in access_indices(op))
+    access_map = op.get_attr("map")
+    return (id(memref), indices, str(access_map) if access_map is not None else None)
+
+
+def _forward_in_block(block: Block) -> int:
+    forwarded = 0
+    # Last store per exact address, invalidated by any store to the same memref
+    # whose address we cannot prove equal.
+    last_store: dict[tuple, Operation] = {}
+    for op in list(block.operations):
+        if op.parent is not block or op.name not in _ACCESS_OPS:
+            # Region-holding ops (loops, ifs) may touch memory: be conservative.
+            if op.regions and any(inner.name in _ACCESS_OPS for inner in op.walk()
+                                  if inner is not op):
+                touched = {id(access_memref(inner)) for inner in op.walk()
+                           if inner.name in _ACCESS_OPS}
+                last_store = {key: store for key, store in last_store.items()
+                              if key[0] not in touched}
+            continue
+        if access_is_write(op):
+            key = access_key(op)
+            memref_id = id(access_memref(op))
+            # A store may alias any other address of the same buffer.
+            last_store = {existing: store for existing, store in last_store.items()
+                          if existing[0] != memref_id or existing == key}
+            last_store[key] = op
+        else:
+            key = access_key(op)
+            store = last_store.get(key)
+            if store is not None:
+                stored_value = store.operand(0)
+                op.result().replace_all_uses_with(stored_value)
+                op.erase()
+                forwarded += 1
+    return forwarded
+
+
+def _remove_write_only_buffers(root: Operation) -> int:
+    removed = 0
+    for op in list(root.walk()):
+        if op.name != "memref.alloc" or op.parent is None:
+            continue
+        users = [use.owner for use in op.result().uses]
+        if not users:
+            op.erase()
+            removed += 1
+            continue
+        if all(user.name in ("affine.store", "memref.store", "memref.dealloc")
+               and (user.name == "memref.dealloc" or access_memref(user) is op.result())
+               for user in users):
+            for user in list(users):
+                user.erase()
+            op.erase()
+            removed += 1
+    return removed

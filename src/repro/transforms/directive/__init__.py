@@ -1,0 +1,18 @@
+"""Directive-level transform passes (paper Section V-C)."""
+
+from repro.transforms.directive.pipelining import (
+    FuncPipeliningPass,
+    LoopPipeliningPass,
+    pipeline_function,
+    pipeline_loop,
+)
+from repro.transforms.directive.array_partition import (
+    ArrayPartitionPass,
+    PartitionPlan,
+    partition_arrays,
+)
+
+__all__ = [
+    "FuncPipeliningPass", "LoopPipeliningPass", "pipeline_function", "pipeline_loop",
+    "ArrayPartitionPass", "PartitionPlan", "partition_arrays",
+]

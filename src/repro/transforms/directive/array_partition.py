@@ -1,0 +1,209 @@
+"""The ``-array-partition`` pass.
+
+Implements the access-pattern-driven array partitioning of Section V-C2: for
+every array dimension the pass counts the distinct access index expressions
+(``Accesses``) and the maximal index distance between any two accesses, and
+derives the partition fashion (cyclic when the accesses are spread densely,
+block otherwise) and the partition factor.  The result is encoded into the
+memref type's layout map (N inputs -> 2N results) exactly as the paper's
+Fig. 3 describes, which is what the QoR estimator and the C++ emitter read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.affine.analysis import linearize
+from repro.affine.expr import AffineExpr
+from repro.dialects.affine_ops import (
+    AffineForOp,
+    access_expressions,
+    access_memref,
+    is_affine_access,
+)
+from repro.dialects.func import FuncOp
+from repro.dialects.hlscpp import is_pipelined
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+from repro.ir.types import FunctionType, MemRefType, PartitionKind
+from repro.ir.value import BlockArgument, Value
+
+
+@dataclasses.dataclass
+class PartitionPlan:
+    """The chosen partition fashion and factor for every dimension of one array."""
+
+    memref: Value
+    partition: tuple[tuple[str, int], ...]
+
+    @property
+    def factors(self) -> tuple[int, ...]:
+        return tuple(factor for _, factor in self.partition)
+
+
+def partition_arrays(func_op: Operation,
+                     part_factors: Optional[dict[str, Sequence[int]]] = None,
+                     max_factor: int = 64) -> list[PartitionPlan]:
+    """Partition every array accessed by ``func_op``.
+
+    ``part_factors`` optionally pins the factors of specific buffers (keyed by
+    argument index as ``arg<i>`` or by the ``buffer_name`` attribute of the
+    allocating op).  Returns the plan applied to each partitioned buffer.
+    """
+    part_factors = part_factors or {}
+    plans: list[PartitionPlan] = []
+    for memref_value in _collect_memrefs(func_op):
+        name = _memref_name(memref_value, func_op)
+        if name in part_factors:
+            factors = part_factors[name]
+            partition = tuple(
+                (PartitionKind.CYCLIC if factor > 1 else PartitionKind.NONE, max(1, factor))
+                for factor in factors)
+        else:
+            partition = _derive_partition(memref_value, func_op, max_factor)
+        if partition is None:
+            continue
+        if all(factor <= 1 for _, factor in partition):
+            continue
+        _apply_partition(memref_value, partition, func_op)
+        plans.append(PartitionPlan(memref_value, tuple(partition)))
+    return plans
+
+
+class ArrayPartitionPass(FunctionPass):
+    """Pass wrapper around :func:`partition_arrays`."""
+
+    name = "array-partition"
+
+    def __init__(self, part_factors: Optional[dict[str, Sequence[int]]] = None,
+                 max_factor: int = 64):
+        self.part_factors = part_factors
+        self.max_factor = max_factor
+
+    def run(self, op: Operation) -> None:
+        partition_arrays(op, self.part_factors, self.max_factor)
+
+
+# -- analysis -------------------------------------------------------------------------------
+
+
+def _collect_memrefs(func_op: Operation) -> list[Value]:
+    memrefs: list[Value] = []
+    for argument in func_op.region(0).front.arguments:
+        if isinstance(argument.type, MemRefType):
+            memrefs.append(argument)
+    for op in func_op.walk():
+        if op.name == "memref.alloc":
+            memrefs.append(op.result())
+    return memrefs
+
+
+def _memref_name(memref_value: Value, func_op: Operation) -> str:
+    if isinstance(memref_value, BlockArgument):
+        return f"arg{memref_value.index}"
+    owner = memref_value.owner
+    return owner.get_attr("buffer_name", "") or f"buffer{id(owner) % 10000}"
+
+
+def _enclosing_loops(op: Operation) -> list[AffineForOp]:
+    loops = [ancestor for ancestor in op.ancestors() if isinstance(ancestor, AffineForOp)]
+    loops.reverse()  # outermost first
+    return loops
+
+
+def _access_groups(memref_value: Value, func_op: Operation):
+    """Group accesses of a buffer by their enclosing loop nest.
+
+    Accesses inside pipelined loops are preferred (they determine the needed
+    bandwidth); if no loop of the function is pipelined every access counts.
+    """
+    accesses = [use.owner for use in memref_value.uses if is_affine_access(use.owner)]
+    has_pipelined = any(
+        isinstance(op, AffineForOp) and is_pipelined(op) for op in func_op.walk())
+
+    groups: dict[tuple, list[tuple[Operation, list[AffineExpr]]]] = {}
+    for access in accesses:
+        loops = _enclosing_loops(access)
+        if has_pipelined and not any(is_pipelined(loop) for loop in loops):
+            continue
+        dim_map = {loop.induction_variable: position for position, loop in enumerate(loops)}
+        exprs = access_expressions(access, dim_map)
+        if exprs is None:
+            continue
+        key = tuple(id(loop) for loop in loops)
+        groups.setdefault(key, []).append((access, exprs))
+    return groups
+
+
+def _derive_partition(memref_value: Value, func_op: Operation,
+                      max_factor: int) -> Optional[list[tuple[str, int]]]:
+    memref_type = memref_value.type
+    if not isinstance(memref_type, MemRefType):
+        return None
+    rank = memref_type.rank
+    best = [(PartitionKind.NONE, 1)] * rank
+
+    for _, group in _access_groups(memref_value, func_op).items():
+        num_dims = max((len(_enclosing_loops(access)) for access, _ in group), default=0)
+        for d in range(rank):
+            exprs = [exprs[d] for _, exprs in group]
+            unique = _unique_exprs(exprs)
+            accesses_count = len(unique)
+            if accesses_count <= 1:
+                continue
+            max_distance = _max_index_distance(unique, num_dims)
+            factor = min(accesses_count, memref_type.shape[d], max_factor)
+            metric = accesses_count / max(1, max_distance)
+            fashion = PartitionKind.CYCLIC if metric >= 1 else PartitionKind.BLOCK
+            if factor > best[d][1]:
+                best[d] = (fashion, factor)
+    return best
+
+
+def _unique_exprs(exprs: Sequence[AffineExpr]) -> list[AffineExpr]:
+    unique: list[AffineExpr] = []
+    seen = set()
+    for expr in exprs:
+        key = hash(expr)
+        if key in seen and any(expr == other for other in unique):
+            continue
+        seen.add(key)
+        unique.append(expr)
+    return unique
+
+
+def _max_index_distance(exprs: Sequence[AffineExpr], num_dims: int) -> int:
+    """Largest ``index_m - index_n + 1`` over pairs with matching coefficients."""
+    linearized = []
+    for expr in exprs:
+        decomposed = linearize(expr, num_dims)
+        if decomposed is not None:
+            linearized.append(decomposed)
+    best = 1
+    for i, (coeffs_a, const_a) in enumerate(linearized):
+        for coeffs_b, const_b in linearized[i + 1:]:
+            if coeffs_a == coeffs_b:
+                best = max(best, abs(const_a - const_b) + 1)
+    return best
+
+
+# -- application -----------------------------------------------------------------------------
+
+
+def _apply_partition(memref_value: Value, partition: Sequence[tuple[str, int]],
+                     func_op: Operation) -> None:
+    memref_type: MemRefType = memref_value.type
+    new_type = memref_type.with_partition(partition)
+    memref_value.type = new_type
+    if isinstance(memref_value, BlockArgument) and isinstance(func_op, FuncOp):
+        _refresh_function_type(func_op)
+    elif not isinstance(memref_value, BlockArgument):
+        # memref.alloc result: keep the op's result type in sync (same object).
+        pass
+
+
+def _refresh_function_type(func_op: FuncOp) -> None:
+    input_types = [argument.type for argument in func_op.arguments]
+    func_op.set_attr("function_type",
+                     FunctionType(input_types, func_op.function_type.results))

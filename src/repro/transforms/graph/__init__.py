@@ -1,0 +1,11 @@
+"""Graph-level transform passes (paper Section V-A) and the graph-to-loop lowering."""
+
+from repro.transforms.graph.legalize_dataflow import LegalizeDataflowPass, legalize_dataflow
+from repro.transforms.graph.split_function import SplitFunctionPass, split_function
+from repro.transforms.graph.lower_graph import LowerGraphPass, lower_graph_to_loops
+
+__all__ = [
+    "LegalizeDataflowPass", "legalize_dataflow",
+    "SplitFunctionPass", "split_function",
+    "LowerGraphPass", "lower_graph_to_loops",
+]

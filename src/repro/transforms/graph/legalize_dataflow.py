@@ -1,0 +1,173 @@
+"""The ``-legalize-dataflow`` pass (``insert-copy`` option in Tab. II).
+
+Dataflow pipelining in downstream HLS tools requires every intermediate
+result to have a single producer/consumer pair in adjacent stages: bypass
+paths are illegal.  The pass assigns each graph node a dataflow stage
+(longest path from the inputs) and then either
+
+* **conservatively** merges the stages spanned by each bypass edge into one
+  stage (paper Fig. 4(b)), or
+* **aggressively** inserts explicit copy nodes along bypass edges until the
+  main path and the bypass path have the same number of nodes
+  (paper Fig. 4(c), enabled with ``insert_copy=True``).
+
+The resulting stage of every node is recorded in the ``dataflow_stage``
+attribute, and the function is marked with the dataflow directive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dialects import graph as graph_dialect
+from repro.dialects.hlscpp import FuncDirective, ensure_func_directive, set_dataflow_stage
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.value import OpResult
+
+
+def legalize_dataflow(func_op: Operation, insert_copy: bool = False) -> int:
+    """Legalize the dataflow of ``func_op``.  Returns the number of stages."""
+    nodes = graph_dialect.graph_nodes(func_op)
+    if not nodes:
+        raise PassError("the function contains no graph-level dataflow nodes")
+
+    if insert_copy:
+        _insert_copies(func_op)
+        nodes = graph_dialect.graph_nodes(func_op)
+
+    levels = _longest_path_levels(nodes)
+    stages = _merge_bypassed_levels(nodes, levels)
+
+    for node in nodes:
+        set_dataflow_stage(node, stages[node])
+    directive = ensure_func_directive(func_op)
+    directive.dataflow = True
+    return max(stages.values()) + 1 if stages else 0
+
+
+class LegalizeDataflowPass(FunctionPass):
+    """Pass wrapper around :func:`legalize_dataflow`."""
+
+    name = "legalize-dataflow"
+
+    def __init__(self, insert_copy: bool = False):
+        self.insert_copy = insert_copy
+
+    def run(self, op: Operation) -> None:
+        if not graph_dialect.graph_nodes(op):
+            return
+        legalize_dataflow(op, self.insert_copy)
+
+
+# -- analysis helpers ----------------------------------------------------------------------
+
+
+def _node_predecessors(node: Operation, node_set: set) -> list[Operation]:
+    predecessors = []
+    for operand in node.operands:
+        if isinstance(operand, OpResult) and operand.owner in node_set:
+            predecessors.append(operand.owner)
+    return predecessors
+
+
+def _node_successors(node: Operation, node_set: set) -> list[Operation]:
+    successors = []
+    for result in node.results:
+        for user in result.users:
+            if user in node_set:
+                successors.append(user)
+    return successors
+
+
+def _longest_path_levels(nodes: list[Operation]) -> dict[Operation, int]:
+    """ASAP levels: the longest path (in nodes) from any graph input."""
+    node_set = set(nodes)
+    levels: dict[Operation, int] = {}
+    for node in nodes:  # nodes appear in topological (program) order
+        predecessors = _node_predecessors(node, node_set)
+        levels[node] = max((levels[p] + 1 for p in predecessors), default=0)
+    return levels
+
+
+def _merge_bypassed_levels(nodes: list[Operation],
+                           levels: dict[Operation, int]) -> dict[Operation, int]:
+    """Merge the levels spanned by bypass edges until every edge is adjacent."""
+    node_set = set(nodes)
+    # stage_of_level maps a level to its (possibly merged) stage representative.
+    level_values = sorted(set(levels.values()))
+    stage_of_level = {level: level for level in level_values}
+
+    def find(level: int) -> int:
+        while stage_of_level[level] != level:
+            stage_of_level[level] = stage_of_level[stage_of_level[level]]
+            level = stage_of_level[level]
+        return level
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            stage_of_level[max(root_a, root_b)] = min(root_a, root_b)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            for successor in _node_successors(node, node_set):
+                source = find(levels[node])
+                target = find(levels[successor])
+                if target - source > 1:
+                    # Merge every level strictly between source and target with target.
+                    for level in level_values:
+                        root = find(level)
+                        if source < root <= target:
+                            union(root, target)
+                    changed = True
+
+    # Renumber the merged stages consecutively.
+    roots = sorted({find(level) for level in level_values})
+    renumber = {root: index for index, root in enumerate(roots)}
+    return {node: renumber[find(level)] for node, level in levels.items()}
+
+
+# -- copy insertion -----------------------------------------------------------------------------
+
+
+def _insert_copies(func_op: Operation) -> int:
+    """Insert copy nodes so every edge spans exactly one level (Fig. 4(c))."""
+    inserted = 0
+    max_rounds = 4 * len(graph_dialect.graph_nodes(func_op)) + 8
+    for _ in range(max_rounds):
+        nodes = graph_dialect.graph_nodes(func_op)
+        node_set = set(nodes)
+        levels = _longest_path_levels(nodes)
+        bypass: Optional[tuple[Operation, Operation]] = None
+        for node in nodes:
+            for successor in _node_successors(node, node_set):
+                if levels[successor] - levels[node] > 1:
+                    bypass = (node, successor)
+                    break
+            if bypass:
+                break
+        if bypass is None:
+            return inserted
+        producer, consumer = bypass
+        gap = levels[consumer] - levels[producer] - 1
+        value = _edge_value(producer, consumer)
+        current = value
+        anchor = producer
+        for _ in range(gap):
+            copy_op = graph_dialect.CopyOp(current)
+            producer.parent.insert_after(anchor, copy_op)
+            anchor = copy_op
+            current = copy_op.result()
+            inserted += 1
+        consumer.replaces_uses_of(value, current)
+    return inserted
+
+
+def _edge_value(producer: Operation, consumer: Operation):
+    for operand in consumer.operands:
+        if isinstance(operand, OpResult) and operand.owner is producer:
+            return operand
+    raise PassError("no dataflow edge between the given nodes")

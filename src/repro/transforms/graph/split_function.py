@@ -1,0 +1,141 @@
+"""The ``-split-function`` pass (``min-gran`` parameter in Tab. II).
+
+After dataflow legalization every graph node carries a ``dataflow_stage``
+attribute.  This pass clusters the nodes of ``min_granularity`` adjacent
+stages into one sub-function each, replaces them with ``func.call``
+operations in the (dataflow-pipelined) top function, and thereby exposes the
+throughput/area trade-off the paper explores with the dataflow granularity
+(Fig. 4(d)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.dialects import func as func_dialect
+from repro.dialects import graph as graph_dialect
+from repro.dialects.hlscpp import (
+    FuncDirective,
+    ensure_func_directive,
+    get_dataflow_stage,
+    set_dataflow_stage,
+)
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import ModulePass, PassError
+from repro.ir.types import FunctionType
+from repro.ir.value import OpResult, Value
+
+
+def split_function(module: ModuleOp, func_op: Operation,
+                   min_granularity: int = 1) -> list[Operation]:
+    """Split ``func_op`` into per-stage sub-functions.
+
+    ``min_granularity`` is the number of adjacent dataflow stages merged into
+    each sub-function.  Returns the created sub-functions (in stage order).
+    """
+    nodes = graph_dialect.graph_nodes(func_op)
+    if not nodes:
+        raise PassError("the function contains no graph-level dataflow nodes")
+    if any(get_dataflow_stage(node) is None for node in nodes):
+        raise PassError("run -legalize-dataflow before -split-function")
+    min_granularity = max(1, int(min_granularity))
+
+    num_stages = max(get_dataflow_stage(node) for node in nodes) + 1
+    groups: dict[int, list[Operation]] = {}
+    for node in nodes:
+        group_index = get_dataflow_stage(node) // min_granularity
+        groups.setdefault(group_index, []).append(node)
+
+    return_op = func_op.region(0).front.operations[-1]
+    if return_op.name != "func.return":
+        raise PassError("the top function must end with func.return")
+
+    # Values available in the rewritten top function: arguments map to themselves.
+    top_value: dict[Value, Value] = {
+        argument: argument for argument in func_op.region(0).front.arguments}
+
+    sub_functions: list[Operation] = []
+    base_name = func_op.get_attr("sym_name")
+    for order, group_index in enumerate(sorted(groups)):
+        group = groups[group_index]
+        group_set = set(group)
+
+        inputs = _group_inputs(group, group_set)
+        outputs = _group_outputs(group, group_set, return_op)
+
+        sub_name = f"{base_name}_dataflow{order}"
+        sub_func = func_dialect.FuncOp(
+            sub_name, FunctionType([value.type for value in inputs],
+                                   [value.type for value in outputs]))
+        module.append(sub_func)
+        sub_functions.append(sub_func)
+        set_dataflow_stage(sub_func, order)
+
+        value_map: dict[Value, Value] = {
+            original: argument for original, argument in zip(inputs, sub_func.arguments)}
+        for node in group:
+            sub_func.body.append(node.clone(value_map))
+        sub_func.body.append(func_dialect.ReturnOp([value_map[v] for v in outputs]))
+
+        call = func_dialect.CallOp(sub_name,
+                                   [top_value[value] for value in inputs],
+                                   [value.type for value in outputs])
+        return_op.parent.insert_before(return_op, call)
+        for original, result in zip(outputs, call.results):
+            top_value[original] = result
+
+    # Point the return at the rewritten values, then remove the original nodes.
+    for position, operand in enumerate(return_op.operands):
+        if operand in top_value and top_value[operand] is not operand:
+            return_op.set_operand(position, top_value[operand])
+    for node in reversed(nodes):
+        node.erase()
+
+    directive = ensure_func_directive(func_op)
+    directive.dataflow = True
+    return sub_functions
+
+
+class SplitFunctionPass(ModulePass):
+    """Split every dataflow-legalized function of the module."""
+
+    name = "split-function"
+
+    def __init__(self, min_granularity: int = 1):
+        self.min_granularity = min_granularity
+
+    def run(self, module: Operation) -> None:
+        if not isinstance(module, ModuleOp):
+            return
+        for func_op in list(module.functions()):
+            nodes = graph_dialect.graph_nodes(func_op)
+            if not nodes or any(get_dataflow_stage(node) is None for node in nodes):
+                continue
+            split_function(module, func_op, self.min_granularity)
+
+
+# -- helpers ----------------------------------------------------------------------------------
+
+
+def _group_inputs(group: list[Operation], group_set: set) -> list[Value]:
+    inputs: list[Value] = []
+    for node in group:
+        for operand in node.operands:
+            defined_inside = isinstance(operand, OpResult) and operand.owner in group_set
+            if not defined_inside and operand not in inputs:
+                inputs.append(operand)
+    return inputs
+
+
+def _group_outputs(group: list[Operation], group_set: set, return_op: Operation) -> list[Value]:
+    outputs: list[Value] = []
+    for node in group:
+        for result in node.results:
+            for use in result.uses:
+                if use.owner not in group_set or use.owner is return_op:
+                    if result not in outputs:
+                        outputs.append(result)
+                    break
+    return outputs

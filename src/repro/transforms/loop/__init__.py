@@ -1,0 +1,30 @@
+"""Loop-level transform passes (paper Section V-B)."""
+
+from repro.transforms.loop.perfectization import AffineLoopPerfectizationPass, perfectize_band
+from repro.transforms.loop.remove_variable_bound import (
+    RemoveVariableBoundPass,
+    remove_variable_bounds,
+)
+from repro.transforms.loop.loop_order_opt import (
+    AffineLoopOrderOptPass,
+    band_memory_accesses,
+    compute_permutation,
+    optimize_loop_order,
+    permute_loop_band,
+)
+from repro.transforms.loop.loop_tiling import AffineLoopTilePass, tile_loop_band
+from repro.transforms.loop.loop_unroll import (
+    AffineLoopUnrollPass,
+    fully_unroll,
+    fully_unroll_nested,
+    unroll_loop,
+)
+
+__all__ = [
+    "AffineLoopPerfectizationPass", "perfectize_band",
+    "RemoveVariableBoundPass", "remove_variable_bounds",
+    "AffineLoopOrderOptPass", "band_memory_accesses", "compute_permutation",
+    "optimize_loop_order", "permute_loop_band",
+    "AffineLoopTilePass", "tile_loop_band",
+    "AffineLoopUnrollPass", "fully_unroll", "fully_unroll_nested", "unroll_loop",
+]

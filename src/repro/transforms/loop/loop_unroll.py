@@ -1,0 +1,137 @@
+"""The ``-affine-loop-unroll`` pass.
+
+Partial unrolling duplicates the loop body ``factor`` times (substituting
+``iv + k*step`` for the induction variable) and multiplies the step; full
+unrolling replaces the loop with one copy of the body per iteration, with the
+induction variable replaced by a constant.  Full unrolling is the mechanism
+behind both the intra-tile unrolling of the DSE flow and the pipeline
+legalization of ``-loop-pipelining``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.affine.expr import dim as dim_expr
+from repro.affine.map import AffineMap
+from repro.dialects import arith
+from repro.dialects.affine_ops import AffineApplyOp, AffineForOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.types import index
+
+
+def unroll_loop(loop: AffineForOp, factor: int) -> Optional[list[Operation]]:
+    """Unroll ``loop`` by ``factor``.
+
+    Returns the list of operations that replaced the loop when it was fully
+    unrolled, or None when the loop was partially unrolled in place.  The
+    factor is clamped to the trip count; a factor that does not divide the
+    trip count is reduced to the largest divisor (keeping the transform
+    exact, as required for predictable QoR estimation).
+    """
+    if factor <= 1:
+        return None
+    trip = loop.trip_count()
+    if trip is None:
+        raise PassError("cannot unroll a loop with variable bounds")
+    if trip == 0:
+        return []
+    factor = min(factor, trip)
+    while trip % factor != 0:
+        factor -= 1
+    if factor == trip:
+        return _fully_unroll(loop)
+    _partially_unroll(loop, factor)
+    return None
+
+
+def fully_unroll(loop: AffineForOp) -> list[Operation]:
+    """Fully unroll ``loop`` (which must have constant bounds)."""
+    trip = loop.trip_count()
+    if trip is None:
+        raise PassError("cannot fully unroll a loop with variable bounds")
+    return _fully_unroll(loop)
+
+
+def fully_unroll_nested(root: Operation) -> int:
+    """Fully unroll every ``affine.for`` nested inside ``root`` (post-order).
+
+    ``root`` itself is not unrolled.  Returns the number of loops unrolled.
+    """
+    unrolled = 0
+    changed = True
+    while changed:
+        changed = False
+        # Innermost loops first so outer unrolling never duplicates inner loops.
+        for op in list(root.walk_post_order()):
+            if op is root or not isinstance(op, AffineForOp) or op.parent is None:
+                continue
+            if any(isinstance(inner, AffineForOp) for inner in op.walk() if inner is not op):
+                continue
+            fully_unroll(op)
+            unrolled += 1
+            changed = True
+    return unrolled
+
+
+class AffineLoopUnrollPass(FunctionPass):
+    """Unroll innermost loops by a fixed factor (Tab. II: ``unroll-factor``)."""
+
+    name = "affine-loop-unroll"
+
+    def __init__(self, unroll_factor: int = 4):
+        self.unroll_factor = unroll_factor
+
+    def run(self, op: Operation) -> None:
+        from repro.dialects.affine_ops import innermost_loops
+
+        for loop in innermost_loops(op):
+            if loop.parent is None:
+                continue
+            unroll_loop(loop, self.unroll_factor)
+
+
+# -- implementation ------------------------------------------------------------------------
+
+
+def _fully_unroll(loop: AffineForOp) -> list[Operation]:
+    block = loop.parent
+    lower = loop.constant_lower_bound
+    upper = loop.constant_upper_bound
+    step = loop.step
+    new_ops: list[Operation] = []
+    for iteration_value in range(lower, upper, step):
+        constant = arith.ConstantOp(iteration_value, index)
+        new_ops.append(constant)
+        value_map = {loop.induction_variable: constant.result()}
+        for body_op in loop.body.operations:
+            if body_op.name == "affine.yield":
+                continue
+            new_ops.append(body_op.clone(value_map))
+    position = block.index_of(loop)
+    block.insert_all(position + 1, new_ops)
+    loop.erase()
+    return new_ops
+
+
+def _partially_unroll(loop: AffineForOp, factor: int) -> None:
+    step = loop.step
+    original_ops = [op for op in loop.body.operations if op.name != "affine.yield"]
+    iv = loop.induction_variable
+    anchor = original_ops[-1] if original_ops else None
+    for k in range(1, factor):
+        offset_map = AffineMap(1, 0, [dim_expr(0) + k * step])
+        apply_op = AffineApplyOp(offset_map, [iv])
+        if anchor is None:
+            loop.body.append(apply_op)
+        else:
+            loop.body.insert_after(anchor, apply_op)
+        anchor = apply_op
+        value_map = {iv: apply_op.result()}
+        for body_op in original_ops:
+            clone = body_op.clone(value_map)
+            loop.body.insert_after(anchor, clone)
+            anchor = clone
+    loop.set_step(step * factor)

@@ -1,0 +1,120 @@
+"""The ``-affine-loop-perfectization`` pass.
+
+Relocates operations that sit between loop statements (which make the nest
+imperfect) into the innermost loop, guarding state-modifying operations
+(stores) with an ``affine.if`` on the first — or, for trailing operations,
+last — iteration of the loop they were moved into.  Non-store operations are
+hoisted out of the conditional, exactly as described in Section V-B1 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.affine.expr import dim as dim_expr
+from repro.affine.set import Constraint, IntegerSet
+from repro.dialects.affine_ops import AffineForOp, AffineIfOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+
+
+def perfectize_band(outer: AffineForOp) -> bool:
+    """Perfectize the loop nest rooted at ``outer``.  Returns True if changed."""
+    changed = False
+    current = outer
+    while True:
+        nested = current.nested_for_ops()
+        if len(nested) != 1:
+            break
+        inner = nested[0]
+        changed |= _sink_surrounding_ops(current, inner)
+        current = inner
+    return changed
+
+
+class AffineLoopPerfectizationPass(FunctionPass):
+    """Perfectize every outermost loop nest of a function."""
+
+    name = "affine-loop-perfectization"
+
+    def run(self, op: Operation) -> None:
+        from repro.dialects.affine_ops import outermost_loops
+
+        for outer in outermost_loops(op):
+            perfectize_band(outer)
+
+
+# -- implementation --------------------------------------------------------------------------
+
+
+def _sink_surrounding_ops(loop: AffineForOp, inner: AffineForOp) -> bool:
+    """Move the ops around ``inner`` in ``loop``'s body into ``inner``'s body."""
+    body_ops = [op for op in loop.body.operations if op.name != "affine.yield"]
+    inner_index = body_ops.index(inner)
+    before_ops = body_ops[:inner_index]
+    after_ops = body_ops[inner_index + 1:]
+    if not before_ops and not after_ops:
+        return False
+    if not inner.has_constant_bounds():
+        return False
+    if not _can_sink(before_ops, after_ops, inner):
+        return False
+
+    changed = False
+    if before_ops:
+        changed |= _sink_group(before_ops, inner, at_start=True)
+    if after_ops:
+        changed |= _sink_group(after_ops, inner, at_start=False)
+    return changed
+
+
+def _can_sink(before_ops, after_ops, inner: AffineForOp) -> bool:
+    """Sinking is legal only if no moved value is needed by the loop bounds or later."""
+    moving = set(before_ops) | set(after_ops)
+    inner_ops = set(inner.walk())
+    for op in moving:
+        for result in op.results:
+            for use in result.uses:
+                user = use.owner
+                if user is inner:
+                    # Used by the inner loop's bound operands.
+                    return False
+                if user in moving or user in inner_ops:
+                    continue
+                # Used by an ancestor of the moved set inside the inner loop?
+                if any(ancestor in inner_ops or ancestor in moving
+                       for ancestor in user.ancestors()):
+                    continue
+                return False
+    return True
+
+
+def _sink_group(ops, inner: AffineForOp, at_start: bool) -> bool:
+    """Move ``ops`` into ``inner``'s body, guarding stores on the boundary iteration."""
+    iv = inner.induction_variable
+    if at_start:
+        boundary = inner.constant_lower_bound
+        insert_index = 0
+    else:
+        trip = inner.trip_count()
+        boundary = inner.constant_lower_bound + (trip - 1) * inner.step
+        insert_index = len(inner.body.operations)
+
+    guard_set = IntegerSet(1, 0, [Constraint(dim_expr(0) - boundary, True)])
+    guard: AffineIfOp | None = None
+
+    position = insert_index
+    for op in ops:
+        op.detach()
+        if op.name in ("affine.store", "memref.store", "memref.copy"):
+            if guard is None:
+                # A fresh guard per run of stores keeps the original ordering
+                # between stores and the operations around them.
+                guard = AffineIfOp(guard_set, [iv])
+                inner.body.insert(position, guard)
+                position += 1
+            guard.then_block.append(op)
+        else:
+            inner.body.insert(position, op)
+            position += 1
+            guard = None
+    return True

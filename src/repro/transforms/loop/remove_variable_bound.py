@@ -1,0 +1,156 @@
+"""The ``-remove-variable-bound`` pass.
+
+Replaces variable loop bounds (bounds that are affine functions of outer
+induction variables) with their extreme constant value, and guards the loop
+body with an ``affine.if`` reproducing the original bound condition.  This
+regularizes non-rectangular loop nests (SYRK, SYR2K, TRMM) so that tiling and
+QoR estimation can proceed (paper Section V-B3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.affine.analysis import expr_min_max
+from repro.affine.expr import AffineExpr, dim as dim_expr
+from repro.affine.map import AffineMap
+from repro.affine.set import Constraint, IntegerSet
+from repro.dialects.affine_ops import AffineForOp, AffineIfOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass
+from repro.ir.value import BlockArgument, Value
+
+
+def remove_variable_bounds(root: Operation) -> int:
+    """Remove variable bounds of every loop nested under ``root``.
+
+    Returns the number of loops whose bounds were made constant.
+    """
+    changed = 0
+    for op in list(root.walk()):
+        if isinstance(op, AffineForOp) and op.parent is not None:
+            if _remove_for_loop(op):
+                changed += 1
+    return changed
+
+
+class RemoveVariableBoundPass(FunctionPass):
+    """Pass wrapper around :func:`remove_variable_bounds`."""
+
+    name = "remove-variable-bound"
+
+    def run(self, op: Operation) -> None:
+        remove_variable_bounds(op)
+
+
+# -- implementation ----------------------------------------------------------------------------
+
+
+def _operand_range(value: Value) -> Optional[tuple[int, int]]:
+    if isinstance(value, BlockArgument):
+        owner = value.owner.parent_op if value.owner.parent is not None else None
+        if isinstance(owner, AffineForOp) and owner.has_constant_bounds():
+            return (owner.constant_lower_bound, owner.constant_upper_bound)
+    from repro.dialects import arith
+
+    constant = arith.constant_value(value)
+    if constant is not None:
+        return (int(constant), int(constant) + 1)
+    return None
+
+
+def _remove_for_loop(loop: AffineForOp) -> bool:
+    lower_variable = not loop.has_constant_lower_bound()
+    upper_variable = not loop.has_constant_upper_bound()
+    if not lower_variable and not upper_variable:
+        return False
+
+    guard_constraints: list[Constraint] = []
+    guard_operands: list[Value] = []
+
+    if upper_variable:
+        result = _constant_extreme(loop.upper_map, loop.ub_operands, want_max=True)
+        if result is None:
+            return False
+        new_upper, constraint_expr, operands = result
+        # Original condition: iv < upper_expr  <=>  upper_expr - iv - 1 >= 0.
+        guard_constraints.append((constraint_expr, operands, "upper"))
+        loop.set_attr("upper_map", AffineMap.constant_map(new_upper))
+    if lower_variable:
+        result = _constant_extreme(loop.lower_map, loop.lb_operands, want_max=False)
+        if result is None:
+            return False
+        new_lower, constraint_expr, operands = result
+        guard_constraints.append((constraint_expr, operands, "lower"))
+        loop.set_attr("lower_map", AffineMap.constant_map(new_lower))
+
+    # Rebuild the operand list (bounds are constant now).
+    loop.set_attr("num_lb_operands", 0)
+    loop.set_operands([])
+
+    # Build the guard: dims are the original bound operands followed by the IV.
+    all_operands: list[Value] = []
+    constraints: list[Constraint] = []
+    for expr, operands, kind in guard_constraints:
+        remapped, all_operands = _merge_operands(expr, operands, all_operands)
+        iv_dim = dim_expr(len(all_operands))  # placeholder; fixed after merge below
+        constraints.append((remapped, kind))
+
+    iv_position = len(all_operands)
+    final_constraints = []
+    for remapped, kind in constraints:
+        if kind == "upper":
+            final_constraints.append(Constraint(remapped - dim_expr(iv_position) - 1, False))
+        else:
+            final_constraints.append(Constraint(dim_expr(iv_position) - remapped, False))
+    guard_set = IntegerSet(iv_position + 1, 0, final_constraints)
+
+    # The guard is generated in the *innermost* loop of the (perfect) nest below,
+    # so the band stays perfectly nested (paper Fig. 5, transform C).
+    target = loop
+    while True:
+        body_ops = [op for op in target.body.operations if op.name != "affine.yield"]
+        if len(body_ops) == 1 and isinstance(body_ops[0], AffineForOp):
+            target = body_ops[0]
+            continue
+        break
+    guard = AffineIfOp(guard_set, [*all_operands, loop.induction_variable])
+    body_ops = [op for op in target.body.operations if op.name != "affine.yield"]
+    target.body.insert(0, guard)
+    for op in body_ops:
+        op.detach()
+        guard.then_block.append(op)
+    return True
+
+
+def _constant_extreme(bound_map: AffineMap, operands, want_max: bool):
+    """Extreme value of a single-result bound map over its operands' ranges."""
+    if bound_map.num_results != 1:
+        return None
+    ranges = []
+    for operand in operands:
+        value_range = _operand_range(operand)
+        if value_range is None:
+            return None
+        ranges.append(value_range)
+    expr = bound_map.results[0]
+    if not ranges:
+        return None
+    try:
+        low, high = expr_min_max(expr, ranges)
+    except ValueError:
+        return None
+    return (high if want_max else low), expr, list(operands)
+
+
+def _merge_operands(expr: AffineExpr, operands, all_operands: list[Value]):
+    """Remap ``expr``'s dims into the combined operand list, extending it as needed."""
+    replacements = {}
+    for position, operand in enumerate(operands):
+        if operand in all_operands:
+            new_position = all_operands.index(operand)
+        else:
+            new_position = len(all_operands)
+            all_operands.append(operand)
+        replacements[position] = dim_expr(new_position)
+    return expr.replace(replacements), all_operands

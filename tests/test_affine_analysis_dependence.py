@@ -1,0 +1,203 @@
+"""Tests for affine analysis helpers and the memory dependence model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.affine import (
+    MemoryAccess,
+    constant,
+    dependence_distance,
+    dim,
+    expr_min_max,
+)
+from repro.affine.analysis import expr_constant_term, expr_dim_coefficients, linearize
+from repro.affine.dependence import (
+    FREE,
+    accesses_conflict,
+    all_dependences,
+    loops_carrying_dependence,
+    minimum_carried_distance,
+)
+
+
+class TestLinearize:
+    def test_constant(self):
+        assert linearize(constant(5), 2) == ([0, 0], 5)
+
+    def test_dim(self):
+        assert linearize(dim(1), 3) == ([0, 1, 0], 0)
+
+    def test_linear_combination(self):
+        coeffs, const = linearize(dim(0) * 4 + dim(1) - 3, 2)
+        assert coeffs == [4, 1]
+        assert const == -3
+
+    def test_mod_is_not_linear(self):
+        assert linearize(dim(0) % 4, 1) is None
+
+    def test_dim_product_is_not_linear(self):
+        from repro.affine.expr import AffineBinaryExpr, AffineExprKind
+
+        product = AffineBinaryExpr(AffineExprKind.MUL, dim(0), dim(1))
+        assert linearize(product, 2) is None
+
+    def test_out_of_range_dim(self):
+        assert linearize(dim(5), 2) is None
+
+    def test_coefficients_helper(self):
+        assert expr_dim_coefficients(dim(0) * 2 + dim(1), 2) == [2, 1]
+
+    def test_constant_term_helper(self):
+        assert expr_constant_term(dim(0) + 7, 1) == 7
+
+
+class TestMinMax:
+    def test_linear_bounds(self):
+        low, high = expr_min_max(dim(0) * 2 + 1, [(0, 10)])
+        assert (low, high) == (1, 19)
+
+    def test_negative_coefficient(self):
+        low, high = expr_min_max(constant(10) - dim(0), [(0, 4)])
+        assert (low, high) == (7, 10)
+
+    def test_multi_dim(self):
+        low, high = expr_min_max(dim(0) + dim(1), [(0, 4), (2, 6)])
+        assert (low, high) == (2, 8)
+
+    def test_nonlinear_enumeration(self):
+        low, high = expr_min_max(dim(0) % 4, [(0, 10)])
+        assert (low, high) == (0, 3)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            expr_min_max(dim(0), [(3, 3)])
+
+    @given(st.integers(0, 30), st.integers(1, 30))
+    def test_value_within_bounds(self, low_bound, extent):
+        expr = dim(0) * 3 - 5
+        low, high = expr_min_max(expr, [(low_bound, low_bound + extent)])
+        for value in range(low_bound, low_bound + extent):
+            assert low <= expr.evaluate([value]) <= high
+
+
+def make_access(memref, indices, is_write):
+    return MemoryAccess(memref=memref, indices=tuple(indices), is_write=is_write)
+
+
+class TestDependence:
+    def test_different_buffers_never_conflict(self):
+        a = make_access("A", [dim(0)], True)
+        b = make_access("B", [dim(0)], False)
+        assert dependence_distance(a, b, 1) is None
+
+    def test_read_read_has_no_dependence(self):
+        a = make_access("A", [dim(0)], False)
+        b = make_access("A", [dim(0)], False)
+        assert dependence_distance(a, b, 1) is None
+
+    def test_same_address_reduction(self):
+        """C[i][j] loaded and stored: dependence carried by a loop not indexing C."""
+        store = make_access("C", [dim(0), dim(1)], True)
+        load = make_access("C", [dim(0), dim(1)], False)
+        dep = dependence_distance(store, load, 3)
+        assert dep is not None
+        assert dep.distances[0] == 0
+        assert dep.distances[1] == 0
+        assert dep.distances[2] == FREE
+        assert dep.carried_by(2)
+        assert not dep.carried_by(0)
+
+    def test_constant_offset_distance(self):
+        """A[i+1] written, A[i] read: distance one along the i loop."""
+        store = make_access("A", [dim(0) + 1], True)
+        load = make_access("A", [dim(0)], False)
+        dep = dependence_distance(store, load, 1)
+        assert dep is not None
+        assert dep.distances[0] == 1
+
+    def test_incompatible_constant_offsets(self):
+        """Accesses to different constant addresses never conflict."""
+        store = make_access("A", [constant(0)], True)
+        load = make_access("A", [constant(5)], False)
+        assert dependence_distance(store, load, 1) is None
+
+    def test_non_divisible_offset_means_no_dependence(self):
+        store = make_access("A", [dim(0) * 2 + 1], True)
+        load = make_access("A", [dim(0) * 2], False)
+        assert dependence_distance(store, load, 1) is None
+
+    def test_nonlinear_index_is_conservative(self):
+        store = make_access("A", [dim(0) % 4], True)
+        load = make_access("A", [dim(0)], False)
+        dep = dependence_distance(store, load, 1)
+        assert dep is not None
+        assert dep.distances[0] == FREE
+
+    def test_conflict_helper(self):
+        store = make_access("A", [dim(0)], True)
+        load = make_access("A", [dim(0)], False)
+        assert accesses_conflict(store, load, 1)
+        assert not accesses_conflict(load, load, 1)
+
+
+class TestCarriedLoops:
+    def test_gemm_reduction_pattern(self):
+        """C[i][j] accumulation: only the k loop (dim 2) carries a dependence."""
+        accesses = [
+            make_access("C", [dim(0), dim(1)], False),
+            make_access("C", [dim(0), dim(1)], True),
+            make_access("A", [dim(0), dim(2)], False),
+            make_access("B", [dim(2), dim(1)], False),
+        ]
+        assert loops_carrying_dependence(accesses, 3) == {2}
+
+    def test_bicg_pattern_both_loops_carry(self):
+        """s[j] and q[i] updates: both the i and j loops carry a dependence."""
+        accesses = [
+            make_access("s", [dim(1)], True),
+            make_access("s", [dim(1)], False),
+            make_access("q", [dim(0)], True),
+            make_access("q", [dim(0)], False),
+        ]
+        assert loops_carrying_dependence(accesses, 2) == {0, 1}
+
+    def test_elementwise_carries_nothing(self):
+        accesses = [
+            make_access("out", [dim(0)], True),
+            make_access("in", [dim(0)], False),
+        ]
+        assert loops_carrying_dependence(accesses, 1) == set()
+
+    def test_minimum_carried_distance(self):
+        accesses = [
+            make_access("A", [dim(0) + 2], True),
+            make_access("A", [dim(0)], False),
+        ]
+        assert minimum_carried_distance(accesses, 1, 0) == 2
+
+    def test_minimum_distance_none_when_not_carried(self):
+        accesses = [
+            make_access("A", [dim(0)], True),
+            make_access("A", [dim(0)], False),
+        ]
+        assert minimum_carried_distance(accesses, 1, 0) is None
+
+    def test_all_dependences_counts_write_pairs(self):
+        accesses = [
+            make_access("A", [dim(0)], True),
+            make_access("A", [dim(0)], False),
+            make_access("A", [dim(0)], False),
+        ]
+        deps = all_dependences(accesses, 1)
+        assert len(deps) >= 2
+
+
+@given(st.integers(-8, 8))
+def test_offset_distance_matches_shift(offset):
+    """Write A[i + offset], read A[i]: the dependence distance equals |offset|."""
+    store = make_access("A", [dim(0) + offset], True)
+    load = make_access("A", [dim(0)], False)
+    dep = dependence_distance(store, load, 1)
+    assert dep is not None
+    assert dep.distances[0] == offset
+    assert dep.distance_along(0) == abs(offset) if offset != 0 else True

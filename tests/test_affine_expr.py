@@ -1,0 +1,186 @@
+"""Tests for affine expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.affine import (
+    AffineBinaryExpr,
+    AffineConstantExpr,
+    AffineDimExpr,
+    AffineExprKind,
+    constant,
+    dim,
+    symbol,
+)
+
+
+class TestConstruction:
+    def test_dim_position(self):
+        assert dim(3).position == 3
+
+    def test_dim_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            dim(-1)
+
+    def test_symbol_position(self):
+        assert symbol(2).position == 2
+
+    def test_symbol_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            symbol(-1)
+
+    def test_constant_value(self):
+        assert constant(7).value == 7
+
+    def test_add_builds_binary(self):
+        expr = dim(0) + dim(1)
+        assert isinstance(expr, AffineBinaryExpr)
+        assert expr.kind is AffineExprKind.ADD
+
+    def test_int_operands_are_wrapped(self):
+        expr = dim(0) + 5
+        assert isinstance(expr.rhs, AffineConstantExpr)
+
+    def test_radd(self):
+        expr = 5 + dim(0)
+        assert expr.evaluate([2]) == 7
+
+    def test_invalid_operand_type_rejected(self):
+        with pytest.raises(TypeError):
+            dim(0) + "nope"
+
+
+class TestSimplification:
+    def test_constant_folding_add(self):
+        assert (constant(2) + constant(3)) == constant(5)
+
+    def test_constant_folding_mul(self):
+        assert (constant(4) * constant(5)) == constant(20)
+
+    def test_add_zero_is_identity(self):
+        assert (dim(0) + 0) == dim(0)
+
+    def test_mul_one_is_identity(self):
+        assert (dim(0) * 1) == dim(0)
+
+    def test_mul_zero_is_zero(self):
+        assert (dim(0) * 0) == constant(0)
+
+    def test_mod_one_is_zero(self):
+        assert (dim(0) % 1) == constant(0)
+
+    def test_floordiv_one_is_identity(self):
+        assert dim(0).floordiv(1) == dim(0)
+
+    def test_constant_mod(self):
+        assert (constant(7) % 3) == constant(1)
+
+    def test_constant_floordiv(self):
+        assert constant(7).floordiv(2) == constant(3)
+
+    def test_constant_ceildiv(self):
+        assert constant(7).ceildiv(2) == constant(4)
+
+    def test_mod_nonpositive_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            dim(0) % 0
+
+
+class TestEvaluate:
+    def test_dim(self):
+        assert dim(1).evaluate([5, 9]) == 9
+
+    def test_symbol(self):
+        assert symbol(0).evaluate([], [42]) == 42
+
+    def test_linear_combination(self):
+        expr = dim(0) * 3 + dim(1) - 2
+        assert expr.evaluate([4, 7]) == 12 + 7 - 2
+
+    def test_mod_floordiv(self):
+        expr = (dim(0) % 4) + dim(0).floordiv(4)
+        assert expr.evaluate([10]) == 2 + 2
+
+    def test_negation(self):
+        assert (-dim(0)).evaluate([3]) == -3
+
+    def test_subtraction(self):
+        assert (dim(0) - dim(1)).evaluate([10, 4]) == 6
+
+
+class TestStructure:
+    def test_equality_is_structural(self):
+        assert (dim(0) + 1) == (dim(0) + 1)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(dim(2) * 3) == hash(dim(2) * 3)
+
+    def test_inequality(self):
+        assert (dim(0) + 1) != (dim(0) + 2)
+
+    def test_used_dims(self):
+        expr = dim(0) * 2 + dim(3)
+        assert expr.used_dims() == {0, 3}
+
+    def test_used_symbols(self):
+        expr = symbol(1) + dim(0)
+        assert expr.used_symbols() == {1}
+
+    def test_replace_dims(self):
+        expr = dim(0) + dim(1)
+        replaced = expr.replace({0: constant(5)})
+        assert replaced.evaluate([0, 7]) == 12
+
+    def test_replace_with_sequence(self):
+        expr = dim(0) * 2
+        assert expr.replace([dim(1)]).used_dims() == {1}
+
+    def test_shift_dims(self):
+        expr = dim(0) + dim(2)
+        assert expr.shift_dims(3).used_dims() == {3, 5}
+
+    def test_is_pure_affine_linear(self):
+        assert (dim(0) * 4 + symbol(0)).is_pure_affine()
+
+    def test_is_pure_affine_mod_by_constant(self):
+        assert (dim(0) % 8).is_pure_affine()
+
+    def test_product_of_dims_not_pure_affine(self):
+        product = AffineBinaryExpr(AffineExprKind.MUL, dim(0), dim(1))
+        assert not product.is_pure_affine()
+
+    def test_str_forms(self):
+        assert str(dim(0)) == "d0"
+        assert str(symbol(1)) == "s1"
+        assert "mod" in str(dim(0) % 4)
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100), st.integers(-50, 50))
+def test_add_evaluation_matches_python(a, b, c):
+    expr = dim(0) + dim(1) * c
+    assert expr.evaluate([a, b]) == a + b * c
+
+
+@given(st.integers(0, 1000), st.integers(1, 64))
+def test_mod_floordiv_decomposition(value, divisor):
+    """floor(v / d) * d + v mod d == v for every non-negative v."""
+    expr = dim(0).floordiv(divisor) * divisor + (dim(0) % divisor)
+    assert expr.evaluate([value]) == value
+
+
+@given(st.integers(-20, 20), st.integers(-20, 20))
+def test_structural_equality_implies_equal_evaluation(a, b):
+    first = dim(0) * 3 + dim(1) - 7
+    second = dim(0) * 3 + dim(1) - 7
+    assert first == second
+    assert first.evaluate([a, b]) == second.evaluate([a, b])
+
+
+@given(st.integers(1, 63), st.integers(0, 200))
+def test_ceildiv_vs_floordiv(divisor, value):
+    ceil_expr = dim(0).ceildiv(divisor)
+    floor_expr = dim(0).floordiv(divisor)
+    ceil_value = ceil_expr.evaluate([value])
+    floor_value = floor_expr.evaluate([value])
+    assert floor_value <= ceil_value <= floor_value + 1
+    assert ceil_value == -((-value) // divisor)

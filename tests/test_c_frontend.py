@@ -1,0 +1,221 @@
+"""Tests for the HLS C front-end: lexer, parser, lowering and affine raising."""
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.frontend import c_ast as ast
+from repro.frontend.c_lexer import LexError, tokenize
+from repro.frontend.c_parser import ParseError, parse_c
+from repro.frontend.c_to_mlir import FrontendError, parse_c_to_module
+from repro.frontend.raise_to_affine import RaiseSCFToAffinePass
+from repro.ir.interpreter import interpret_kernel
+from repro.kernels import KERNEL_NAMES, kernel_source
+from repro.transforms import canonicalize
+
+from conftest import SYRK_SOURCE, compile_source, random_array, reference_syrk
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("void foo(float a) { a += 1.5f; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "number" in kinds
+        assert tokens[-1].kind == "eof"
+
+    def test_comments_and_pragmas_skipped(self):
+        tokens = tokenize("""
+        // a comment
+        #pragma HLS pipeline
+        /* block
+           comment */
+        int x;
+        """)
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["int", "x", ";"]
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a += b; c <= d;")
+        operators = [t.text for t in tokens if t.kind == "operator"]
+        assert "+=" in operators and "<=" in operators
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("int a;\nint b;")
+        assert tokens[3].line == 2
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("int a @ b;")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestParser:
+    def test_function_signature(self):
+        program = parse_c("void foo(float alpha, float A[4][8]) { }")
+        function = program.function("foo")
+        assert function is not None
+        assert function.params[0].dims == []
+        assert function.params[1].dims == [4, 8]
+
+    def test_for_loop_structure(self):
+        program = parse_c("""
+        void foo(float A[8]) {
+          for (int i = 0; i < 8; i++) { A[i] = 0.0; }
+        }""")
+        loop = program.function("foo").body.statements[0]
+        assert isinstance(loop, ast.ForLoop)
+        assert loop.var == "i"
+        assert loop.step == 1
+        assert loop.compare_op == "<"
+
+    def test_for_loop_le_and_step(self):
+        program = parse_c("""
+        void foo(float A[8]) {
+          for (int i = 2; i <= 6; i += 2) { A[i] = 1.0; }
+        }""")
+        loop = program.function("foo").body.statements[0]
+        assert loop.compare_op == "<="
+        assert loop.step == 2
+
+    def test_compound_assignment(self):
+        program = parse_c("void foo(float A[4]) { A[1] += 2.0; }")
+        statement = program.function("foo").body.statements[0]
+        assert isinstance(statement, ast.Assignment)
+        assert statement.op == "+="
+
+    def test_if_else(self):
+        program = parse_c("""
+        void foo(float A[4]) {
+          for (int i = 0; i < 4; i++) {
+            if (i >= 2) { A[i] = 1.0; } else { A[i] = 2.0; }
+          }
+        }""")
+        loop = program.function("foo").body.statements[0]
+        conditional = loop.body.statements[0]
+        assert isinstance(conditional, ast.IfStmt)
+        assert conditional.else_body is not None
+
+    def test_ternary_expression(self):
+        program = parse_c("void foo(float A[4]) { A[0] = (1 > 0) ? 1.0 : 2.0; }")
+        statement = program.function("foo").body.statements[0]
+        assert isinstance(statement.value, ast.TernaryExpr)
+
+    def test_operator_precedence(self):
+        program = parse_c("void foo(float A[4]) { A[0] = 1.0 + 2.0 * 3.0; }")
+        value = program.function("foo").body.statements[0].value
+        assert value.op == "+"
+        assert value.rhs.op == "*"
+
+    def test_declaration_with_dims(self):
+        program = parse_c("void foo() { float tmp[16]; int n = 4; }")
+        body = program.function("foo").body.statements
+        assert body[0].dims == [16]
+        assert body[1].init is not None
+
+    def test_unsupported_while_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c("void foo() { while (1) { } }")
+
+    def test_bad_loop_condition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c("void foo(float A[4]) { for (int i = 0; j < 4; i++) { } }")
+
+    def test_all_polybench_kernels_parse(self):
+        for name in KERNEL_NAMES:
+            program = parse_c(kernel_source(name, 8))
+            assert program.function(name) is not None
+
+
+class TestCToMLIR:
+    def test_module_structure(self):
+        module = parse_c_to_module(SYRK_SOURCE, "syrk")
+        ir.verify(module)
+        func_op = module.lookup("syrk")
+        assert func_op is not None
+        assert func_op.get_attr("arg_names") == ["alpha", "beta", "C", "A"]
+        assert [op.name for op in func_op.walk()].count("scf.for") == 3
+
+    def test_scalar_local_becomes_buffer(self):
+        module = parse_c_to_module("""
+        void foo(float A[4]) {
+          float acc = 0.0;
+          for (int i = 0; i < 4; i++) { acc += A[i]; }
+          A[0] = acc;
+        }""")
+        ir.verify(module)
+        allocs = [op for op in module.walk() if op.name == "memref.alloc"]
+        assert len(allocs) == 1
+        assert allocs[0].result().type.shape == (1,)
+
+    def test_non_void_function_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_c_to_module("float foo() { return 1.0; }")
+
+    def test_assign_to_parameter_scalar_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_c_to_module("void foo(float a) { a = 1.0; }")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_c_to_module("void foo(float A[4]) { A[0] = missing; }")
+
+
+class TestRaiseToAffine:
+    def test_constant_loops_become_affine(self, gemm_module):
+        ops = [op.name for op in gemm_module.walk()]
+        assert "affine.for" in ops
+        assert "scf.for" not in ops
+        assert "memref.load" not in ops
+        assert "affine.load" in ops
+
+    def test_variable_bound_raised_with_operand(self, syrk_module):
+        loops = [op for op in syrk_module.walk() if op.name == "affine.for"]
+        variable = [loop for loop in loops if not loop.has_constant_upper_bound()]
+        assert len(variable) == 1
+        assert len(variable[0].ub_operands) == 1
+
+    def test_if_condition_becomes_integer_set(self):
+        module = compile_source("""
+        void foo(float A[8][8]) {
+          for (int i = 0; i < 8; i++) {
+            for (int j = 0; j < 8; j++) {
+              if (i >= j) { A[i][j] = 1.0; }
+            }
+          }
+        }""")
+        ifs = [op for op in module.walk() if op.name == "affine.if"]
+        assert len(ifs) == 1
+        condition = ifs[0].condition
+        assert condition.contains([3, 2])
+        assert not condition.contains([2, 3])
+
+    def test_semantics_preserved_by_raising(self):
+        """The raised SYRK computes exactly the same result as the reference."""
+        module = compile_source(SYRK_SOURCE, "syrk")
+        C = random_array((16, 16), seed=1)
+        A = random_array((16, 8), seed=2)
+        expected = reference_syrk(1.5, 0.5, C, A)
+        interpret_kernel(module, "syrk", {"C": C, "A": A},
+                         {"alpha": 1.5, "beta": 0.5})
+        np.testing.assert_allclose(C, expected, rtol=1e-5)
+
+    def test_gemm_semantics(self, gemm_module):
+        from conftest import reference_gemm
+
+        C = random_array((8, 8), seed=3)
+        A = random_array((8, 8), seed=4)
+        B = random_array((8, 8), seed=5)
+        expected = reference_gemm(2.0, 0.5, C, A, B)
+        interpret_kernel(gemm_module, "gemm", {"C": C, "A": A, "B": B},
+                         {"alpha": 2.0, "beta": 0.5})
+        np.testing.assert_allclose(C, expected, rtol=1e-4)
+
+    def test_all_kernels_compile_and_verify(self):
+        for name in KERNEL_NAMES:
+            module = compile_source(kernel_source(name, 8), name)
+            ir.verify(module)
+            assert any(op.name == "affine.for" for op in module.walk())

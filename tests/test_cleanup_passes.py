@@ -1,0 +1,275 @@
+"""Tests for the redundancy-elimination passes."""
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.affine import AffineMap, dim
+from repro.affine.set import Constraint, IntegerSet
+from repro.dialects import arith, func, memref
+from repro.dialects.affine_ops import AffineForOp, AffineIfOp, AffineLoadOp, AffineStoreOp
+from repro.ir import Builder, InsertionPoint, MemRefType, ModuleOp, f32, index
+from repro.ir.interpreter import interpret_kernel
+from repro.transforms import (
+    canonicalize,
+    eliminate_common_subexpressions,
+    forward_stores,
+    simplify_affine_ifs,
+    simplify_memref_accesses,
+)
+
+from conftest import SYRK_SOURCE, compile_source, random_array, reference_syrk
+
+
+def make_function(arg_types):
+    module = ModuleOp("m")
+    f = func.build_function(module, "f", arg_types)
+    return module, f, Builder(InsertionPoint.at_end(f.body))
+
+
+class TestCanonicalize:
+    def test_integer_constant_folding(self):
+        module, f, builder = make_function([])
+        a = builder.insert(arith.ConstantOp(3, index))
+        b = builder.insert(arith.ConstantOp(4, index))
+        add = builder.insert(arith.AddIOp(a.result(), b.result()))
+        buffer = builder.insert(memref.AllocOp(MemRefType((16,), f32)))
+        value = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(memref.StoreOp(value.result(), buffer.result(), [add.result()]))
+        canonicalize(f)
+        stores = [op for op in f.walk() if op.name == "memref.store"]
+        folded = arith.constant_value(stores[0].indices[0])
+        assert folded == 7
+
+    def test_float_folding(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        a = builder.insert(arith.ConstantOp(2.0, f32))
+        b = builder.insert(arith.ConstantOp(3.0, f32))
+        mul = builder.insert(arith.MulFOp(a.result(), b.result()))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        builder.insert(memref.StoreOp(mul.result(), f.arguments[0], [zero.result()]))
+        canonicalize(f)
+        stores = [op for op in f.walk() if op.name == "memref.store"]
+        assert arith.constant_value(stores[0].value) == 6.0
+
+    def test_dead_code_elimination(self):
+        module, f, builder = make_function([])
+        a = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(arith.AddFOp(a.result(), a.result()))  # unused
+        canonicalize(f)
+        assert [op.name for op in f.body.operations] == []
+
+    def test_stores_never_eliminated(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        value = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(memref.StoreOp(value.result(), f.arguments[0], [zero.result()]))
+        canonicalize(f)
+        assert any(op.name == "memref.store" for op in f.walk())
+
+    def test_zero_trip_loop_removed(self):
+        module, f, builder = make_function([])
+        builder.insert(AffineForOp.constant_bounds(4, 4))
+        canonicalize(f)
+        assert not any(op.name == "affine.for" for op in f.walk())
+
+    def test_single_iteration_loop_promoted(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        loop = builder.insert(AffineForOp.constant_bounds(2, 3))
+        body = Builder(InsertionPoint.at_end(loop.body))
+        value = body.insert(arith.ConstantOp(1.0, f32))
+        body.insert(AffineStoreOp(value.result(), f.arguments[0], [loop.induction_variable]))
+        canonicalize(f)
+        assert not any(op.name == "affine.for" for op in f.walk())
+        stores = [op for op in f.walk() if op.name == "affine.store"]
+        assert len(stores) == 1
+
+    def test_affine_apply_folding(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        from repro.dialects.affine_ops import AffineApplyOp
+
+        c = builder.insert(arith.ConstantOp(3, index))
+        apply_op = builder.insert(AffineApplyOp(AffineMap(1, 0, [dim(0) * 2 + 1]), [c.result()]))
+        v = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(AffineStoreOp(v.result(), f.arguments[0], [apply_op.result()]))
+        canonicalize(f)
+        stores = [op for op in f.walk() if op.name == "affine.store"]
+        assert arith.constant_value(stores[0].indices[0]) == 7
+
+    def test_canonicalize_is_idempotent(self, gemm_module):
+        f = gemm_module.functions()[0]
+        canonicalize(f)
+        assert not canonicalize(f)
+
+
+class TestCSE:
+    def test_duplicate_constants_merged(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        a = builder.insert(arith.ConstantOp(1.0, f32))
+        b = builder.insert(arith.ConstantOp(1.0, f32))
+        add = builder.insert(arith.AddFOp(a.result(), b.result()))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        builder.insert(memref.StoreOp(add.result(), f.arguments[0], [zero.result()]))
+        removed = eliminate_common_subexpressions(f)
+        assert removed >= 1
+        assert add.operand(0) is add.operand(1)
+
+    def test_identical_adds_merged(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        a = builder.insert(arith.ConstantOp(1.0, f32))
+        add1 = builder.insert(arith.AddFOp(a.result(), a.result()))
+        add2 = builder.insert(arith.AddFOp(a.result(), a.result()))
+        mul = builder.insert(arith.MulFOp(add1.result(), add2.result()))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        builder.insert(memref.StoreOp(mul.result(), f.arguments[0], [zero.result()]))
+        eliminate_common_subexpressions(f)
+        assert mul.operand(0) is mul.operand(1)
+
+    def test_different_attributes_not_merged(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        a = builder.insert(arith.ConstantOp(1.0, f32))
+        b = builder.insert(arith.ConstantOp(2.0, f32))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        add = builder.insert(arith.AddFOp(a.result(), b.result()))
+        builder.insert(memref.StoreOp(add.result(), f.arguments[0], [zero.result()]))
+        removed = eliminate_common_subexpressions(f)
+        assert a.parent is not None and b.parent is not None
+
+    def test_loads_not_cse_by_this_pass(self):
+        module, f, builder = make_function([MemRefType((4,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        load1 = builder.insert(memref.LoadOp(f.arguments[0], [zero.result()]))
+        load2 = builder.insert(memref.LoadOp(f.arguments[0], [zero.result()]))
+        add = builder.insert(arith.AddFOp(load1.result(), load2.result()))
+        builder.insert(memref.StoreOp(add.result(), f.arguments[0], [zero.result()]))
+        eliminate_common_subexpressions(f)
+        assert load1.parent is not None and load2.parent is not None
+
+
+class TestSimplifyAffineIf:
+    def build_loop_with_guard(self, constraint_expr, is_equality=False):
+        module, f, builder = make_function([MemRefType((16,), f32)])
+        loop = builder.insert(AffineForOp.constant_bounds(0, 8))
+        body = Builder(InsertionPoint.at_end(loop.body))
+        guard = body.insert(AffineIfOp(
+            IntegerSet(1, 0, [Constraint(constraint_expr, is_equality)]),
+            [loop.induction_variable]))
+        inner = Builder(InsertionPoint.at_end(guard.then_block))
+        value = inner.insert(arith.ConstantOp(1.0, f32))
+        inner.insert(AffineStoreOp(value.result(), f.arguments[0], [loop.induction_variable]))
+        return module, f, loop
+
+    def test_always_true_guard_inlined(self):
+        module, f, loop = self.build_loop_with_guard(dim(0))  # iv >= 0 always holds
+        assert simplify_affine_ifs(f) == 1
+        assert not any(op.name == "affine.if" for op in f.walk())
+        assert any(op.name == "affine.store" for op in f.walk())
+
+    def test_never_true_guard_removed(self):
+        module, f, loop = self.build_loop_with_guard(dim(0) - 100)
+        assert simplify_affine_ifs(f) == 1
+        assert not any(op.name == "affine.store" for op in f.walk())
+
+    def test_data_dependent_guard_kept(self):
+        module, f, loop = self.build_loop_with_guard(dim(0) - 4)
+        assert simplify_affine_ifs(f) == 0
+        assert any(op.name == "affine.if" for op in f.walk())
+
+    def test_equality_guard_on_constant_range(self):
+        module, f, loop = self.build_loop_with_guard(dim(0) + 5, is_equality=True)
+        # iv + 5 == 0 can never hold for iv in [0, 8).
+        assert simplify_affine_ifs(f) == 1
+        assert not any(op.name == "affine.store" for op in f.walk())
+
+
+class TestStoreForwardAndAccessSimplification:
+    def build_straightline(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        value = builder.insert(arith.ConstantOp(2.0, f32))
+        builder.insert(AffineStoreOp(value.result(), f.arguments[0], [zero.result()]))
+        load = builder.insert(AffineLoadOp(f.arguments[0], [zero.result()]))
+        double = builder.insert(arith.AddFOp(load.result(), load.result()))
+        builder.insert(AffineStoreOp(double.result(), f.arguments[0], [zero.result()]))
+        return module, f
+
+    def test_store_to_load_forwarding(self):
+        module, f = self.build_straightline()
+        forwarded = forward_stores(f)
+        assert forwarded >= 1
+        assert not any(op.name == "affine.load" for op in f.walk())
+
+    def test_forwarding_blocked_by_intervening_store(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        one = builder.insert(arith.ConstantOp(1, index))
+        value = builder.insert(arith.ConstantOp(2.0, f32))
+        builder.insert(AffineStoreOp(value.result(), f.arguments[0], [zero.result()]))
+        other = builder.insert(arith.ConstantOp(3.0, f32))
+        builder.insert(AffineStoreOp(other.result(), f.arguments[0], [one.result()]))
+        load = builder.insert(AffineLoadOp(f.arguments[0], [zero.result()]))
+        builder.insert(AffineStoreOp(load.result(), f.arguments[0], [one.result()]))
+        # The store to index 1 might alias (conservatively) -> no forwarding.
+        assert forward_stores(f) == 0
+
+    def test_write_only_local_buffer_removed(self):
+        module, f, builder = make_function([])
+        buffer = builder.insert(memref.AllocOp(MemRefType((8,), f32)))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        value = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(AffineStoreOp(value.result(), buffer.result(), [zero.result()]))
+        forward_stores(f)
+        assert not any(op.name == "memref.alloc" for op in f.walk())
+
+    def test_identical_loads_folded(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        load1 = builder.insert(AffineLoadOp(f.arguments[0], [zero.result()]))
+        load2 = builder.insert(AffineLoadOp(f.arguments[0], [zero.result()]))
+        add = builder.insert(arith.AddFOp(load1.result(), load2.result()))
+        builder.insert(AffineStoreOp(add.result(), f.arguments[0], [zero.result()]))
+        removed = simplify_memref_accesses(f)
+        assert removed == 1
+        assert add.operand(0) is add.operand(1)
+
+    def test_dead_store_removed(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        first = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(AffineStoreOp(first.result(), f.arguments[0], [zero.result()]))
+        second = builder.insert(arith.ConstantOp(2.0, f32))
+        builder.insert(AffineStoreOp(second.result(), f.arguments[0], [zero.result()]))
+        removed = simplify_memref_accesses(f)
+        assert removed == 1
+        stores = [op for op in f.walk() if op.name == "affine.store"]
+        assert len(stores) == 1
+        assert stores[0].value is second.result()
+
+    def test_store_not_dead_when_load_intervenes(self):
+        module, f, builder = make_function([MemRefType((8,), f32)])
+        zero = builder.insert(arith.ConstantOp(0, index))
+        first = builder.insert(arith.ConstantOp(1.0, f32))
+        builder.insert(AffineStoreOp(first.result(), f.arguments[0], [zero.result()]))
+        load = builder.insert(AffineLoadOp(f.arguments[0], [zero.result()]))
+        builder.insert(AffineStoreOp(load.result(), f.arguments[0], [zero.result()]))
+        assert simplify_memref_accesses(f) == 0
+
+
+class TestSemanticsPreservation:
+    def test_cleanup_pipeline_preserves_syrk_results(self):
+        module = compile_source(SYRK_SOURCE, "syrk")
+        f = module.functions()[0]
+        canonicalize(f)
+        simplify_affine_ifs(f)
+        forward_stores(f)
+        simplify_memref_accesses(f)
+        eliminate_common_subexpressions(f)
+        canonicalize(f)
+        ir.verify(module)
+
+        C = random_array((16, 16), seed=11)
+        A = random_array((16, 8), seed=12)
+        expected = reference_syrk(1.25, 0.75, C, A)
+        interpret_kernel(module, "syrk", {"C": C, "A": A},
+                         {"alpha": 1.25, "beta": 0.75})
+        np.testing.assert_allclose(C, expected, rtol=1e-5)

@@ -1,0 +1,72 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.tools.driver import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_with_kernel(self):
+        args = build_parser().parse_args(["compile", "--kernel", "gemm", "--size", "16"])
+        assert args.command == "compile"
+        assert args.kernel == "gemm"
+
+    def test_dnn_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dnn", "alexnet"])
+
+
+class TestCommands:
+    def test_compile_prints_ir(self, capsys):
+        assert main(["compile", "--kernel", "gemm", "--size", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "affine.for" in output
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text("""
+        void scale(float A[8]) {
+          for (int i = 0; i < 8; i++) { A[i] *= 2.0; }
+        }""")
+        assert main(["compile", str(source)]) == 0
+        assert "scale" in capsys.readouterr().out
+
+    def test_compile_without_input_fails(self):
+        with pytest.raises(SystemExit):
+            main(["compile"])
+
+    def test_estimate_with_point(self, capsys):
+        assert main(["estimate", "--kernel", "gemm", "--size", "8",
+                     "--perfectize", "--perm", "1,2,0", "--tiles", "1,1,2"]) == 0
+        output = capsys.readouterr().out
+        assert "baseline" in output
+        assert "speedup" in output
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["estimate", "--kernel", "gemm", "--size", "8", "--platform", "ultra99"])
+
+    def test_dse_command(self, capsys):
+        assert main(["dse", "--kernel", "gemm", "--size", "16",
+                     "--samples", "4", "--iterations", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto frontier" in output
+        assert "finalized" in output
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        target = tmp_path / "kernel.cpp"
+        assert main(["emit", "--kernel", "gemm", "--size", "8",
+                     "--perfectize", "--tiles", "1,1,2", "-o", str(target)]) == 0
+        code = target.read_text()
+        assert "void gemm(" in code
+        assert "#pragma HLS" in code
+
+    def test_dnn_command(self, capsys):
+        assert main(["dnn", "mobilenet", "--graph-level", "2", "--loop-level", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "dsp" in output

@@ -1,0 +1,320 @@
+"""Tests for the dialect operation classes."""
+
+import pytest
+
+from repro.affine import AffineMap, dim
+from repro.affine.set import Constraint, IntegerSet
+from repro.dialects import arith, func, graph, hlscpp, memref, scf
+from repro.dialects.affine_ops import (
+    AffineApplyOp,
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    access_expressions,
+    access_indices,
+    access_is_write,
+    access_memref,
+    band_dim_map,
+    band_dim_ranges,
+    perfect_loop_band,
+    value_to_affine_expr,
+)
+from repro.ir import Block, Builder, FunctionType, MemRefType, ModuleOp, TensorType, f32, i32, index
+
+
+class TestArith:
+    def test_constant_coerces_value(self):
+        assert arith.ConstantOp(3, f32).value == 3.0
+        assert arith.ConstantOp(3.7, i32).value == 3
+
+    def test_binary_result_type_follows_lhs(self):
+        a = arith.ConstantOp(1.0, f32)
+        add = arith.AddFOp(a.result(), a.result())
+        assert add.result().type == f32
+        assert add.lhs is a.result()
+
+    def test_cmp_produces_i1(self):
+        a = arith.ConstantOp(1, index)
+        cmp = arith.CmpIOp("slt", a.result(), a.result())
+        assert cmp.result().type.width == 1
+
+    def test_invalid_predicate_rejected(self):
+        a = arith.ConstantOp(1, index)
+        with pytest.raises(ValueError):
+            arith.CmpIOp("bogus", a.result(), a.result())
+
+    def test_select_accessors(self):
+        c = arith.ConstantOp(1, index)
+        cmp = arith.CmpIOp("eq", c.result(), c.result())
+        select = arith.SelectOp(cmp.result(), c.result(), c.result())
+        assert select.condition is cmp.result()
+
+    def test_constant_helpers(self):
+        c = arith.ConstantOp(5, index)
+        assert arith.is_constant(c.result())
+        assert arith.constant_value(c.result()) == 5
+        block = Block([index])
+        assert arith.constant_value(block.arguments[0]) is None
+
+
+class TestFunc:
+    def test_function_structure(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "foo", [f32, MemRefType((4,), f32)], [])
+        assert f.sym_name == "foo"
+        assert len(f.arguments) == 2
+        assert f.function_type.inputs[0] == f32
+
+    def test_add_argument_updates_type(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "foo", [f32])
+        f.add_argument(i32)
+        assert f.function_type.inputs == (f32, i32)
+
+    def test_set_result_types(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "foo", [])
+        f.set_result_types([f32])
+        assert f.function_type.results == (f32,)
+
+    def test_call_op(self):
+        call = func.CallOp("callee", [], [f32])
+        assert call.callee == "callee"
+        assert call.result().type == f32
+
+    def test_return_op_is_terminator(self):
+        assert func.ReturnOp().is_terminator()
+
+
+class TestMemref:
+    def test_load_store_accessors(self):
+        alloc = memref.AllocOp(MemRefType((4, 4), f32), name="buf")
+        c = arith.ConstantOp(0, index)
+        load = memref.LoadOp(alloc.result(), [c.result(), c.result()])
+        store = memref.StoreOp(load.result(), alloc.result(), [c.result(), c.result()])
+        assert load.memref is alloc.result()
+        assert store.value is load.result()
+        assert len(store.indices) == 2
+
+    def test_load_rank_mismatch(self):
+        alloc = memref.AllocOp(MemRefType((4, 4), f32))
+        c = arith.ConstantOp(0, index)
+        with pytest.raises(ValueError):
+            memref.LoadOp(alloc.result(), [c.result()])
+
+    def test_load_requires_memref(self):
+        c = arith.ConstantOp(0.0, f32)
+        with pytest.raises(TypeError):
+            memref.LoadOp(c.result(), [])
+
+
+class TestAffineOps:
+    def test_constant_bounds_and_trip_count(self):
+        loop = AffineForOp.constant_bounds(0, 16, 2)
+        assert loop.has_constant_bounds()
+        assert loop.trip_count() == 8
+
+    def test_variable_bound_trip_count_none(self):
+        outer = AffineForOp.constant_bounds(0, 8)
+        inner = AffineForOp(AffineMap.constant_map(0), AffineMap(1, 0, [dim(0) + 1]), 1,
+                            ub_operands=[outer.induction_variable])
+        assert inner.trip_count() is None
+        assert not inner.has_constant_upper_bound()
+
+    def test_set_constant_bounds_clears_operands(self):
+        outer = AffineForOp.constant_bounds(0, 8)
+        inner = AffineForOp(AffineMap.constant_map(0), AffineMap(1, 0, [dim(0) + 1]), 1,
+                            ub_operands=[outer.induction_variable])
+        inner.set_constant_bounds(0, 8)
+        assert inner.has_constant_bounds()
+        assert inner.num_operands == 0
+
+    def test_affine_if_blocks(self):
+        condition = IntegerSet(1, 0, [Constraint(dim(0), False)])
+        if_op = AffineIfOp(condition, [], with_else=True)
+        assert if_op.then_block is not None
+        assert if_op.else_block is not None
+
+    def test_apply_requires_single_result(self):
+        with pytest.raises(ValueError):
+            AffineApplyOp(AffineMap.identity(2), [])
+
+    def test_load_store_with_access_map(self):
+        buffer_block = Block([MemRefType((8, 8), f32)])
+        loop = AffineForOp.constant_bounds(0, 8)
+        access_map = AffineMap(1, 0, [dim(0), dim(0) + 1])
+        load = AffineLoadOp(buffer_block.arguments[0], [loop.induction_variable], access_map)
+        assert access_memref(load) is buffer_block.arguments[0]
+        assert not access_is_write(load)
+        store = AffineStoreOp(load.result(), buffer_block.arguments[0],
+                              [loop.induction_variable], access_map)
+        assert access_is_write(store)
+        assert access_indices(store) == (loop.induction_variable,)
+
+    def test_access_map_rank_check(self):
+        buffer_block = Block([MemRefType((8, 8), f32)])
+        loop = AffineForOp.constant_bounds(0, 8)
+        with pytest.raises(ValueError):
+            AffineLoadOp(buffer_block.arguments[0], [loop.induction_variable],
+                         AffineMap(1, 0, [dim(0)]))
+
+    def test_value_to_affine_expr_chases_apply_and_arith(self):
+        loop = AffineForOp.constant_bounds(0, 8)
+        builder = Builder()
+        builder.set_insertion_point_to_end(loop.body)
+        c2 = builder.insert(arith.ConstantOp(2, index))
+        mul = builder.insert(arith.MulIOp(loop.induction_variable, c2.result()))
+        apply_op = builder.insert(AffineApplyOp(AffineMap(1, 0, [dim(0) + 3]), [mul.result()]))
+        expr = value_to_affine_expr(apply_op.result(), {loop.induction_variable: 0})
+        assert expr.evaluate([5]) == 13
+
+    def test_value_to_affine_expr_unknown_value(self):
+        block = Block([index])
+        assert value_to_affine_expr(block.arguments[0], {}) is None
+
+    def test_perfect_band_and_dim_helpers(self):
+        outer = AffineForOp.constant_bounds(0, 4)
+        inner = AffineForOp.constant_bounds(0, 8)
+        outer.body.append(inner)
+        band = perfect_loop_band(outer)
+        assert band == [outer, inner]
+        assert band_dim_map(band)[inner.induction_variable] == 1
+        assert band_dim_ranges(band) == [(0, 4), (0, 8)]
+
+    def test_access_expressions_through_band(self):
+        outer = AffineForOp.constant_bounds(0, 4)
+        inner = AffineForOp.constant_bounds(0, 8)
+        outer.body.append(inner)
+        buffer_block = Block([MemRefType((4, 8), f32)])
+        builder = Builder()
+        builder.set_insertion_point_to_end(inner.body)
+        load = builder.insert(AffineLoadOp(
+            buffer_block.arguments[0],
+            [outer.induction_variable, inner.induction_variable]))
+        exprs = access_expressions(load, band_dim_map([outer, inner]))
+        assert [str(e) for e in exprs] == ["d0", "d1"]
+
+
+class TestSCF:
+    def test_scf_for_structure(self):
+        c0 = arith.ConstantOp(0, index)
+        c8 = arith.ConstantOp(8, index)
+        c1 = arith.ConstantOp(1, index)
+        loop = scf.SCFForOp(c0.result(), c8.result(), c1.result())
+        assert loop.lower is c0.result()
+        assert loop.induction_variable.type == index
+
+    def test_scf_if_blocks(self):
+        c = arith.ConstantOp(1, index)
+        cmp = arith.CmpIOp("eq", c.result(), c.result())
+        if_op = scf.SCFIfOp(cmp.result(), with_else=True)
+        assert if_op.else_block is not None
+
+
+class TestHlscpp:
+    def test_loop_directive_roundtrip(self):
+        loop = AffineForOp.constant_bounds(0, 8)
+        directive = hlscpp.LoopDirective(pipeline=True, target_ii=4)
+        hlscpp.set_loop_directive(loop, directive)
+        assert hlscpp.get_loop_directive(loop).target_ii == 4
+        assert hlscpp.is_pipelined(loop)
+        assert not hlscpp.is_flattened(loop)
+
+    def test_func_directive_defaults(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "f", [])
+        directive = hlscpp.ensure_func_directive(f)
+        assert not directive.dataflow
+        directive.dataflow = True
+        assert hlscpp.get_func_directive(f).dataflow
+
+    def test_directive_clone_is_independent(self):
+        directive = hlscpp.LoopDirective(pipeline=True, target_ii=2)
+        clone = directive.clone()
+        clone.target_ii = 8
+        assert directive.target_ii == 2
+
+    def test_top_function_marker(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "top", [])
+        func.build_function(module, "other", [])
+        hlscpp.set_top_function(f)
+        assert hlscpp.find_top_function(module) is f
+
+    def test_find_top_function_single(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "only", [])
+        assert hlscpp.find_top_function(module) is f
+
+    def test_dataflow_stage_attr(self):
+        loop = AffineForOp.constant_bounds(0, 4)
+        hlscpp.set_dataflow_stage(loop, 3)
+        assert hlscpp.get_dataflow_stage(loop) == 3
+
+    def test_directive_str_forms(self):
+        assert "dataflow" in str(hlscpp.FuncDirective(dataflow=True))
+        assert "pipeline" in str(hlscpp.LoopDirective(pipeline=True))
+
+
+class TestGraph:
+    def make_input(self, shape=(1, 3, 32, 32)):
+        block = Block([TensorType(shape, f32)])
+        return block.arguments[0]
+
+    def test_conv2d_shape_inference(self):
+        conv = graph.Conv2DOp(self.make_input(), 64, 3, stride=1, padding=1)
+        assert conv.output_type().shape == (1, 64, 32, 32)
+
+    def test_conv2d_stride_and_padding(self):
+        conv = graph.Conv2DOp(self.make_input(), 16, 3, stride=2, padding=1)
+        assert conv.output_type().shape == (1, 16, 16, 16)
+
+    def test_conv2d_group_validation(self):
+        with pytest.raises(ValueError):
+            graph.Conv2DOp(self.make_input(), 64, 3, groups=5)
+
+    def test_depthwise_weight_shape(self):
+        conv = graph.Conv2DOp(self.make_input((1, 32, 16, 16)), 32, 3, padding=1, groups=32)
+        assert conv.get_attr("weight_shape") == (32, 1, 3, 3)
+
+    def test_conv2d_flops(self):
+        conv = graph.Conv2DOp(self.make_input(), 64, 3, padding=1)
+        assert conv.flops() == 2 * 64 * 32 * 32 * 3 * 3 * 3
+
+    def test_dense_shapes_and_flops(self):
+        dense = graph.DenseOp(self.make_input((1, 512)), 10)
+        assert dense.output_type().shape == (1, 10)
+        assert dense.flops() == 2 * 512 * 10
+
+    def test_pooling_shapes(self):
+        pool = graph.MaxPool2DOp(self.make_input((1, 64, 32, 32)), 2)
+        assert pool.output_type().shape == (1, 64, 16, 16)
+        avg = graph.AvgPool2DOp(self.make_input((1, 64, 8, 8)), 8)
+        assert avg.output_type().shape == (1, 64, 1, 1)
+
+    def test_add_requires_matching_shapes(self):
+        a = self.make_input((1, 8, 4, 4))
+        b = self.make_input((1, 8, 4, 4))
+        assert graph.AddOp(a, b).output_type().shape == (1, 8, 4, 4)
+        with pytest.raises(ValueError):
+            graph.AddOp(a, self.make_input((1, 4, 4, 4)))
+
+    def test_flatten(self):
+        flat = graph.FlattenOp(self.make_input((1, 64, 2, 2)))
+        assert flat.output_type().shape == (1, 256)
+
+    def test_weight_elements(self):
+        conv = graph.Conv2DOp(self.make_input(), 64, 3, padding=1)
+        assert conv.weight_elements() == 64 * 3 * 3 * 3 + 64
+
+    def test_graph_nodes_collects_in_order(self):
+        module = ModuleOp("m")
+        f = func.FuncOp("forward", FunctionType([TensorType((1, 3, 8, 8), f32)], []))
+        module.append(f)
+        builder = Builder()
+        builder.set_insertion_point_to_end(f.body)
+        conv = builder.insert(graph.Conv2DOp(f.arguments[0], 8, 3, padding=1))
+        relu = builder.insert(graph.ReLUOp(conv.result()))
+        names = [op.name for op in graph.graph_nodes(f)]
+        assert names == ["graph.conv2d", "graph.relu"]

@@ -1,0 +1,222 @@
+"""Tests for the graph-level transforms and the graph-to-loop lowering."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import graph
+from repro.dialects.hlscpp import get_dataflow_stage, get_func_directive
+from repro.frontend.models import mobilenet, resnet18, vgg16
+from repro.frontend.pytorch_like import GraphBuilder, model_flops, model_parameters
+from repro.ir.pass_manager import PassError
+from repro.transforms import legalize_dataflow, lower_graph_to_loops, split_function
+
+
+def build_bypass_model():
+    """The paper's Fig. 4 shape: Proc0 -> {Proc1 -> Proc2 -> Proc3, Proc3} -> Proc4."""
+    builder = GraphBuilder("bypass", (1, 8, 8, 8))
+    p0 = builder.relu(builder.input, name="proc0")
+    p1 = builder.conv2d(p0, 8, 3, padding=1, name="proc1")
+    p2 = builder.relu(p1, name="proc2")
+    p3 = builder.add(p2, p0, name="proc3")  # bypass edge proc0 -> proc3
+    p4 = builder.relu(p3, name="proc4")
+    return builder.finish(p4), builder.func_op
+
+
+def build_chain_model(length=4):
+    builder = GraphBuilder("chain", (1, 4, 8, 8))
+    x = builder.input
+    for i in range(length):
+        x = builder.relu(x, name=f"stage{i}")
+    return builder.finish(x), builder.func_op
+
+
+class TestModels:
+    def test_resnet18_structure(self):
+        module = resnet18()
+        ir.verify(module)
+        convs = [op for op in module.walk() if op.name == "graph.conv2d"]
+        assert len(convs) == 20  # 17 main convs + 3 downsample projections
+        assert module.functions()[0].get_attr("function_type").results[0].shape == (1, 10)
+
+    def test_vgg16_structure(self):
+        module = vgg16()
+        convs = [op for op in module.walk() if op.name == "graph.conv2d"]
+        dense = [op for op in module.walk() if op.name == "graph.dense"]
+        assert len(convs) == 13
+        assert len(dense) == 3
+
+    def test_mobilenet_uses_depthwise(self):
+        module = mobilenet()
+        depthwise = [op for op in module.walk()
+                     if op.name == "graph.conv2d" and op.get_attr("groups") > 1]
+        assert len(depthwise) == 13
+
+    def test_flop_ordering(self):
+        """ResNet-18 > VGG-16 (CIFAR) > MobileNet in multiply-accumulate work."""
+        flops = {name: model_flops(fn()) for name, fn in
+                 (("resnet18", resnet18), ("vgg16", vgg16), ("mobilenet", mobilenet))}
+        assert flops["resnet18"] > flops["vgg16"] > flops["mobilenet"]
+
+    def test_parameter_counts_in_expected_range(self):
+        assert 10e6 < model_parameters(resnet18()) < 13e6
+        assert 1e6 < model_parameters(mobilenet()) < 5e6
+
+    def test_unknown_model_rejected(self):
+        from repro.frontend.models import build_model
+
+        with pytest.raises(ValueError):
+            build_model("alexnet")
+
+
+class TestLegalizeDataflow:
+    def test_conservative_merges_bypassed_stages(self):
+        module, func_op = build_bypass_model()
+        stages = legalize_dataflow(func_op, insert_copy=False)
+        assert stages == 3  # proc0 | proc1-3 | proc4, as in Fig. 4(b)
+        by_name = {op.get_attr("layer_name"): get_dataflow_stage(op)
+                   for op in graph.graph_nodes(func_op)}
+        assert by_name["proc0"] == 0
+        assert by_name["proc1"] == by_name["proc2"] == by_name["proc3"] == 1
+        assert by_name["proc4"] == 2
+
+    def test_aggressive_inserts_copies(self):
+        module, func_op = build_bypass_model()
+        stages = legalize_dataflow(func_op, insert_copy=True)
+        copies = [op for op in graph.graph_nodes(func_op) if op.name == "graph.copy"]
+        assert len(copies) == 2  # Fig. 4(c): two copy nodes on the bypass path
+        assert stages == 5
+
+    def test_every_edge_adjacent_after_legalization(self):
+        module, func_op = build_bypass_model()
+        legalize_dataflow(func_op, insert_copy=True)
+        nodes = graph.graph_nodes(func_op)
+        node_set = set(nodes)
+        for node in nodes:
+            for result in node.results:
+                for user in result.users:
+                    if user in node_set:
+                        assert get_dataflow_stage(user) - get_dataflow_stage(node) == 1
+
+    def test_linear_chain_one_stage_per_node(self):
+        module, func_op = build_chain_model(5)
+        assert legalize_dataflow(func_op) == 5
+
+    def test_function_marked_dataflow(self):
+        module, func_op = build_chain_model()
+        legalize_dataflow(func_op)
+        assert get_func_directive(func_op).dataflow
+
+    def test_function_without_graph_nodes_rejected(self):
+        from repro.dialects import func as func_dialect
+        from repro.ir import FunctionType, ModuleOp
+
+        module = ModuleOp("m")
+        empty = func_dialect.build_function(module, "empty", [])
+        with pytest.raises(PassError):
+            legalize_dataflow(empty)
+
+    def test_resnet_legalizes(self):
+        module = resnet18()
+        stages = legalize_dataflow(module.functions()[0])
+        assert stages > 5
+
+
+class TestSplitFunction:
+    def test_one_function_per_stage(self):
+        module, func_op = build_chain_model(4)
+        legalize_dataflow(func_op)
+        sub_functions = split_function(module, func_op, min_granularity=1)
+        assert len(sub_functions) == 4
+        ir.verify(module)
+        calls = [op for op in func_op.walk() if op.name == "func.call"]
+        assert len(calls) == 4
+        assert not graph.graph_nodes(func_op)
+
+    def test_granularity_merges_adjacent_stages(self):
+        module, func_op = build_chain_model(4)
+        legalize_dataflow(func_op)
+        sub_functions = split_function(module, func_op, min_granularity=2)
+        assert len(sub_functions) == 2
+
+    def test_split_requires_legalization(self):
+        module, func_op = build_chain_model(3)
+        with pytest.raises(PassError):
+            split_function(module, func_op)
+
+    def test_call_graph_is_wired_correctly(self):
+        module, func_op = build_bypass_model()
+        legalize_dataflow(func_op)
+        split_function(module, func_op, min_granularity=1)
+        ir.verify(module)
+        # The top function's return must consume the last call's result.
+        return_op = func_op.region(0).front.operations[-1]
+        assert return_op.name == "func.return"
+        producer = return_op.operand(0).owner
+        assert producer.name == "func.call"
+
+    def test_sub_function_signatures_are_tensor_typed(self):
+        module, func_op = build_chain_model(3)
+        legalize_dataflow(func_op)
+        sub_functions = split_function(module, func_op)
+        for sub in sub_functions:
+            assert all(t.__class__.__name__ == "TensorType"
+                       for t in sub.get_attr("function_type").inputs)
+
+
+class TestLowerGraph:
+    def test_lowering_removes_graph_ops(self):
+        module, func_op = build_chain_model(3)
+        lowered = lower_graph_to_loops(module)
+        assert lowered == 3
+        assert not any(op.name.startswith("graph.") for op in module.walk())
+        assert any(op.name == "affine.for" for op in module.walk())
+        ir.verify(module)
+
+    def test_tensor_arguments_become_memrefs(self):
+        module, func_op = build_chain_model(2)
+        lower_graph_to_loops(module)
+        from repro.ir.types import MemRefType
+
+        assert isinstance(func_op.arguments[0].type, MemRefType)
+        assert isinstance(func_op.get_attr("function_type").inputs[0], MemRefType)
+
+    def test_conv_lowering_creates_reduction_nest(self):
+        builder = GraphBuilder("single", (1, 3, 8, 8))
+        out = builder.conv2d(builder.input, 4, 3, padding=1)
+        module = builder.finish(out)
+        lower_graph_to_loops(module)
+        loops = [op for op in module.walk() if op.name == "affine.for"]
+        # Init nest (4 loops) + reduction nest (7 loops).
+        assert len(loops) == 11
+        guards = [op for op in module.walk() if op.name == "affine.if"]
+        assert guards, "padding should introduce a boundary guard"
+
+    def test_conv_weights_are_quantized_buffers(self):
+        builder = GraphBuilder("single", (1, 3, 8, 8))
+        out = builder.conv2d(builder.input, 4, 3, padding=1)
+        module = builder.finish(out)
+        lower_graph_to_loops(module)
+        from repro.ir.types import IntegerType
+
+        weight_allocs = [op for op in module.walk() if op.name == "memref.alloc"
+                         and "weight" in (op.get_attr("buffer_name") or "")]
+        assert weight_allocs
+        assert isinstance(weight_allocs[0].result().type.element_type, IntegerType)
+
+    def test_split_then_lowered_module_verifies(self):
+        module, func_op = build_bypass_model()
+        legalize_dataflow(func_op)
+        split_function(module, func_op)
+        lower_graph_to_loops(module)
+        ir.verify(module)
+        calls = [op for op in func_op.walk() if op.name == "func.call"]
+        from repro.ir.types import MemRefType
+
+        assert all(isinstance(result.type, MemRefType)
+                   for call in calls for result in call.results)
+
+    def test_resnet_lowering_scales(self):
+        module = resnet18()
+        lowered = lower_graph_to_loops(module)
+        assert lowered > 50
+        ir.verify(module)

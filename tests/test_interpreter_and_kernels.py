@@ -1,0 +1,225 @@
+"""Tests for the reference interpreter, the PolyBench kernel generators and
+the end-to-end semantic equivalence of optimized kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ir
+from repro.dialects import arith, func, memref
+from repro.dialects.affine_ops import AffineForOp, AffineLoadOp, AffineStoreOp
+from repro.dse import apply_design_point
+from repro.dse.space import KernelDesignPoint
+from repro.estimation import XC7Z020
+from repro.ir import Builder, InsertionPoint, MemRefType, ModuleOp, f32, index
+from repro.ir.interpreter import Interpreter, InterpreterError, interpret_kernel
+from repro.kernels import KERNEL_NAMES, kernel_source
+from repro.pipeline import compile_kernel
+
+from conftest import compile_source, random_array
+
+
+class TestInterpreterBasics:
+    def build_accumulate(self):
+        """out[0] = sum of A[0..7]"""
+        module = ModuleOp("m")
+        f = func.build_function(module, "accumulate",
+                                [MemRefType((8,), f32), MemRefType((1,), f32)])
+        builder = Builder(InsertionPoint.at_end(f.body))
+        loop = builder.insert(AffineForOp.constant_bounds(0, 8))
+        body = Builder(InsertionPoint.at_end(loop.body))
+        zero = body.insert(arith.ConstantOp(0, index))
+        value = body.insert(AffineLoadOp(f.arguments[0], [loop.induction_variable]))
+        accumulator = body.insert(AffineLoadOp(f.arguments[1], [zero.result()]))
+        total = body.insert(arith.AddFOp(accumulator.result(), value.result()))
+        body.insert(AffineStoreOp(total.result(), f.arguments[1], [zero.result()]))
+        builder.insert(func.ReturnOp())
+        return module, f
+
+    def test_loop_accumulation(self):
+        module, f = self.build_accumulate()
+        A = np.arange(8, dtype=np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        Interpreter(module).run_function(f, [A, out])
+        assert out[0] == pytest.approx(A.sum())
+
+    def test_argument_count_checked(self):
+        module, f = self.build_accumulate()
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run_function(f, [np.zeros(8, dtype=np.float32)])
+
+    def test_call_requires_module(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "caller", [])
+        builder = Builder(InsertionPoint.at_end(f.body))
+        builder.insert(func.CallOp("missing", [], []))
+        builder.insert(func.ReturnOp())
+        with pytest.raises(InterpreterError):
+            Interpreter(None).run_function(f, [])
+
+    def test_alloc_creates_zero_buffer(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "f", [MemRefType((1,), f32)])
+        builder = Builder(InsertionPoint.at_end(f.body))
+        buffer = builder.insert(memref.AllocOp(MemRefType((4,), f32)))
+        zero = builder.insert(arith.ConstantOp(0, index))
+        value = builder.insert(AffineLoadOp(buffer.result(), [zero.result()]))
+        builder.insert(AffineStoreOp(value.result(), f.arguments[0], [zero.result()]))
+        builder.insert(func.ReturnOp())
+        out = np.ones(1, dtype=np.float32)
+        Interpreter(module).run_function(f, [out])
+        assert out[0] == 0.0
+
+    def test_cross_function_call(self):
+        """A call in the top function executes the callee on the same buffers."""
+        module = compile_source("""
+        void double_all(float A[4]) {
+          for (int i = 0; i < 4; i++) { A[i] *= 2.0; }
+        }""", "m")
+        callee = module.functions()[0]
+        top = func.build_function(module, "top", [MemRefType((4,), f32)])
+        builder = Builder(InsertionPoint.at_end(top.body))
+        builder.insert(func.CallOp("double_all", [top.arguments[0]], []))
+        builder.insert(func.ReturnOp())
+        A = np.ones(4, dtype=np.float32)
+        Interpreter(module).run(top.get_attr("sym_name"), [A])
+        np.testing.assert_allclose(A, 2.0)
+
+    def test_unknown_op_rejected(self):
+        module = ModuleOp("m")
+        f = func.build_function(module, "f", [])
+        f.body.append(ir.Operation("mystery.op"))
+        f.body.append(func.ReturnOp())
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run_function(f, [])
+
+
+class TestKernelGenerators:
+    def test_all_kernels_have_sources(self):
+        for name in KERNEL_NAMES:
+            source = kernel_source(name, 16)
+            assert f"void {name}(" in source
+
+    def test_problem_size_embedded(self):
+        source = kernel_source("gemm", 64)
+        assert "[64][64]" in source
+        assert "i < 64" in source
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_source("fft", 64)
+
+    def test_tiny_problem_size_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_source("gemm", 1)
+
+    def test_compiled_kernels_have_expected_loop_depth(self):
+        expected_depth = {"bicg": 2, "gemm": 3, "gesummv": 2, "syr2k": 3,
+                          "syrk": 3, "trmm": 3}
+        for name, depth in expected_depth.items():
+            module = compile_kernel(name, 8)
+            loops = [op for op in module.walk() if isinstance(op, AffineForOp)]
+            assert len(loops) == depth, name
+
+
+def numpy_reference(name, size, arrays, alpha=1.5, beta=0.5):
+    """NumPy references for the PolyBench kernels (used for equivalence tests)."""
+    if name == "gemm":
+        return {"C": beta * arrays["C"] + alpha * arrays["A"] @ arrays["B"]}
+    if name == "bicg":
+        return {"s": arrays["s"] + arrays["r"] @ arrays["A"],
+                "q": arrays["q"] + arrays["A"] @ arrays["p"]}
+    if name == "gesummv":
+        tmp = arrays["tmp"] + arrays["A"] @ arrays["x"]
+        y = arrays["y"] + arrays["B"] @ arrays["x"]
+        return {"y": alpha * tmp + beta * y, "tmp": tmp}
+    if name == "syrk":
+        C = arrays["C"].copy()
+        A = arrays["A"]
+        for i in range(size):
+            for j in range(i + 1):
+                C[i, j] = beta * C[i, j] + alpha * (A[i] * A[j]).sum()
+        return {"C": C}
+    if name == "syr2k":
+        C = arrays["C"].copy()
+        A, B = arrays["A"], arrays["B"]
+        for i in range(size):
+            for j in range(i + 1):
+                C[i, j] = beta * C[i, j] + alpha * (A[j] * B[i]).sum() \
+                    + alpha * (B[j] * A[i]).sum()
+        return {"C": C}
+    if name == "trmm":
+        B = arrays["B"].copy()
+        A = arrays["A"]
+        result = B.copy()
+        for i in range(size):
+            for j in range(size):
+                value = B[i, j] + (A[i + 1:, i] * B[i + 1:, j]).sum()
+                result[i, j] = alpha * value
+        return {"B": result}
+    raise ValueError(name)
+
+
+def kernel_arrays(name, size, seed=0):
+    if name == "gemm":
+        return {"C": random_array((size, size), seed), "A": random_array((size, size), seed + 1),
+                "B": random_array((size, size), seed + 2)}
+    if name == "bicg":
+        return {"A": random_array((size, size), seed), "s": random_array((size,), seed + 1),
+                "q": random_array((size,), seed + 2), "p": random_array((size,), seed + 3),
+                "r": random_array((size,), seed + 4)}
+    if name == "gesummv":
+        return {"A": random_array((size, size), seed), "B": random_array((size, size), seed + 1),
+                "tmp": random_array((size,), seed + 2), "x": random_array((size,), seed + 3),
+                "y": random_array((size,), seed + 4)}
+    if name == "syrk":
+        return {"C": random_array((size, size), seed),
+                "A": random_array((size, max(2, size // 2)), seed + 1)}
+    if name == "syr2k":
+        return {"C": random_array((size, size), seed),
+                "A": random_array((size, max(2, size // 2)), seed + 1),
+                "B": random_array((size, max(2, size // 2)), seed + 2)}
+    if name == "trmm":
+        return {"A": random_array((size, size), seed), "B": random_array((size, size), seed + 1)}
+    raise ValueError(name)
+
+
+class TestKernelSemantics:
+    """The compiled kernels compute exactly what the NumPy references compute."""
+
+    SIZE = 8
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_front_end_matches_reference(self, name):
+        module = compile_kernel(name, self.SIZE)
+        arrays = kernel_arrays(name, self.SIZE, seed=3)
+        expected = numpy_reference(name, self.SIZE, {k: v.copy() for k, v in arrays.items()})
+        interpret_kernel(module, name, arrays, {"alpha": 1.5, "beta": 0.5})
+        for key, reference_value in expected.items():
+            np.testing.assert_allclose(arrays[key], reference_value, rtol=1e-4,
+                                       err_msg=f"{name}: array {key}")
+
+    @pytest.mark.parametrize("name", ["gemm", "syrk", "bicg"])
+    def test_optimized_design_matches_reference(self, name):
+        module = compile_kernel(name, self.SIZE)
+        band_size = {"gemm": 3, "syrk": 3, "bicg": 2}[name]
+        point = KernelDesignPoint(
+            loop_perfectization=True, remove_variable_bound=True,
+            perm_map=tuple(range(band_size)),
+            tile_sizes=tuple([2] + [1] * (band_size - 1)), target_ii=1)
+        design = apply_design_point(module, point, XC7Z020)
+        arrays = kernel_arrays(name, self.SIZE, seed=5)
+        expected = numpy_reference(name, self.SIZE, {k: v.copy() for k, v in arrays.items()})
+        interpret_kernel(design.module, name, arrays, {"alpha": 1.5, "beta": 0.5})
+        for key, reference_value in expected.items():
+            np.testing.assert_allclose(arrays[key], reference_value, rtol=1e-4,
+                                       err_msg=f"{name}: array {key}")
+
+    @settings(max_examples=6, deadline=None)
+    @given(alpha=st.floats(-2, 2, allow_nan=False), beta=st.floats(-2, 2, allow_nan=False))
+    def test_gemm_equivalence_for_random_scalars(self, alpha, beta):
+        module = compile_kernel("gemm", 4)
+        arrays = kernel_arrays("gemm", 4, seed=9)
+        expected = beta * arrays["C"] + alpha * arrays["A"] @ arrays["B"]
+        interpret_kernel(module, "gemm", arrays, {"alpha": alpha, "beta": beta})
+        np.testing.assert_allclose(arrays["C"], expected, rtol=1e-3, atol=1e-5)

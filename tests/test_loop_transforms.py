@@ -1,0 +1,354 @@
+"""Tests for the loop-level transform passes (perfectization, RVB, order, tiling, unroll)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ir
+from repro.dialects.affine_ops import (
+    AffineForOp,
+    loop_band_from,
+    outermost_loops,
+    perfect_loop_band,
+)
+from repro.ir.interpreter import interpret_kernel
+from repro.ir.pass_manager import PassError
+from repro.transforms import (
+    canonicalize,
+    fully_unroll,
+    optimize_loop_order,
+    perfectize_band,
+    permute_loop_band,
+    remove_variable_bounds,
+    tile_loop_band,
+    unroll_loop,
+)
+from repro.transforms.loop.loop_order_opt import compute_permutation
+from repro.transforms.loop.loop_unroll import fully_unroll_nested
+
+from conftest import (
+    GEMM_SOURCE,
+    SYRK_SOURCE,
+    compile_source,
+    random_array,
+    reference_gemm,
+    reference_syrk,
+)
+
+
+def run_syrk(module, seed=0, alpha=1.5, beta=0.5):
+    C = random_array((16, 16), seed=seed)
+    A = random_array((16, 8), seed=seed + 1)
+    expected = reference_syrk(alpha, beta, C, A)
+    interpret_kernel(module, "syrk", {"C": C, "A": A}, {"alpha": alpha, "beta": beta})
+    return C, expected
+
+
+def run_gemm(module, seed=0, alpha=2.0, beta=0.5):
+    C = random_array((8, 8), seed=seed)
+    A = random_array((8, 8), seed=seed + 1)
+    B = random_array((8, 8), seed=seed + 2)
+    expected = reference_gemm(alpha, beta, C, A, B)
+    interpret_kernel(module, "gemm", {"C": C, "A": A, "B": B},
+                     {"alpha": alpha, "beta": beta})
+    return C, expected
+
+
+class TestPerfectization:
+    def test_syrk_becomes_perfect(self, syrk_module):
+        f = syrk_module.functions()[0]
+        outer = outermost_loops(f)[0]
+        assert len(perfect_loop_band(outer)) == 2
+        assert perfectize_band(outer)
+        assert len(perfect_loop_band(outer)) == 3
+        ir.verify(syrk_module)
+
+    def test_gemm_becomes_perfect(self, gemm_module):
+        f = gemm_module.functions()[0]
+        outer = outermost_loops(f)[0]
+        perfectize_band(outer)
+        assert len(perfect_loop_band(outer)) == 3
+
+    def test_already_perfect_band_unchanged(self):
+        module = compile_source("""
+        void copy(float A[8][8], float B[8][8]) {
+          for (int i = 0; i < 8; i++) {
+            for (int j = 0; j < 8; j++) {
+              B[i][j] = A[i][j];
+            }
+          }
+        }""", "copy")
+        outer = outermost_loops(module.functions()[0])[0]
+        assert not perfectize_band(outer)
+
+    def test_guard_uses_boundary_iteration(self, syrk_module):
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        guards = [op for op in f.walk() if op.name == "affine.if"]
+        assert guards, "perfectization should introduce a first-iteration guard"
+
+    def test_semantics_preserved(self, syrk_module):
+        perfectize_band(outermost_loops(syrk_module.functions()[0])[0])
+        ir.verify(syrk_module)
+        C, expected = run_syrk(syrk_module, seed=20)
+        np.testing.assert_allclose(C, expected, rtol=1e-5)
+
+
+class TestRemoveVariableBound:
+    def test_bounds_become_constant(self, syrk_module):
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        changed = remove_variable_bounds(f)
+        assert changed == 1
+        band = perfect_loop_band(outermost_loops(f)[0])
+        assert all(loop.has_constant_bounds() for loop in band)
+        assert band[1].constant_upper_bound == 16
+
+    def test_band_stays_perfect(self, syrk_module):
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        remove_variable_bounds(f)
+        assert len(perfect_loop_band(outermost_loops(f)[0])) == 3
+
+    def test_trmm_lower_bound(self):
+        from repro.kernels import kernel_source
+
+        module = compile_source(kernel_source("trmm", 8), "trmm")
+        f = module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        assert remove_variable_bounds(f) == 1
+        for loop in f.walk():
+            if isinstance(loop, AffineForOp):
+                assert loop.has_constant_bounds()
+
+    def test_constant_loops_untouched(self, gemm_module):
+        assert remove_variable_bounds(gemm_module.functions()[0]) == 0
+
+    def test_semantics_preserved(self, syrk_module):
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        remove_variable_bounds(f)
+        ir.verify(syrk_module)
+        C, expected = run_syrk(syrk_module, seed=30)
+        np.testing.assert_allclose(C, expected, rtol=1e-5)
+
+
+class TestLoopOrderOptimization:
+    def prepared_band(self, module):
+        f = module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        remove_variable_bounds(f)
+        return perfect_loop_band(outermost_loops(f)[0])
+
+    def test_syrk_permutation_matches_paper(self, syrk_module):
+        """The paper's Table III reports perm map [1, 2, 0] for SYRK."""
+        band = self.prepared_band(syrk_module)
+        assert compute_permutation(band) == [1, 2, 0]
+
+    def test_gemm_permutation_moves_reduction_out(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        assert compute_permutation(band) == [1, 2, 0]
+
+    def test_explicit_permutation_applied(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        trips_before = [loop.trip_count() for loop in band]
+        new_band = permute_loop_band(band, [2, 0, 1])
+        assert [loop.trip_count() for loop in new_band] == [
+            trips_before[1], trips_before[2], trips_before[0]]
+        ir.verify(gemm_module)
+
+    def test_identity_permutation_is_noop(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        assert permute_loop_band(band, [0, 1, 2]) == band
+
+    def test_invalid_permutation_rejected(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        with pytest.raises(PassError):
+            permute_loop_band(band, [0, 0, 1])
+
+    def test_semantics_preserved(self, syrk_module):
+        band = self.prepared_band(syrk_module)
+        optimize_loop_order(band)
+        ir.verify(syrk_module)
+        C, expected = run_syrk(syrk_module, seed=40)
+        np.testing.assert_allclose(C, expected, rtol=1e-5)
+
+    def test_gemm_semantics_preserved_for_every_permutation(self, gemm_module):
+        import itertools
+
+        for permutation in itertools.permutations(range(3)):
+            module = compile_source(GEMM_SOURCE, "gemm")
+            f = module.functions()[0]
+            perfectize_band(outermost_loops(f)[0])
+            band = perfect_loop_band(outermost_loops(f)[0])
+            permute_loop_band(band, list(permutation))
+            C, expected = run_gemm(module, seed=sum(permutation))
+            np.testing.assert_allclose(C, expected, rtol=1e-4)
+
+
+class TestLoopTiling:
+    def prepared_band(self, module):
+        f = module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        remove_variable_bounds(f)
+        return perfect_loop_band(outermost_loops(f)[0])
+
+    def test_tile_structure(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        tile_loops, point_loops = tile_loop_band(band, [2, 4, 1])
+        assert [loop.step for loop in tile_loops] == [2, 4, 1]
+        assert [loop.trip_count() for loop in point_loops] == [2, 4]
+        ir.verify(gemm_module)
+
+    def test_tile_size_one_everywhere_keeps_band(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        tile_loops, point_loops = tile_loop_band(band, [1, 1, 1])
+        assert point_loops == []
+        assert len(tile_loops) == 3
+
+    def test_tile_size_clamped_to_divisor(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        tile_loops, point_loops = tile_loop_band(band, [3, 1, 1])
+        # 3 does not divide 8 -> reduced to 2.
+        assert tile_loops[0].step == 2
+
+    def test_requires_perfect_band(self, syrk_module):
+        f = syrk_module.functions()[0]
+        band = loop_band_from(outermost_loops(f)[0])
+        with pytest.raises(PassError):
+            tile_loop_band(band, [1] * len(band))
+
+    def test_requires_constant_bounds(self, syrk_module):
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        band = perfect_loop_band(outermost_loops(f)[0])
+        with pytest.raises(PassError):
+            tile_loop_band(band, [1, 2, 1])
+
+    def test_wrong_number_of_sizes(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        with pytest.raises(PassError):
+            tile_loop_band(band, [2])
+
+    def test_semantics_preserved(self, gemm_module):
+        band = self.prepared_band(gemm_module)
+        tile_loop_band(band, [2, 1, 4])
+        ir.verify(gemm_module)
+        C, expected = run_gemm(gemm_module, seed=50)
+        np.testing.assert_allclose(C, expected, rtol=1e-4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.tuples(st.sampled_from([1, 2, 4, 8]), st.sampled_from([1, 2, 4, 8]),
+                     st.sampled_from([1, 2, 4, 8])))
+    def test_any_power_of_two_tiling_preserves_gemm(self, sizes):
+        module = compile_source(GEMM_SOURCE, "gemm")
+        f = module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        band = perfect_loop_band(outermost_loops(f)[0])
+        tile_loop_band(band, list(sizes))
+        C, expected = run_gemm(module, seed=60)
+        np.testing.assert_allclose(C, expected, rtol=1e-4)
+
+
+class TestLoopUnroll:
+    def test_full_unroll_removes_loop(self):
+        module = compile_source("""
+        void scale(float A[4]) {
+          for (int i = 0; i < 4; i++) { A[i] *= 2.0; }
+        }""", "scale")
+        f = module.functions()[0]
+        loop = outermost_loops(f)[0]
+        fully_unroll(loop)
+        ir.verify(module)
+        assert not any(op.name == "affine.for" for op in f.walk())
+        assert len([op for op in f.walk() if op.name == "affine.store"]) == 4
+
+    def test_full_unroll_semantics(self):
+        module = compile_source("""
+        void scale(float A[4]) {
+          for (int i = 0; i < 4; i++) { A[i] *= 2.0; }
+        }""", "scale")
+        fully_unroll(outermost_loops(module.functions()[0])[0])
+        A = random_array((4,), seed=7)
+        expected = A * 2.0
+        interpret_kernel(module, "scale", {"A": A})
+        np.testing.assert_allclose(A, expected, rtol=1e-6)
+
+    def test_partial_unroll_multiplies_step(self):
+        module = compile_source("""
+        void scale(float A[8]) {
+          for (int i = 0; i < 8; i++) { A[i] *= 2.0; }
+        }""", "scale")
+        loop = outermost_loops(module.functions()[0])[0]
+        assert unroll_loop(loop, 4) is None
+        assert loop.step == 4
+        assert len([op for op in loop.body.operations if op.name == "affine.store"]) == 4
+
+    def test_partial_unroll_semantics(self):
+        module = compile_source("""
+        void scale(float A[8]) {
+          for (int i = 0; i < 8; i++) { A[i] = A[i] + 1.0; }
+        }""", "scale")
+        unroll_loop(outermost_loops(module.functions()[0])[0], 2)
+        ir.verify(module)
+        A = random_array((8,), seed=8)
+        expected = A + 1.0
+        interpret_kernel(module, "scale", {"A": A})
+        np.testing.assert_allclose(A, expected, rtol=1e-6)
+
+    def test_factor_not_dividing_trip_reduced(self):
+        module = compile_source("""
+        void scale(float A[6]) {
+          for (int i = 0; i < 6; i++) { A[i] *= 2.0; }
+        }""", "scale")
+        loop = outermost_loops(module.functions()[0])[0]
+        unroll_loop(loop, 4)  # reduced to 3
+        assert loop.step == 3
+
+    def test_unroll_factor_one_is_noop(self, gemm_module):
+        loop = outermost_loops(gemm_module.functions()[0])[0]
+        assert unroll_loop(loop, 1) is None
+        assert loop.step == 1
+
+    def test_variable_bound_rejected(self, syrk_module):
+        f = syrk_module.functions()[0]
+        loops = [op for op in f.walk() if isinstance(op, AffineForOp)
+                 and not op.has_constant_bounds()]
+        with pytest.raises(PassError):
+            unroll_loop(loops[0], 2)
+
+    def test_fully_unroll_nested(self, gemm_module):
+        f = gemm_module.functions()[0]
+        outer = outermost_loops(f)[0]
+        unrolled = fully_unroll_nested(outer)
+        assert unrolled == 2
+        assert not any(isinstance(op, AffineForOp) for op in outer.walk() if op is not outer)
+        C, expected = run_gemm(gemm_module, seed=70)
+        np.testing.assert_allclose(C, expected, rtol=1e-4)
+
+
+class TestCombinedKernelFlow:
+    def test_full_syrk_flow_matches_reference(self, syrk_module):
+        """Perfectize + RVB + permute + tile + cleanup keeps SYRK's semantics."""
+        from repro.transforms import (
+            eliminate_common_subexpressions,
+            forward_stores,
+            simplify_affine_ifs,
+            simplify_memref_accesses,
+        )
+
+        f = syrk_module.functions()[0]
+        perfectize_band(outermost_loops(f)[0])
+        remove_variable_bounds(f)
+        band = perfect_loop_band(outermost_loops(f)[0])
+        band = optimize_loop_order(band)
+        tile_loop_band(band, [1, 2, 2])
+        canonicalize(f)
+        simplify_affine_ifs(f)
+        forward_stores(f)
+        simplify_memref_accesses(f)
+        eliminate_common_subexpressions(f)
+        canonicalize(f)
+        ir.verify(syrk_module)
+        C, expected = run_syrk(syrk_module, seed=80)
+        np.testing.assert_allclose(C, expected, rtol=1e-5)
