@@ -15,6 +15,18 @@ from repro.dse.apply import estimate_baseline
 from repro.estimation import XC7Z020
 from repro.pipeline import compile_kernel
 
+# Re-exported for test modules: ``from conftest import ...`` resolves to
+# whichever conftest.py pytest put on sys.path first, which is this file when
+# the benchmarks directory is collected before tests/.
+from repro.testing import (  # noqa: F401
+    GEMM_SOURCE,
+    SYRK_SOURCE,
+    compile_source,
+    random_array,
+    reference_gemm,
+    reference_syrk,
+)
+
 #: Paper Table III: DSE speedups on the six PolyBench kernels (problem size 4096).
 PAPER_TABLE3_SPEEDUP = {
     "bicg": 41.7,

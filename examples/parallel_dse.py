@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Walkthrough of the parallel DSE runtime.
+
+Demonstrates the three pillars of ``repro.dse.runtime`` on a PolyBench
+kernel:
+
+1. **Multi-worker exploration** — the same seed produces the identical
+   Pareto frontier with 1 or N workers (determinism contract).
+2. **QoR estimate cache** — a second sweep against the warm cache skips
+   every re-estimation.
+3. **Resumable checkpoints** — an interrupted run continues from its last
+   snapshot and lands on the same frontier as an uninterrupted one.
+
+It closes with the :class:`MultiKernelScheduler` exploring two kernels
+concurrently on one shared worker pool.
+
+Usage::
+
+    python examples/parallel_dse.py [kernel] [problem_size] [jobs]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.dse.runtime import EstimateCache, MultiKernelScheduler, ParallelExplorer
+from repro.dse.apply import estimate_baseline
+from repro.estimation import XC7Z020
+from repro.kernels import KERNEL_NAMES
+from repro.pipeline import compile_kernel
+
+
+def frontier_summary(result):
+    return [(point.encoded, point.latency, point.area) for point in result.frontier]
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "gemm"
+    problem_size = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 2
+    if kernel not in KERNEL_NAMES:
+        raise SystemExit(f"unknown kernel {kernel!r}; choose from {KERNEL_NAMES}")
+
+    print(f"Compiling {kernel} (problem size {problem_size}) ...")
+    module = compile_kernel(kernel, problem_size)
+    baseline = estimate_baseline(module, XC7Z020)
+
+    # 1. Determinism: 1 worker vs. `jobs` workers, same seed, same frontier.
+    config = dict(num_samples=8, max_iterations=16, seed=2022, batch_size=4)
+    serial = ParallelExplorer(XC7Z020, jobs=1, **config).explore(module)
+    parallel = ParallelExplorer(XC7Z020, jobs=jobs, **config).explore(module)
+    print(f"\n[1] serial: {serial.num_evaluations} evaluations "
+          f"in {serial.wall_seconds:.2f}s; "
+          f"parallel ({jobs} workers): {parallel.wall_seconds:.2f}s")
+    assert frontier_summary(serial) == frontier_summary(parallel)
+    print(f"    identical frontier of {len(serial.frontier)} points ✓")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # 2. Estimate cache: the repeat run never re-estimates.
+        cache = EstimateCache(os.path.join(workdir, "qor_cache.jsonl"))
+        explorer = ParallelExplorer(XC7Z020, jobs=jobs, cache=cache, **config)
+        cold = explorer.explore(module)
+        warm = explorer.explore(module)
+        print(f"\n[2] cold run: {cold.cache_misses} misses; warm rerun: "
+              f"{warm.cache_hits} hits, {warm.cache_misses} misses "
+              f"({warm.wall_seconds:.3f}s)")
+
+        # 3. Checkpoints: kill after 10 evaluations, resume, same frontier.
+        checkpoint = os.path.join(workdir, "explore.ckpt.json")
+        ParallelExplorer(XC7Z020, jobs=jobs, checkpoint_path=checkpoint,
+                         checkpoint_every=4, max_evaluations=10,
+                         **config).explore(module)
+        resumed = ParallelExplorer(XC7Z020, jobs=jobs, checkpoint_path=checkpoint,
+                                   **config).explore(module, resume=True)
+        assert frontier_summary(resumed) == frontier_summary(serial)
+        print(f"\n[3] interrupted at 10 evaluations, resumed to "
+              f"{resumed.num_evaluations}; frontier matches uninterrupted run ✓")
+
+    # Finalized design of the parallel run.
+    best = parallel.best_record
+    print(f"\nFinalized: latency={best.qor.latency:,} cycles dsp={best.qor.dsp} "
+          f"-> {baseline.latency / best.qor.latency:.1f}x speedup over baseline")
+
+    # 4. Whole-module concurrency: both kernels on one shared pool.
+    from repro.testing import GEMM_SOURCE, SYRK_SOURCE, compile_source
+
+    pair = compile_source(GEMM_SOURCE + SYRK_SOURCE, "pair")
+    scheduler = MultiKernelScheduler(XC7Z020, jobs=jobs, num_samples=6,
+                                     max_iterations=8, batch_size=4)
+    results = scheduler.explore_module(pair)
+    print("\n[4] multi-kernel scheduler:")
+    for name in sorted(results):
+        record = results[name].best_record
+        print(f"    {name}: best latency={record.qor.latency:,} "
+              f"dsp={record.qor.dsp} ({results[name].num_evaluations} evals)")
+
+
+if __name__ == "__main__":
+    main()

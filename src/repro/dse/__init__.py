@@ -3,7 +3,14 @@
 from repro.dse.space import KernelDesignPoint, KernelDesignSpace
 from repro.dse.pareto import ParetoPoint, pareto_frontier, dominates
 from repro.dse.apply import apply_design_point, optimize_kernel_module
-from repro.dse.engine import DesignSpaceExplorer, DSEResult
+from repro.dse.engine import DesignSpaceExplorer, DSEResult, ExplorationPolicy
+from repro.dse.runtime import (
+    EstimateCache,
+    EvaluationRecord,
+    MultiKernelScheduler,
+    ParallelDSEResult,
+    ParallelExplorer,
+)
 
 __all__ = [
     "KernelDesignPoint",
@@ -15,4 +22,10 @@ __all__ = [
     "optimize_kernel_module",
     "DesignSpaceExplorer",
     "DSEResult",
+    "ExplorationPolicy",
+    "EstimateCache",
+    "EvaluationRecord",
+    "MultiKernelScheduler",
+    "ParallelDSEResult",
+    "ParallelExplorer",
 ]

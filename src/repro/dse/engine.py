@@ -12,19 +12,117 @@ The engine implements the paper's 5-step neighbor-traversing algorithm:
    remains or the iteration budget is exhausted.
 5. **Design finalization** — the Pareto points are sorted by latency and the
    first one satisfying the platform's resource constraints is selected.
+
+The algorithm's *policy* (how points are sampled, proposed and merged into
+the frontier) lives in :class:`ExplorationPolicy` as pure functions of
+``(space, frontier, visited, rng)``.  :class:`DesignSpaceExplorer` drives the
+policy serially, one evaluation at a time (batch size 1); the parallel
+runtime in :mod:`repro.dse.runtime` drives the identical policy in
+deterministic batches across worker processes.  Because every proposal
+depends only on explorer state (never on evaluation *order*), a driver
+visits the same points and produces the same frontier for a given seed and
+batch size, regardless of worker count.  Note the batch size itself is part
+of the trajectory: the serial engine (batch size 1) and a parallel run with
+``batch_size=8`` legitimately explore different points.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.dse.apply import AppliedDesign, apply_design_point
 from repro.dse.pareto import ParetoPoint, pareto_frontier
 from repro.dse.space import KernelDesignPoint, KernelDesignSpace
 from repro.estimation.platform import Platform, XC7Z020
 from repro.ir.module import ModuleOp
+
+
+class ExplorationPolicy:
+    """Pure step functions of the 5-step algorithm.
+
+    Every method is deterministic given its arguments (including the RNG
+    state), and none of them evaluates anything — evaluation is the driver's
+    job.  ``visited`` is any container supporting ``in`` over encoded points.
+    """
+
+    @staticmethod
+    def initial_batch(space: KernelDesignSpace, rng: random.Random,
+                      num_samples: int) -> list[tuple[int, ...]]:
+        """Step 1: the deduplicated initial random sample, in draw order."""
+        target = min(num_samples, space.num_points)
+        sampled: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        attempts = 0
+        while len(sampled) < target and attempts < 10 * max(1, num_samples):
+            encoded = space.random_point(rng)
+            if encoded not in seen:
+                seen.add(encoded)
+                sampled.append(encoded)
+            attempts += 1
+        return sampled
+
+    @staticmethod
+    def propose_batch(frontier: list[ParetoPoint], space: KernelDesignSpace,
+                      visited, rng: random.Random,
+                      batch_size: int) -> list[tuple[int, ...]]:
+        """Steps 2: propose up to ``batch_size`` distinct unexplored neighbors.
+
+        All proposals are made against the *same* frontier (the one computed
+        at the last update), so the batch is a pure function of explorer
+        state — evaluating its members in any order or degree of parallelism
+        cannot change the trajectory.
+        """
+        proposals: list[tuple[int, ...]] = []
+        blocked: set[tuple[int, ...]] = set()
+        for _ in range(max(1, batch_size)):
+            candidates = list(frontier)
+            rng.shuffle(candidates)
+            pick: Optional[tuple[int, ...]] = None
+            for pareto_point in candidates:
+                neighbors = [n for n in space.neighbors(pareto_point.encoded)
+                             if n not in visited and n not in blocked]
+                if neighbors:
+                    pick = rng.choice(neighbors)
+                    break
+            if pick is None:
+                break
+            proposals.append(pick)
+            blocked.add(pick)
+        return proposals
+
+    @staticmethod
+    def frontier_of(evaluations: Mapping[tuple[int, ...], object]) -> list[ParetoPoint]:
+        """Steps 3-4: the Pareto frontier of everything evaluated so far.
+
+        ``evaluations`` maps encoded points to any object exposing a ``qor``
+        attribute (:class:`AppliedDesign` or the runtime's slim
+        ``EvaluationRecord``).  Items are visited in sorted key order so the
+        result is independent of insertion (i.e. evaluation-completion) order.
+        """
+        points = [
+            ParetoPoint(latency=float(design.qor.latency), area=float(design.qor.dsp),
+                        encoded=encoded, payload=design)
+            for encoded, design in sorted(evaluations.items())
+        ]
+        return pareto_frontier(points)
+
+    @staticmethod
+    def finalize(frontier: list[ParetoPoint],
+                 evaluations: Mapping[tuple[int, ...], object],
+                 platform: Platform):
+        """Step 5: first frontier design (by latency) fitting the platform."""
+        if not frontier:
+            return None
+        ordered = sorted(frontier, key=lambda p: (p.latency, p.area, p.encoded))
+        for point in ordered:
+            design = evaluations[point.encoded]
+            if platform.fits(design.qor.resources, memory_margin=float("inf")):
+                return design
+        # Nothing satisfies the constraints: fall back to the smallest design.
+        smallest = min(ordered, key=lambda p: (p.area, p.encoded))
+        return evaluations[smallest.encoded]
 
 
 @dataclasses.dataclass
@@ -77,69 +175,24 @@ class DesignSpaceExplorer:
 
         evaluations: dict[tuple[int, ...], AppliedDesign] = {}
 
-        def evaluate(encoded: tuple[int, ...]) -> AppliedDesign:
-            if encoded not in evaluations:
-                evaluations[encoded] = self._evaluate(module, space.decode(encoded))
-            return evaluations[encoded]
-
         # Step 1: initial sampling.
-        sampled: set[tuple[int, ...]] = set()
-        attempts = 0
-        while len(sampled) < min(self.num_samples, space.num_points) and attempts < 10 * self.num_samples:
-            sampled.add(space.random_point(rng))
-            attempts += 1
-        for encoded in sampled:
-            evaluate(encoded)
-
-        frontier = self._frontier_from(evaluations)
+        for encoded in ExplorationPolicy.initial_batch(space, rng, self.num_samples):
+            evaluations[encoded] = self._evaluate(module, space.decode(encoded))
+        frontier = ExplorationPolicy.frontier_of(evaluations)
 
         # Steps 2-4: frontier evolution by neighbor traversal.
         for _ in range(self.max_iterations):
             if not frontier:
                 break
-            proposal = self._propose_neighbor(frontier, space, evaluations, rng)
-            if proposal is None:
+            batch = ExplorationPolicy.propose_batch(frontier, space, evaluations, rng,
+                                                    batch_size=1)
+            if not batch:
                 break
-            evaluate(proposal)
-            frontier = self._frontier_from(evaluations)
+            for encoded in batch:
+                evaluations[encoded] = self._evaluate(module, space.decode(encoded))
+            frontier = ExplorationPolicy.frontier_of(evaluations)
 
         # Step 5: design finalization under the resource constraints.
-        best = self._finalize(frontier, evaluations)
+        best = ExplorationPolicy.finalize(frontier, evaluations, self.platform)
         return DSEResult(best=best, frontier=frontier, evaluations=evaluations,
                          num_evaluations=len(evaluations), space=space)
-
-    # -- internals -----------------------------------------------------------------------------
-
-    @staticmethod
-    def _frontier_from(evaluations: dict[tuple[int, ...], AppliedDesign]) -> list[ParetoPoint]:
-        points = [
-            ParetoPoint(latency=float(design.qor.latency), area=float(design.qor.dsp),
-                        encoded=encoded, payload=design)
-            for encoded, design in evaluations.items()
-        ]
-        return pareto_frontier(points)
-
-    @staticmethod
-    def _propose_neighbor(frontier: list[ParetoPoint], space: KernelDesignSpace,
-                          evaluations: dict, rng: random.Random) -> Optional[tuple[int, ...]]:
-        candidates = list(frontier)
-        rng.shuffle(candidates)
-        for pareto_point in candidates:
-            neighbors = [n for n in space.neighbors(pareto_point.encoded)
-                         if n not in evaluations]
-            if neighbors:
-                return rng.choice(neighbors)
-        return None
-
-    def _finalize(self, frontier: list[ParetoPoint],
-                  evaluations: dict[tuple[int, ...], AppliedDesign]) -> Optional[AppliedDesign]:
-        if not frontier:
-            return None
-        ordered = sorted(frontier, key=lambda p: (p.latency, p.area))
-        for point in ordered:
-            design = evaluations[point.encoded]
-            if self.platform.fits(design.qor.resources, memory_margin=float("inf")):
-                return design
-        # Nothing satisfies the constraints: fall back to the smallest design.
-        smallest = min(ordered, key=lambda p: p.area)
-        return evaluations[smallest.encoded]

@@ -26,8 +26,14 @@ def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
 
 
 def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
-    """The non-dominated subset, sorted by ascending latency."""
-    candidates = sorted(points, key=lambda p: (p.latency, p.area))
+    """The non-dominated subset, sorted by ascending latency.
+
+    Ties in (latency, area) are broken by the encoded design point, so the
+    frontier is a pure function of the evaluated *set* — independent of the
+    order evaluations completed, which is what lets the parallel DSE runtime
+    produce identical frontiers for any worker count.
+    """
+    candidates = sorted(points, key=lambda p: (p.latency, p.area, p.encoded))
     frontier: list[ParetoPoint] = []
     best_area: Optional[float] = None
     for point in candidates:

@@ -1,0 +1,47 @@
+"""The parallel DSE runtime: multi-worker exploration at scale.
+
+This package turns the single-threaded 5-step DSE engine into a scalable
+exploration service, in four pieces:
+
+* :class:`~repro.dse.runtime.parallel.ParallelExplorer` — a batch-synchronous
+  coordinator that drives the engine's pure
+  :class:`~repro.dse.engine.ExplorationPolicy` across a pool of worker
+  processes, with a hard determinism guarantee: a fixed seed produces an
+  identical Pareto frontier for any worker count.
+* :class:`~repro.dse.runtime.cache.EstimateCache` — a QoR memo keyed by
+  ``(kernel fingerprint, encoded design point)`` with optional JSONL
+  persistence, so repeated sweeps skip re-estimation entirely.
+* :class:`~repro.dse.runtime.checkpoint.CheckpointStore` — atomic snapshots
+  of explorer state (records, RNG, progress) every N evaluations, enabling
+  ``--resume`` after interruption with a bit-identical final frontier.
+* :class:`~repro.dse.runtime.scheduler.MultiKernelScheduler` — concurrent
+  DSE over every function of a module (e.g. all stages of a DNN) on one
+  shared worker pool and cache.
+"""
+
+from repro.dse.runtime.cache import CacheStats, EstimateCache
+from repro.dse.runtime.checkpoint import CheckpointStore, ExplorerState
+from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
+from repro.dse.runtime.records import EvaluationRecord
+from repro.dse.runtime.scheduler import MultiKernelScheduler
+from repro.dse.runtime.worker import (
+    KernelContext,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+)
+
+__all__ = [
+    "CacheStats",
+    "EstimateCache",
+    "CheckpointStore",
+    "ExplorerState",
+    "ParallelDSEResult",
+    "ParallelExplorer",
+    "EvaluationRecord",
+    "MultiKernelScheduler",
+    "KernelContext",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "create_backend",
+]

@@ -1,0 +1,127 @@
+"""The QoR estimate cache.
+
+Design-point evaluation — cloning the kernel, running the transform
+pipeline, estimating QoR — dominates DSE wall-clock time, yet repeated
+sweeps (benchmark reruns, resumed sessions, neighboring seeds) re-estimate
+mostly the same points.  :class:`EstimateCache` memoizes
+:class:`~repro.dse.runtime.records.EvaluationRecord` objects keyed by
+``(kernel fingerprint, encoded design point)`` and can persist every entry
+as one JSON line, so a warm cache survives the process.
+
+The coordinator consults the cache *before* dispatching work to the pool,
+so hit/miss accounting is exact and worker processes never touch the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from typing import Optional, Sequence
+
+from repro.dse.runtime.records import EvaluationRecord
+from repro.estimation.estimator import QOR_MODEL_VERSION
+
+#: Cache key: (kernel fingerprint, encoded design point).
+CacheKey = tuple[str, tuple[int, ...]]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Lifetime accounting of one :class:`EstimateCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    loaded: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          stores=self.stores, loaded=self.loaded)
+
+
+class EstimateCache:
+    """In-process QoR memo with optional JSONL persistence."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.stats = CacheStats()
+        self._entries: dict[CacheKey, EvaluationRecord] = {}
+        self._handle = None
+        #: Guards entries, stats and file appends: one cache instance may be
+        #: shared by the per-kernel coordinator threads of a scheduler.
+        self._lock = threading.Lock()
+        if path:
+            os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+            if os.path.exists(path):
+                self._load(path)
+
+    # -- lookup -----------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str,
+            encoded: Sequence[int]) -> Optional[EvaluationRecord]:
+        with self._lock:
+            record = self._entries.get((fingerprint, tuple(encoded)))
+            if record is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return record
+
+    def put(self, fingerprint: str, record: EvaluationRecord) -> None:
+        with self._lock:
+            key = (fingerprint, tuple(record.encoded))
+            if key in self._entries:
+                return
+            self._entries[key] = record
+            self.stats.stores += 1
+            if self.path:
+                self._append(fingerprint, record)
+
+    # -- persistence ------------------------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    if data.get("model") != QOR_MODEL_VERSION:
+                        continue  # estimated under a stale QoR model
+                    record = EvaluationRecord.from_json_dict(data["record"])
+                    key = (data["fingerprint"], record.encoded)
+                except (KeyError, TypeError, ValueError):
+                    continue  # tolerate truncated/corrupt/foreign lines
+                self._entries[key] = record
+                self.stats.loaded += 1
+
+    def _append(self, fingerprint: str, record: EvaluationRecord) -> None:
+        # One lazily opened append handle for the cache's lifetime (caller
+        # holds the lock); flushed per line so entries survive a crash.
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps({"fingerprint": fingerprint,
+                           "model": QOR_MODEL_VERSION,
+                           "record": record.to_json_dict()})
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

@@ -1,0 +1,269 @@
+"""The parallel design-space exploration coordinator.
+
+:class:`ParallelExplorer` drives the same :class:`ExplorationPolicy` as the
+serial engine, but in *batches*: every iteration proposes ``batch_size``
+distinct unexplored neighbors against the current frontier, evaluates the
+batch through an evaluation backend (inline or a process pool), then merges
+the results and recomputes the frontier.
+
+Determinism contract
+--------------------
+
+For a fixed ``(seed, num_samples, max_iterations, batch_size)`` the explorer
+visits the same points and returns the same frontier regardless of
+
+* the number of worker processes (``jobs``) — proposals never depend on
+  evaluation completion order, and the frontier is a pure function of the
+  evaluated *set*;
+* cache warmth — cached records equal freshly evaluated ones because
+  evaluation is deterministic;
+* interruption — checkpoints snapshot state at batch boundaries, and a
+  resumed run replays the exact continuation of the trajectory.
+
+``batch_size`` is deliberately independent of ``jobs``: it is part of the
+exploration trajectory, while ``jobs`` is purely an execution detail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+from repro.dse.apply import AppliedDesign, apply_design_point
+from repro.dse.engine import ExplorationPolicy
+from repro.dse.pareto import ParetoPoint
+from repro.dse.runtime.cache import EstimateCache
+from repro.dse.runtime.checkpoint import CheckpointStore, ExplorerState
+from repro.dse.runtime.records import EvaluationRecord
+from repro.dse.runtime.worker import KernelContext, create_backend
+from repro.dse.space import KernelDesignSpace
+from repro.estimation.platform import Platform, XC7Z020
+from repro.ir.module import ModuleOp
+
+
+def _kernel_fingerprint(space: KernelDesignSpace, func_op) -> str:
+    """Cache/checkpoint identity of (kernel, design space).
+
+    ``space.fingerprint()`` covers the kernel IR only when the space was
+    built via :meth:`KernelDesignSpace.from_function`; a directly
+    constructed space (``ir_digest == ""``) would collide across different
+    kernels with the same shape.  The runtime always has the function at
+    hand, so it mixes the actual IR digest in for that case.
+    """
+    if space.ir_digest:
+        return space.fingerprint()
+    import hashlib
+
+    from repro.dse.space import ir_digest
+
+    combined = f"{space.fingerprint()}:{ir_digest(func_op)}"
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclasses.dataclass
+class ParallelDSEResult:
+    """Outcome of one parallel exploration run.
+
+    Unlike the serial :class:`~repro.dse.engine.DSEResult`, evaluations are
+    slim :class:`EvaluationRecord` objects; the optimized IR of interesting
+    designs is re-materialized on demand via :meth:`materialize`.
+    """
+
+    frontier: list[ParetoPoint]
+    records: dict[tuple[int, ...], EvaluationRecord]
+    best_record: Optional[EvaluationRecord]
+    num_evaluations: int
+    evaluated_this_run: int
+    cache_hits: int
+    cache_misses: int
+    space: KernelDesignSpace
+    fingerprint: str
+    wall_seconds: float
+    module: ModuleOp
+    func_name: Optional[str]
+    platform: Platform
+
+    @property
+    def best_point(self):
+        return self.best_record.point if self.best_record is not None else None
+
+    def frontier_records(self) -> list[EvaluationRecord]:
+        return [self.records[point.encoded] for point in self.frontier]
+
+    def materialize(self, encoded: tuple[int, ...]) -> AppliedDesign:
+        """Re-apply a design point to get its optimized module (for emission)."""
+        point = self.space.decode(encoded)
+        return apply_design_point(self.module, point, self.platform,
+                                  func_name=self.func_name)
+
+    def best_design(self) -> Optional[AppliedDesign]:
+        if self.best_record is None:
+            return None
+        return self.materialize(self.best_record.encoded)
+
+
+class ParallelExplorer:
+    """Batch-synchronous, cache-aware, checkpointable DSE coordinator."""
+
+    def __init__(self, platform: Platform = XC7Z020, num_samples: int = 24,
+                 max_iterations: int = 48, seed: int = 2022,
+                 jobs: int = 1, batch_size: int = 8,
+                 cache: Optional[EstimateCache] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 32,
+                 max_evaluations: Optional[int] = None,
+                 mp_context: Optional[str] = None):
+        self.platform = platform
+        self.num_samples = num_samples
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.jobs = max(1, int(jobs))
+        self.batch_size = max(1, int(batch_size))
+        self.cache = cache
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.max_evaluations = max_evaluations
+        self.mp_context = mp_context
+
+    # -- exploration ------------------------------------------------------------------------
+
+    def explore(self, module: ModuleOp,
+                space: Optional[KernelDesignSpace] = None,
+                func_name: Optional[str] = None,
+                resume: bool = False,
+                backend=None, context_key: str = "kernel") -> ParallelDSEResult:
+        """Explore ``module``'s kernel; optionally resume from a checkpoint.
+
+        ``backend``/``context_key`` let a scheduler inject a shared worker
+        pool; when omitted the explorer creates (and owns) its own backend.
+        """
+        started = time.perf_counter()
+        func_op = module.lookup(func_name) if func_name else module.functions()[0]
+        if space is None:
+            space = KernelDesignSpace.from_function(func_op)
+        fingerprint = _kernel_fingerprint(space, func_op)
+
+        # The parameters that define the exploration trajectory: a checkpoint
+        # taken under different ones must not be resumed (it would continue
+        # the *old* trajectory mislabeled as the new configuration).
+        config = {"seed": self.seed, "batch_size": self.batch_size,
+                  "num_samples": self.num_samples,
+                  "max_iterations": self.max_iterations}
+        store = CheckpointStore(self.checkpoint_path) if self.checkpoint_path else None
+        state: Optional[ExplorerState] = None
+        if resume and store is not None:
+            state = store.load(expected_fingerprint=fingerprint,
+                               expected_config=config)
+        if state is None:
+            state = ExplorerState.fresh(fingerprint, self.seed, config=config)
+
+        # The backend is created lazily: a fully cache-warm run never needs
+        # worker processes at all.
+        injected_backend = backend
+        created_backend = None
+
+        def get_backend():
+            nonlocal created_backend
+            if injected_backend is not None:
+                return injected_backend
+            if created_backend is None:
+                contexts = {context_key: KernelContext(
+                    module=module, func_name=func_name,
+                    platform=self.platform, space=space)}
+                created_backend = create_backend(contexts, self.jobs,
+                                                 mp_context=self.mp_context)
+            return created_backend
+
+        evaluated_this_run = 0
+        processed_this_run = 0
+        since_checkpoint = 0
+        run_hits = 0
+        run_misses = 0
+
+        def evaluate_batch(batch: list[tuple[int, ...]]) -> None:
+            nonlocal evaluated_this_run, processed_this_run, since_checkpoint
+            nonlocal run_hits, run_misses
+            missing: list[tuple[int, ...]] = []
+            for encoded in batch:
+                record = (self.cache.get(fingerprint, encoded)
+                          if self.cache is not None else None)
+                if record is not None:
+                    state.records[encoded] = record
+                else:
+                    missing.append(encoded)
+            if missing:
+                for record in get_backend().evaluate(context_key, missing):
+                    state.records[record.encoded] = record
+                    if self.cache is not None:
+                        self.cache.put(fingerprint, record)
+            if self.cache is not None:
+                run_hits += len(batch) - len(missing)
+                run_misses += len(missing)
+            evaluated_this_run += len(missing)
+            processed_this_run += len(batch)
+            since_checkpoint += len(batch)
+
+        def maybe_checkpoint(rng, force: bool = False) -> None:
+            nonlocal since_checkpoint
+            if store is None:
+                return
+            if not force and since_checkpoint < self.checkpoint_every:
+                return
+            state.capture_rng(rng)
+            store.save(state)
+            since_checkpoint = 0
+
+        def budget_left() -> bool:
+            return (self.max_evaluations is None
+                    or processed_this_run < self.max_evaluations)
+
+        try:
+            rng = state.make_rng()
+
+            # Step 1: initial sampling (skipped entirely when resuming past it).
+            if not state.samples_done:
+                batch = ExplorationPolicy.initial_batch(space, rng, self.num_samples)
+                evaluate_batch([e for e in batch if e not in state.records])
+                state.samples_done = True
+                maybe_checkpoint(rng)
+
+            frontier = ExplorationPolicy.frontier_of(state.records)
+
+            # Steps 2-4: batched frontier evolution.
+            while (state.iterations_done < self.max_iterations and frontier
+                   and budget_left()):
+                remaining = self.max_iterations - state.iterations_done
+                batch = ExplorationPolicy.propose_batch(
+                    frontier, space, state.records, rng,
+                    batch_size=min(self.batch_size, remaining))
+                if not batch:
+                    break
+                evaluate_batch(batch)
+                state.iterations_done += len(batch)
+                frontier = ExplorationPolicy.frontier_of(state.records)
+                maybe_checkpoint(rng)
+
+            maybe_checkpoint(rng, force=True)
+
+            # Step 5: finalization.
+            best = ExplorationPolicy.finalize(frontier, state.records, self.platform)
+        finally:
+            if created_backend is not None:
+                created_backend.close()
+
+        return ParallelDSEResult(
+            frontier=frontier,
+            records=dict(state.records),
+            best_record=best,
+            num_evaluations=len(state.records),
+            evaluated_this_run=evaluated_this_run,
+            cache_hits=run_hits,
+            cache_misses=run_misses,
+            space=space,
+            fingerprint=fingerprint,
+            wall_seconds=time.perf_counter() - started,
+            module=module,
+            func_name=func_name,
+            platform=self.platform,
+        )

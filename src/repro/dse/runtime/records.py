@@ -1,0 +1,78 @@
+"""Slim, picklable evaluation results exchanged between DSE processes.
+
+An :class:`EvaluationRecord` is everything the exploration policy needs to
+know about an evaluated design point — its QoR and the decoded transform
+parameters — without the transformed IR module.  Workers ship records back
+to the coordinator (cheap to pickle), the estimate cache persists them as
+JSON lines, and checkpoints snapshot them wholesale.  The full
+:class:`~repro.dse.apply.AppliedDesign` (with the optimized module, e.g. for
+C++ emission) is re-materialized on demand by re-applying the design point,
+which is cheap for the handful of frontier designs that survive exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.dse.apply import AppliedDesign
+from repro.dse.space import KernelDesignPoint
+from repro.estimation.estimator import QoRResult
+from repro.estimation.resources import ResourceUsage
+
+
+@dataclasses.dataclass(frozen=True)
+class EvaluationRecord:
+    """QoR of one evaluated design point, detached from its IR module."""
+
+    encoded: tuple[int, ...]
+    point: KernelDesignPoint
+    qor: QoRResult
+    achieved_ii: Optional[int] = None
+
+    @classmethod
+    def from_design(cls, encoded: tuple[int, ...],
+                    design: AppliedDesign) -> "EvaluationRecord":
+        return cls(encoded=tuple(encoded), point=design.point, qor=design.qor,
+                   achieved_ii=design.achieved_ii)
+
+    # -- JSON (de)serialization for the cache / checkpoint files ----------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "encoded": list(self.encoded),
+            "point": {
+                "loop_perfectization": self.point.loop_perfectization,
+                "remove_variable_bound": self.point.remove_variable_bound,
+                "perm_map": list(self.point.perm_map),
+                "tile_sizes": list(self.point.tile_sizes),
+                "target_ii": self.point.target_ii,
+            },
+            "qor": {
+                "latency": self.qor.latency,
+                "interval": self.qor.interval,
+                "resources": dataclasses.asdict(self.qor.resources),
+            },
+            "achieved_ii": self.achieved_ii,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "EvaluationRecord":
+        point_data = data["point"]
+        qor_data = data["qor"]
+        return cls(
+            encoded=tuple(int(v) for v in data["encoded"]),
+            point=KernelDesignPoint(
+                loop_perfectization=bool(point_data["loop_perfectization"]),
+                remove_variable_bound=bool(point_data["remove_variable_bound"]),
+                perm_map=tuple(int(v) for v in point_data["perm_map"]),
+                tile_sizes=tuple(int(v) for v in point_data["tile_sizes"]),
+                target_ii=int(point_data["target_ii"]),
+            ),
+            qor=QoRResult(
+                latency=int(qor_data["latency"]),
+                interval=int(qor_data["interval"]),
+                resources=ResourceUsage(**qor_data["resources"]),
+            ),
+            achieved_ii=data.get("achieved_ii"),
+        )

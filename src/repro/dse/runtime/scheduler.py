@@ -1,0 +1,126 @@
+"""Concurrent DSE over every kernel of a module.
+
+A DNN compiled through the graph flow (:func:`repro.pipeline.compile_dnn`)
+contains one lowered function per dataflow stage; sweeping a whole model
+means running DSE for each of them.  :class:`MultiKernelScheduler` does so
+under a *shared resource budget*: one worker pool of ``jobs`` processes
+serves all kernels, per-kernel coordinator threads interleave their batches
+onto it, and a shared :class:`EstimateCache` deduplicates work across
+kernels and runs.
+
+Each kernel's trajectory stays fully deterministic — it only depends on the
+kernel's own ``(seed, policy)`` stream, never on how the pool interleaved
+the evaluations of its neighbors.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Optional, Sequence
+
+from repro.dse.runtime.cache import EstimateCache
+from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
+from repro.dse.runtime.worker import KernelContext, create_backend
+from repro.dse.space import KernelDesignSpace
+from repro.estimation.platform import Platform, XC7Z020
+from repro.ir.module import ModuleOp
+
+
+class MultiKernelScheduler:
+    """Runs DSE for many kernels concurrently on one shared worker pool."""
+
+    def __init__(self, platform: Platform = XC7Z020, jobs: int = 1,
+                 num_samples: int = 24, max_iterations: int = 48,
+                 seed: int = 2022, batch_size: int = 8,
+                 cache: Optional[EstimateCache] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 32,
+                 mp_context: Optional[str] = None):
+        self.platform = platform
+        self.jobs = max(1, int(jobs))
+        self.num_samples = num_samples
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.batch_size = batch_size
+        self.cache = cache
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.mp_context = mp_context
+
+    # -- public API -------------------------------------------------------------------------
+
+    def explore_module(self, module: ModuleOp,
+                       func_names: Optional[Sequence[str]] = None,
+                       resume: bool = False) -> dict[str, ParallelDSEResult]:
+        """Run DSE for every explorable function of ``module``.
+
+        Functions without an affine loop nest (e.g. a dataflow top that only
+        contains calls) are skipped.  Returns per-function results keyed by
+        the function's symbol name.
+        """
+        kernels = self._explorable_kernels(module, func_names)
+        if not kernels:
+            return {}
+
+        contexts = {
+            name: KernelContext(module=module, func_name=name,
+                                platform=self.platform, space=space)
+            for name, space in kernels
+        }
+        backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)
+        try:
+            if self.jobs <= 1 or len(kernels) == 1:
+                return {name: self._explore_one(module, name, space, backend, resume)
+                        for name, space in kernels}
+            # Spawn the pool's workers from the main thread, before any
+            # coordinator threads exist: forking from a multi-threaded
+            # process risks inheriting locks held by other threads.
+            if hasattr(backend, "warm_up"):
+                backend.warm_up()
+            # One coordinator thread per kernel; they are I/O-bound (waiting
+            # on pool futures), so threads are enough to keep the pool busy.
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=len(kernels)) as coordinators:
+                futures = {
+                    name: coordinators.submit(self._explore_one, module, name,
+                                              space, backend, resume)
+                    for name, space in kernels
+                }
+                return {name: future.result() for name, future in futures.items()}
+        finally:
+            backend.close()
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _explorable_kernels(self, module: ModuleOp,
+                            func_names: Optional[Sequence[str]]
+                            ) -> list[tuple[str, KernelDesignSpace]]:
+        if func_names is None:
+            func_names = [func_op.get_attr("sym_name")
+                          for func_op in module.functions()]
+        kernels: list[tuple[str, KernelDesignSpace]] = []
+        for name in func_names:
+            func_op = module.lookup(name)
+            if func_op is None:
+                raise ValueError(f"function {name!r} not found in the module")
+            try:
+                space = KernelDesignSpace.from_function(func_op)
+            except ValueError:
+                continue  # no loop nest to explore
+            kernels.append((name, space))
+        return kernels
+
+    def _explore_one(self, module: ModuleOp, name: str,
+                     space: KernelDesignSpace, backend,
+                     resume: bool) -> ParallelDSEResult:
+        checkpoint_path = None
+        if self.checkpoint_dir:
+            checkpoint_path = os.path.join(self.checkpoint_dir, f"{name}.ckpt.json")
+        explorer = ParallelExplorer(
+            platform=self.platform, num_samples=self.num_samples,
+            max_iterations=self.max_iterations, seed=self.seed,
+            jobs=self.jobs, batch_size=self.batch_size, cache=self.cache,
+            checkpoint_path=checkpoint_path, checkpoint_every=self.checkpoint_every)
+        return explorer.explore(module, space=space, func_name=name,
+                                resume=resume, backend=backend, context_key=name)

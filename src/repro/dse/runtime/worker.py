@@ -1,0 +1,155 @@
+"""Evaluation backends: where design points actually get estimated.
+
+The coordinator (``ParallelExplorer`` / ``MultiKernelScheduler``) decides
+*which* points to evaluate; a backend decides *where*:
+
+* :class:`SerialBackend` evaluates inline in the coordinator process.
+* :class:`ProcessPoolBackend` fans evaluations out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each worker process receives
+  the pickled kernel contexts once (in its initializer) and then exchanges
+  only ``(kernel key, encoded point)`` tuples and slim
+  :class:`~repro.dse.runtime.records.EvaluationRecord` results.
+
+Both backends compute identical records for identical inputs — evaluation
+is a pure function of ``(module, design point, platform)`` — which is the
+bedrock of the runtime's determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import pickle
+import time
+from typing import Optional, Sequence
+
+from repro.dse.apply import apply_design_point
+from repro.dse.runtime.records import EvaluationRecord
+from repro.dse.space import KernelDesignSpace
+from repro.estimation.platform import Platform
+from repro.ir.module import ModuleOp
+
+
+@dataclasses.dataclass
+class KernelContext:
+    """Everything a worker needs to evaluate points of one kernel."""
+
+    module: ModuleOp
+    func_name: Optional[str]
+    platform: Platform
+    space: KernelDesignSpace
+
+
+def evaluate_encoded(context: KernelContext,
+                     encoded: tuple[int, ...]) -> EvaluationRecord:
+    """Evaluate one encoded design point against its kernel context."""
+    point = context.space.decode(encoded)
+    design = apply_design_point(context.module, point, context.platform,
+                                func_name=context.func_name)
+    return EvaluationRecord.from_design(encoded, design)
+
+
+# -- worker process side -------------------------------------------------------------------
+
+#: Per-process kernel contexts, installed by :func:`_init_worker`.
+_WORKER_CONTEXTS: dict[str, KernelContext] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_CONTEXTS
+    _WORKER_CONTEXTS = pickle.loads(payload)
+
+
+def _evaluate_task(key: str, encoded: tuple[int, ...]) -> EvaluationRecord:
+    return evaluate_encoded(_WORKER_CONTEXTS[key], encoded)
+
+
+def _warm_up_task(hold_seconds: float) -> None:
+    """Warm-up task: occupies one worker long enough that the executor must
+    spawn another for the next pending warm-up task."""
+    time.sleep(hold_seconds)
+
+
+# -- backends -------------------------------------------------------------------------------
+
+
+class SerialBackend:
+    """Inline evaluation (``--jobs 1``): no processes, no pickling."""
+
+    jobs = 1
+
+    def __init__(self, contexts: dict[str, KernelContext]):
+        self._contexts = contexts
+
+    def evaluate(self, key: str,
+                 batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
+        context = self._contexts[key]
+        return [evaluate_encoded(context, encoded) for encoded in batch]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ProcessPoolBackend:
+    """Evaluation fanned out across a pool of worker processes."""
+
+    def __init__(self, contexts: dict[str, KernelContext], jobs: int,
+                 mp_context: Optional[str] = None):
+        self.jobs = max(1, int(jobs))
+        payload = pickle.dumps(contexts)
+        context = multiprocessing.get_context(mp_context) if mp_context \
+            else multiprocessing.get_context()
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=context,
+            initializer=_init_worker, initargs=(payload,))
+
+    def evaluate(self, key: str,
+                 batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
+        futures = [self._executor.submit(_evaluate_task, key, tuple(encoded))
+                   for encoded in batch]
+        # Collect in submission order: the result list is deterministic even
+        # though completion order is not.
+        return [future.result() for future in futures]
+
+    def warm_up(self) -> None:
+        """Spawn every worker process now.
+
+        The executor otherwise forks lazily on ``submit()`` — and when those
+        submits come from coordinator *threads*, they fork a multi-threaded
+        process (a deadlock hazard: a child can inherit a lock held by
+        another thread).  Call this from the main thread before starting
+        coordinator threads.
+
+        Python 3.11+ launches all workers on the first submit for fork
+        contexts; on older versions each submit spawns at most one worker,
+        so one task per worker is submitted, each holding its worker briefly
+        to stop an idle worker from swallowing the next task.
+        """
+        futures = [self._executor.submit(_warm_up_task, 0.05)
+                   for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def create_backend(contexts: dict[str, KernelContext], jobs: int,
+                   mp_context: Optional[str] = None):
+    """Pick the cheapest backend able to provide ``jobs`` parallel workers."""
+    if jobs <= 1:
+        return SerialBackend(contexts)
+    return ProcessPoolBackend(contexts, jobs, mp_context=mp_context)

@@ -17,12 +17,27 @@ algorithm) a matter of bumping one index by one.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
 import random
 from typing import Optional, Sequence
 
 from repro.dialects.affine_ops import AffineForOp, loop_band_from, outermost_loops
 from repro.ir.operation import Operation
+
+
+def ir_digest(func_op: Operation) -> str:
+    """Stable content digest of a function's IR.
+
+    The single definition of the digest recipe: both
+    :meth:`KernelDesignSpace.from_function` and the DSE runtime's
+    cache/checkpoint fingerprinting rely on it producing identical values
+    for structurally identical IR across processes and sessions.
+    """
+    from repro.ir.printer import print_op
+
+    return hashlib.sha256(
+        print_op(func_op, stable_ids=True).encode("utf-8")).hexdigest()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,7 +66,11 @@ class KernelDesignSpace:
     MAX_UNROLL_PRODUCT = 128
 
     def __init__(self, band_trip_counts: Sequence[int], has_variable_bounds: bool,
-                 is_imperfect: bool, max_tile: int = 16, max_target_ii: int = 8):
+                 is_imperfect: bool, max_tile: int = 16, max_target_ii: int = 8,
+                 ir_digest: str = ""):
+        #: Stable digest of the kernel IR the space was built from ("" when the
+        #: space was constructed directly from trip counts).
+        self.ir_digest = ir_digest
         self.band_trip_counts = tuple(int(t) for t in band_trip_counts)
         self.has_variable_bounds = has_variable_bounds
         self.is_imperfect = is_imperfect
@@ -90,7 +109,30 @@ class KernelDesignSpace:
             len([op for op in loop.body.operations
                  if op.name != "affine.yield" and not isinstance(op, AffineForOp)]) > 0
             for loop in band[:-1])
-        return cls(trip_counts, has_variable, is_imperfect, max_tile=max_tile)
+        return cls(trip_counts, has_variable, is_imperfect, max_tile=max_tile,
+                   ir_digest=ir_digest(func_op))
+
+    # -- identity ---------------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable identity of (kernel IR, design space shape).
+
+        Two spaces built via :meth:`from_function` share a fingerprint
+        exactly when their kernels' IR is structurally identical and their
+        dimension options match, making the fingerprint a safe key for the
+        QoR estimate cache and for checkpoint compatibility checks across
+        processes and sessions.  A directly constructed space carries no IR
+        digest, so its fingerprint only identifies the space *shape* — the
+        DSE runtime mixes the kernel IR back in for that case.
+        """
+        payload = repr((
+            self.ir_digest,
+            self.band_trip_counts,
+            self.has_variable_bounds,
+            self.is_imperfect,
+            [[repr(option) for option in options] for options in self.dimensions],
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
     # -- encoding ---------------------------------------------------------------------------
 

@@ -1,7 +1,7 @@
 """QoR estimation: the analytical latency / resource model (paper Section V-E1)."""
 
 from repro.estimation.resources import OpCharacteristics, ResourceUsage, op_characteristics
-from repro.estimation.platform import Platform, XC7Z020, VU9P_SLR
+from repro.estimation.platform import PLATFORMS, Platform, XC7Z020, VU9P_SLR
 from repro.estimation.scheduler import ALAPScheduler, ScheduleResult
 from repro.estimation.estimator import QoREstimator, QoRResult
 
@@ -9,6 +9,7 @@ __all__ = [
     "OpCharacteristics",
     "ResourceUsage",
     "op_characteristics",
+    "PLATFORMS",
     "Platform",
     "XC7Z020",
     "VU9P_SLR",

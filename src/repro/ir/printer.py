@@ -18,11 +18,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Printer:
-    """Prints operations with stable, per-function SSA value numbering."""
+    """Prints operations with stable, per-function SSA value numbering.
 
-    def __init__(self, indent_width: int = 2):
+    With ``stable_ids=True`` block arguments are numbered by the encounter
+    order of their blocks instead of by object identity, so two structurally
+    identical IR trees print to byte-identical text (used by the DSE runtime
+    to fingerprint kernels across processes and sessions).
+    """
+
+    def __init__(self, indent_width: int = 2, stable_ids: bool = False):
         self.indent_width = indent_width
+        self.stable_ids = stable_ids
         self._names: dict[Value, str] = {}
+        self._block_ids: dict[object, int] = {}
         self._next_id = 0
         self._lines: list[str] = []
 
@@ -30,6 +38,7 @@ class Printer:
 
     def print(self, op: "Operation") -> str:
         self._names = {}
+        self._block_ids = {}
         self._next_id = 0
         self._lines = []
         self._print_op(op, 0)
@@ -37,10 +46,15 @@ class Printer:
 
     # -- naming ----------------------------------------------------------------------
 
+    def _block_scope(self, block) -> int:
+        if self.stable_ids:
+            return self._block_ids.setdefault(block, len(self._block_ids))
+        return id(block) % 9973
+
     def _name_of(self, value: Value) -> str:
         if value not in self._names:
             if isinstance(value, BlockArgument):
-                self._names[value] = f"%arg{value.index}_{id(value.block) % 9973}"
+                self._names[value] = f"%arg{value.index}_{self._block_scope(value.block)}"
             else:
                 self._names[value] = f"%{self._next_id}"
                 self._next_id += 1
@@ -102,6 +116,6 @@ class Printer:
         return str(value)
 
 
-def print_op(op: "Operation") -> str:
+def print_op(op: "Operation", stable_ids: bool = False) -> str:
     """Convenience wrapper: print a single operation tree."""
-    return Printer().print(op)
+    return Printer(stable_ids=stable_ids).print(op)

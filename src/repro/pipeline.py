@@ -7,6 +7,10 @@ the emitter into the flows the paper evaluates:
   ``scalehls-clang`` + ``-raise-scf-to-affine`` part of Fig. 5).
 * :func:`optimize_kernel` / the DSE engine in :mod:`repro.dse` — the
   computation-kernel flow of Section VII-A.
+* :func:`explore_kernel` / :func:`explore_module_kernels` — the parallel DSE
+  runtime flows: multi-worker exploration with a persistent QoR estimate
+  cache and resumable checkpoints (single kernel or every function of a
+  module concurrently).
 * :func:`compile_dnn` — the DNN flow of Section VII-B: graph-level dataflow
   optimization, graph-to-loop lowering, loop/directive optimization and QoR
   estimation, parameterized by the graph and loop optimization levels of the
@@ -84,6 +88,58 @@ def kernel_baseline(module: ModuleOp, platform: Platform = XC7Z020) -> QoRResult
 def emit_kernel_cpp(design: AppliedDesign) -> str:
     """Emit the optimized kernel as synthesizable HLS C++."""
     return emit_hlscpp(design.module)
+
+
+# -- parallel DSE runtime flows ----------------------------------------------------------------
+
+
+def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
+                   jobs: int = 1, num_samples: int = 16, max_iterations: int = 24,
+                   seed: int = 2022, batch_size: int = 8,
+                   cache: "Optional[EstimateCache]" = None,
+                   cache_path: Optional[str] = None,
+                   checkpoint_path: Optional[str] = None,
+                   checkpoint_every: int = 32,
+                   resume: bool = False,
+                   func_name: Optional[str] = None) -> "ParallelDSEResult":
+    """Run the parallel DSE runtime on one kernel.
+
+    ``cache_path`` creates (or warms from) a persistent JSONL estimate cache;
+    ``checkpoint_path`` + ``resume`` continue an interrupted exploration.
+    """
+    from repro.dse.runtime import EstimateCache, ParallelExplorer
+
+    if cache is None and cache_path:
+        cache = EstimateCache(cache_path)
+    explorer = ParallelExplorer(
+        platform, num_samples=num_samples, max_iterations=max_iterations,
+        seed=seed, jobs=jobs, batch_size=batch_size, cache=cache,
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every)
+    return explorer.explore(module, func_name=func_name, resume=resume)
+
+
+def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
+                           jobs: int = 1, num_samples: int = 16,
+                           max_iterations: int = 24, seed: int = 2022,
+                           batch_size: int = 8,
+                           cache: "Optional[EstimateCache]" = None,
+                           cache_path: Optional[str] = None,
+                           checkpoint_dir: Optional[str] = None,
+                           checkpoint_every: int = 32,
+                           resume: bool = False,
+                           func_names: Optional[list[str]] = None
+                           ) -> "dict[str, ParallelDSEResult]":
+    """Run DSE for every explorable function of ``module`` concurrently."""
+    from repro.dse.runtime import EstimateCache, MultiKernelScheduler
+
+    if cache is None and cache_path:
+        cache = EstimateCache(cache_path)
+    scheduler = MultiKernelScheduler(
+        platform, jobs=jobs, num_samples=num_samples,
+        max_iterations=max_iterations, seed=seed, batch_size=batch_size,
+        cache=cache, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every)
+    return scheduler.explore_module(module, func_names=func_names, resume=resume)
 
 
 # -- DNN models --------------------------------------------------------------------------------------

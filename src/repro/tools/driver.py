@@ -30,6 +30,7 @@ Run ``python -m repro.tools.driver <command> --help`` for the options.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -110,6 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
     dse_parser.add_argument("--samples", type=int, default=16)
     dse_parser.add_argument("--iterations", type=int, default=24)
     dse_parser.add_argument("--seed", type=int, default=2022)
+    dse_parser.add_argument("--jobs", type=int, default=1,
+                            help="number of parallel evaluation workers")
+    dse_parser.add_argument("--batch-size", type=int, default=8,
+                            help="proposals evaluated per exploration round "
+                                 "(part of the trajectory, independent of --jobs)")
+    dse_parser.add_argument("--cache", metavar="PATH",
+                            help="persistent QoR estimate cache (JSONL)")
+    dse_parser.add_argument("--checkpoint", metavar="PATH",
+                            help="checkpoint file (single kernel) or directory "
+                                 "(--all-functions)")
+    dse_parser.add_argument("--checkpoint-every", type=int, default=32,
+                            help="snapshot state every N evaluations")
+    dse_parser.add_argument("--resume", action="store_true",
+                            help="resume from the checkpoint if present")
+    dse_parser.add_argument("--all-functions", action="store_true",
+                            help="explore every function of the module concurrently")
 
     emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
     _add_kernel_arguments(emit_parser)
@@ -150,21 +167,61 @@ def run_estimate(args) -> int:
 
 
 def run_dse(args) -> int:
+    from repro.pipeline import explore_kernel, explore_module_kernels
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH (otherwise the "
+                         "exploration would silently restart from scratch)")
     module = _load_module(args)
     platform = _platform(args.platform)
+    common = dict(jobs=args.jobs, num_samples=args.samples,
+                  max_iterations=args.iterations, seed=args.seed,
+                  batch_size=args.batch_size, cache_path=args.cache,
+                  checkpoint_every=args.checkpoint_every, resume=args.resume)
+
+    if args.all_functions:
+        if args.checkpoint and os.path.exists(args.checkpoint) \
+                and not os.path.isdir(args.checkpoint):
+            raise SystemExit("--checkpoint must name a directory when used "
+                             f"with --all-functions: {args.checkpoint!r} is a file")
+        results = explore_module_kernels(module, platform,
+                                         checkpoint_dir=args.checkpoint, **common)
+        if not results:
+            raise SystemExit("no explorable functions: the module contains "
+                             "no affine loop nests")
+        for name in sorted(results):
+            _print_dse_result(f"{name}: ", results[name],
+                              estimate_baseline(module, platform, func_name=name))
+        return 0
+
+    if args.checkpoint and os.path.isdir(args.checkpoint):
+        raise SystemExit("--checkpoint must name a file for a single-kernel "
+                         f"run: {args.checkpoint!r} is a directory "
+                         "(did you mean --all-functions?)")
     baseline = estimate_baseline(module, platform)
-    explorer = DesignSpaceExplorer(platform, num_samples=args.samples,
-                                   max_iterations=args.iterations, seed=args.seed)
-    result = explorer.explore(module)
-    print(f"evaluated {result.num_evaluations} points; Pareto frontier:")
-    for point in result.frontier:
-        design = result.evaluations[point.encoded]
-        print(f"  latency={design.qor.latency:<14,} dsp={design.qor.dsp:<5} "
-              f"{design.point.describe()}")
-    best = result.best
-    print(f"finalized: latency={best.qor.latency:,} dsp={best.qor.dsp} "
-          f"speedup={baseline.latency / best.qor.latency:.1f}x")
+    result = explore_kernel(module, platform, checkpoint_path=args.checkpoint,
+                            **common)
+    _print_dse_result("", result, baseline)
     return 0
+
+
+def _print_dse_result(prefix: str, result, baseline) -> None:
+    cache_note = ""
+    if result.cache_hits or result.cache_misses:
+        cache_note = (f" (cache: {result.cache_hits} hits, "
+                      f"{result.cache_misses} misses)")
+    print(f"{prefix}evaluated {result.num_evaluations} points in "
+          f"{result.wall_seconds:.2f}s{cache_note}; Pareto frontier:")
+    for point in result.frontier:
+        record = result.records[point.encoded]
+        print(f"  latency={record.qor.latency:<14,} dsp={record.qor.dsp:<5} "
+              f"{record.point.describe()}")
+    best = result.best_record
+    if best is None:
+        print(f"{prefix}no design evaluated (empty design space or zero budget)")
+        return
+    print(f"{prefix}finalized: latency={best.qor.latency:,} dsp={best.qor.dsp} "
+          f"speedup={baseline.latency / best.qor.latency:.1f}x")
 
 
 def run_emit(args) -> int:

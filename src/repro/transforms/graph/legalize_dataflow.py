@@ -109,20 +109,29 @@ def _merge_bypassed_levels(nodes: list[Operation],
         if root_a != root_b:
             stage_of_level[max(root_a, root_b)] = min(root_a, root_b)
 
-    changed = True
-    while changed:
-        changed = False
+    # Adjacency must be judged on *consecutive stage positions*, not on the raw
+    # root labels (which become sparse as stages merge).  Each round merges the
+    # span of one bypass edge, which removes at least one root, so the loop
+    # terminates after at most len(level_values) rounds.
+    while True:
+        roots = sorted({find(level) for level in level_values})
+        position = {root: index for index, root in enumerate(roots)}
+        violation = None
         for node in nodes:
             for successor in _node_successors(node, node_set):
                 source = find(levels[node])
                 target = find(levels[successor])
-                if target - source > 1:
-                    # Merge every level strictly between source and target with target.
-                    for level in level_values:
-                        root = find(level)
-                        if source < root <= target:
-                            union(root, target)
-                    changed = True
+                if position[target] - position[source] > 1:
+                    violation = (source, target)
+                    break
+            if violation:
+                break
+        if violation is None:
+            break
+        source, target = violation
+        for root in roots:
+            if position[source] < position[root] <= position[target]:
+                union(root, target)
 
     # Renumber the merged stages consecutively.
     roots = sorted({find(level) for level in level_values})

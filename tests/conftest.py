@@ -1,48 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The kernel sources and reference implementations live in
+:mod:`repro.testing`; they are re-exported here because test modules do
+``from conftest import ...`` and must keep working no matter which
+``conftest.py`` (this one or the benchmark harness's) pytest placed first
+on ``sys.path``.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.frontend.c_to_mlir import parse_c_to_module
-from repro.frontend.raise_to_affine import RaiseSCFToAffinePass
-from repro.transforms import canonicalize
-
-SYRK_SOURCE = """
-void syrk(float alpha, float beta, float C[16][16], float A[16][8]) {
-  for (int i = 0; i < 16; i++) {
-    for (int j = 0; j <= i; j++) {
-      C[i][j] *= beta;
-      for (int k = 0; k < 8; k++) {
-        C[i][j] += alpha * A[i][k] * A[j][k];
-      }
-    }
-  }
-}
-"""
-
-GEMM_SOURCE = """
-void gemm(float alpha, float beta, float C[8][8], float A[8][8], float B[8][8]) {
-  for (int i = 0; i < 8; i++) {
-    for (int j = 0; j < 8; j++) {
-      C[i][j] *= beta;
-      for (int k = 0; k < 8; k++) {
-        C[i][j] += alpha * A[i][k] * B[k][j];
-      }
-    }
-  }
-}
-"""
-
-
-def compile_source(source: str, name: str = "kernel"):
-    """Parse C, raise to affine, and clean up — the standard front-end path."""
-    module = parse_c_to_module(source, name)
-    RaiseSCFToAffinePass().run_on_module(module)
-    for func_op in module.functions():
-        canonicalize(func_op)
-    return module
+from repro.testing import (  # noqa: F401  (re-exported for test modules)
+    GEMM_SOURCE,
+    SYRK_SOURCE,
+    compile_source,
+    random_array,
+    reference_gemm,
+    reference_syrk,
+)
 
 
 @pytest.fixture
@@ -53,25 +29,3 @@ def syrk_module():
 @pytest.fixture
 def gemm_module():
     return compile_source(GEMM_SOURCE, "gemm")
-
-
-def reference_syrk(alpha, beta, C, A):
-    """NumPy reference of the SYRK kernel (lower triangle update)."""
-    n, k = A.shape
-    result = C.copy()
-    for i in range(n):
-        for j in range(i + 1):
-            result[i, j] *= beta
-            for kk in range(k):
-                result[i, j] += alpha * A[i, kk] * A[j, kk]
-    return result
-
-
-def reference_gemm(alpha, beta, C, A, B):
-    """NumPy reference of the GEMM kernel."""
-    return beta * C + alpha * (A @ B)
-
-
-def random_array(shape, seed=0):
-    rng = np.random.default_rng(seed)
-    return rng.uniform(-1.0, 1.0, size=shape).astype(np.float32)

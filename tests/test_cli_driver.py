@@ -57,6 +57,50 @@ class TestCommands:
         assert "Pareto frontier" in output
         assert "finalized" in output
 
+    def test_dse_with_jobs_matches_serial(self, capsys):
+        base = ["dse", "--kernel", "gemm", "--size", "8",
+                "--samples", "4", "--iterations", "4"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        # Identical trajectory, identical report (wall time differs).
+        strip = lambda text: [line for line in text.splitlines()
+                              if "evaluated" not in line]
+        assert strip(serial_output) == strip(parallel_output)
+
+    def test_dse_cache_and_resume_flags(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.jsonl")
+        checkpoint = str(tmp_path / "dse.ckpt.json")
+        base = ["dse", "--kernel", "gemm", "--size", "8", "--samples", "4",
+                "--iterations", "4", "--cache", cache,
+                "--checkpoint", checkpoint, "--checkpoint-every", "2"]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "misses" in cold
+        assert main(base + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "finalized" in warm
+
+    def test_dse_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--kernel", "gemm", "--size", "8", "--resume"])
+
+    def test_dse_all_functions(self, tmp_path, capsys):
+        source = tmp_path / "pair.c"
+        source.write_text("""
+        void scale(float A[8]) {
+          for (int i = 0; i < 8; i++) { A[i] *= 2.0; }
+        }
+        void shift(float B[8]) {
+          for (int i = 0; i < 8; i++) { B[i] += 1.0; }
+        }""")
+        assert main(["dse", str(source), "--all-functions",
+                     "--samples", "2", "--iterations", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "scale: " in output
+        assert "shift: " in output
+
     def test_emit_to_file(self, tmp_path, capsys):
         target = tmp_path / "kernel.cpp"
         assert main(["emit", "--kernel", "gemm", "--size", "8",

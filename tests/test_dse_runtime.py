@@ -1,0 +1,334 @@
+"""Tests for the parallel DSE runtime: determinism across worker counts,
+estimate-cache accounting and persistence, checkpoint round-trips, and the
+multi-kernel scheduler."""
+
+import pickle
+
+import pytest
+
+from repro.dse import KernelDesignSpace
+from repro.dse.apply import apply_design_point
+from repro.dse.runtime import (
+    CheckpointStore,
+    EstimateCache,
+    EvaluationRecord,
+    ExplorerState,
+    MultiKernelScheduler,
+    ParallelExplorer,
+)
+from repro.estimation import XC7Z020
+
+from conftest import GEMM_SOURCE, SYRK_SOURCE, compile_source
+
+
+def frontier_signature(result):
+    """Byte-comparable rendering of a frontier (encoded point + objectives)."""
+    return repr([(p.encoded, p.latency, p.area) for p in result.frontier])
+
+
+def small_explorer(**overrides):
+    config = dict(platform=XC7Z020, num_samples=6, max_iterations=8, seed=11,
+                  jobs=1, batch_size=4)
+    config.update(overrides)
+    return ParallelExplorer(**config)
+
+
+@pytest.fixture
+def gemm_module():
+    return compile_source(GEMM_SOURCE, "gemm")
+
+
+class TestPicklability:
+    def test_applied_design_and_record_roundtrip(self, gemm_module):
+        space = KernelDesignSpace.from_function(gemm_module.functions()[0])
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        design = apply_design_point(gemm_module, space.decode(encoded), XC7Z020)
+        revived = pickle.loads(pickle.dumps(design))
+        assert revived.qor.latency == design.qor.latency
+        assert revived.point == design.point
+
+        record = EvaluationRecord.from_design(encoded, design)
+        assert pickle.loads(pickle.dumps(record)) == record
+
+    def test_record_json_roundtrip(self, gemm_module):
+        space = KernelDesignSpace.from_function(gemm_module.functions()[0])
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        design = apply_design_point(gemm_module, space.decode(encoded), XC7Z020)
+        record = EvaluationRecord.from_design(encoded, design)
+        assert EvaluationRecord.from_json_dict(record.to_json_dict()) == record
+
+
+class TestFingerprint:
+    def test_stable_across_compilations(self):
+        space_a = KernelDesignSpace.from_function(
+            compile_source(GEMM_SOURCE, "gemm").functions()[0])
+        space_b = KernelDesignSpace.from_function(
+            compile_source(GEMM_SOURCE, "gemm").functions()[0])
+        assert space_a.fingerprint() == space_b.fingerprint()
+
+    def test_differs_between_kernels(self):
+        gemm_space = KernelDesignSpace.from_function(
+            compile_source(GEMM_SOURCE, "gemm").functions()[0])
+        syrk_space = KernelDesignSpace.from_function(
+            compile_source(SYRK_SOURCE, "syrk").functions()[0])
+        assert gemm_space.fingerprint() != syrk_space.fingerprint()
+
+    def test_covers_dimension_options(self):
+        direct = KernelDesignSpace([8, 8, 8], False, False)
+        wider = KernelDesignSpace([8, 8, 8], False, False, max_target_ii=16)
+        assert direct.fingerprint() != wider.fingerprint()
+
+
+class TestDeterminism:
+    def test_one_vs_four_workers_identical_frontier(self, gemm_module):
+        serial = small_explorer(jobs=1).explore(gemm_module)
+        parallel = small_explorer(jobs=4).explore(gemm_module)
+        assert frontier_signature(serial) == frontier_signature(parallel)
+        assert serial.best_record == parallel.best_record
+        assert set(serial.records) == set(parallel.records)
+
+    def test_repeated_runs_identical(self, gemm_module):
+        first = small_explorer().explore(gemm_module)
+        second = small_explorer().explore(gemm_module)
+        assert frontier_signature(first) == frontier_signature(second)
+
+    def test_warm_cache_does_not_change_frontier(self, gemm_module):
+        cache = EstimateCache()
+        explorer = small_explorer(cache=cache)
+        cold = explorer.explore(gemm_module)
+        warm = explorer.explore(gemm_module)
+        assert frontier_signature(cold) == frontier_signature(warm)
+
+    def test_frontier_is_non_dominated(self, gemm_module):
+        from repro.dse.pareto import is_pareto_optimal
+
+        result = small_explorer(jobs=2).explore(gemm_module)
+        for point in result.frontier:
+            assert is_pareto_optimal(point, result.frontier)
+
+
+class TestEstimateCache:
+    def test_hit_miss_accounting(self, gemm_module):
+        cache = EstimateCache()
+        explorer = small_explorer(cache=cache)
+        cold = explorer.explore(gemm_module)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cold.num_evaluations
+        assert cold.evaluated_this_run == cold.num_evaluations
+
+        warm = explorer.explore(gemm_module)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == warm.num_evaluations
+        assert warm.evaluated_this_run == 0
+        assert cache.stats.hit_rate >= 0.5  # half of all lookups were warm
+
+    def test_persistence_roundtrip(self, gemm_module, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cold = small_explorer(cache=EstimateCache(path)).explore(gemm_module)
+
+        revived = EstimateCache(path)
+        assert revived.stats.loaded == cold.num_evaluations
+        warm = small_explorer(cache=revived).explore(gemm_module)
+        assert warm.cache_hits == warm.num_evaluations
+        assert warm.cache_misses == 0
+        assert frontier_signature(warm) == frontier_signature(cold)
+
+    def test_corrupt_tail_line_tolerated(self, gemm_module, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        small_explorer(cache=EstimateCache(path)).explore(gemm_module)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "truncated...\n')
+        revived = EstimateCache(path)
+        assert revived.stats.loaded > 0
+
+    def test_stale_model_version_entries_ignored(self, gemm_module, tmp_path):
+        import json
+
+        path = str(tmp_path / "cache.jsonl")
+        small_explorer(cache=EstimateCache(path)).explore(gemm_module)
+        # Rewrite every line as if estimated under an older QoR model.
+        lines = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                data = json.loads(line)
+                data["model"] = -1
+                lines.append(json.dumps(data))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        revived = EstimateCache(path)
+        assert revived.stats.loaded == 0  # stale entries discarded, not reused
+
+    def test_warm_run_spawns_no_workers(self, gemm_module):
+        cache = EstimateCache()
+        small_explorer(cache=cache).explore(gemm_module)
+        # A fully warm run must never create a process pool (jobs=4 would
+        # fork workers eagerly if the backend were not lazy).
+        import repro.dse.runtime.worker as worker
+
+        def boom(*args, **kwargs):
+            raise AssertionError("backend created during a fully warm run")
+
+        original = worker.create_backend
+        import repro.dse.runtime.parallel as parallel
+        parallel.create_backend, worker.create_backend = boom, boom
+        try:
+            warm = small_explorer(cache=cache, jobs=4).explore(gemm_module)
+        finally:
+            parallel.create_backend, worker.create_backend = original, original
+        assert warm.evaluated_this_run == 0
+
+    def test_keys_are_per_kernel(self, gemm_module):
+        cache = EstimateCache()
+        small_explorer(cache=cache).explore(gemm_module)
+        syrk = compile_source(SYRK_SOURCE, "syrk")
+        result = small_explorer(cache=cache).explore(syrk)
+        assert result.cache_hits == 0  # different fingerprint, no collisions
+
+    def test_direct_space_does_not_collide_across_kernels(self, gemm_module):
+        # Two kernels with identically *shaped* spaces (same trip counts and
+        # options) but different IR must not share cache entries when the
+        # caller passes a directly constructed KernelDesignSpace.
+        transposed = compile_source(GEMM_SOURCE.replace("B[k][j]", "B[j][k]"),
+                                    "gemm")
+        space_a = KernelDesignSpace([8, 8, 8], False, False)
+        space_b = KernelDesignSpace([8, 8, 8], False, False)
+        assert space_a.fingerprint() == space_b.fingerprint()  # shape only
+        cache = EstimateCache()
+        small_explorer(cache=cache).explore(gemm_module, space=space_a)
+        result = small_explorer(cache=cache).explore(transposed, space=space_b)
+        assert result.cache_hits == 0  # runtime mixed the IR digest back in
+
+    def test_line_missing_fingerprint_tolerated(self, gemm_module, tmp_path):
+        import json
+
+        path = str(tmp_path / "cache.jsonl")
+        explorer = small_explorer(cache=EstimateCache(path))
+        cold = explorer.explore(gemm_module)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = json.loads(handle.readline())
+        del first["fingerprint"]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(first) + "\n")
+        revived = EstimateCache(path)  # must not raise
+        assert revived.stats.loaded == cold.num_evaluations
+
+
+class TestCheckpoint:
+    def test_state_json_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "state.json"))
+        state = ExplorerState.fresh("fp", seed=5)
+        rng = state.make_rng()
+        rng.random()
+        state.capture_rng(rng)
+        state.samples_done = True
+        state.iterations_done = 3
+        store.save(state)
+
+        loaded = store.load(expected_fingerprint="fp")
+        assert loaded is not None
+        assert loaded.samples_done and loaded.iterations_done == 3
+        assert loaded.make_rng().random() == state.make_rng().random()
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "state.json"))
+        store.save(ExplorerState.fresh("fp", seed=5))
+        assert store.load(expected_fingerprint="other") is None
+
+    def test_interrupted_resume_matches_uninterrupted(self, gemm_module, tmp_path):
+        checkpoint = str(tmp_path / "explore.ckpt.json")
+        config = dict(num_samples=6, max_iterations=12, seed=11, batch_size=4)
+
+        full = small_explorer(**config).explore(gemm_module)
+
+        # Simulate a kill after ~10 evaluations (enforced at batch boundaries),
+        # then resume from the checkpoint with the full budget.
+        partial = small_explorer(**config, checkpoint_path=checkpoint,
+                                 checkpoint_every=2,
+                                 max_evaluations=10).explore(gemm_module)
+        assert partial.num_evaluations < full.num_evaluations
+
+        resumed = small_explorer(**config, checkpoint_path=checkpoint) \
+            .explore(gemm_module, resume=True)
+        assert frontier_signature(resumed) == frontier_signature(full)
+        assert set(resumed.records) == set(full.records)
+
+    def test_resume_skips_completed_work(self, gemm_module, tmp_path):
+        checkpoint = str(tmp_path / "explore.ckpt.json")
+        explorer = small_explorer(checkpoint_path=checkpoint, checkpoint_every=2)
+        explorer.explore(gemm_module)
+        rerun = small_explorer(checkpoint_path=checkpoint) \
+            .explore(gemm_module, resume=True)
+        assert rerun.evaluated_this_run == 0  # everything restored from disk
+
+    def test_resume_with_different_config_starts_fresh(self, gemm_module, tmp_path):
+        checkpoint = str(tmp_path / "explore.ckpt.json")
+        small_explorer(seed=11, checkpoint_path=checkpoint,
+                       checkpoint_every=2, max_evaluations=8).explore(gemm_module)
+        # Resuming under a different seed must NOT continue the seed-11
+        # trajectory — it starts a fresh seed-12 run.
+        resumed = small_explorer(seed=12, checkpoint_path=checkpoint) \
+            .explore(gemm_module, resume=True)
+        fresh = small_explorer(seed=12).explore(gemm_module)
+        assert frontier_signature(resumed) == frontier_signature(fresh)
+
+    def test_resume_without_checkpoint_starts_fresh(self, gemm_module, tmp_path):
+        checkpoint = str(tmp_path / "missing.ckpt.json")
+        result = small_explorer(checkpoint_path=checkpoint) \
+            .explore(gemm_module, resume=True)
+        assert result.num_evaluations > 0
+
+
+class TestMultiKernelScheduler:
+    def two_kernel_module(self):
+        return compile_source(GEMM_SOURCE + SYRK_SOURCE, "pair")
+
+    def scheduler(self, jobs, **overrides):
+        config = dict(platform=XC7Z020, num_samples=4, max_iterations=6,
+                      seed=3, batch_size=4)
+        config.update(overrides)
+        return MultiKernelScheduler(jobs=jobs, **config)
+
+    def test_explores_every_function(self):
+        results = self.scheduler(jobs=1).explore_module(self.two_kernel_module())
+        assert set(results) == {"gemm", "syrk"}
+        for result in results.values():
+            assert result.best_record is not None
+            assert result.frontier
+
+    def test_concurrent_matches_serial(self):
+        serial = self.scheduler(jobs=1).explore_module(self.two_kernel_module())
+        concurrent = self.scheduler(jobs=2).explore_module(self.two_kernel_module())
+        for name in serial:
+            assert frontier_signature(serial[name]) \
+                == frontier_signature(concurrent[name])
+
+    def test_shared_cache_across_runs(self):
+        cache = EstimateCache()
+        module = self.two_kernel_module()
+        self.scheduler(jobs=1, cache=cache).explore_module(module)
+        warm = self.scheduler(jobs=1, cache=cache).explore_module(module)
+        for result in warm.values():
+            assert result.cache_misses == 0
+            assert result.cache_hits == result.num_evaluations
+
+    def test_function_subset_and_unknown_name(self):
+        module = self.two_kernel_module()
+        results = self.scheduler(jobs=1).explore_module(module, func_names=["gemm"])
+        assert set(results) == {"gemm"}
+        with pytest.raises(ValueError):
+            self.scheduler(jobs=1).explore_module(module, func_names=["nope"])
+
+
+class TestResultMaterialization:
+    def test_best_design_matches_record(self, gemm_module):
+        result = small_explorer().explore(gemm_module)
+        design = result.best_design()
+        assert design.qor.latency == result.best_record.qor.latency
+        assert design.point == result.best_record.point
+
+    def test_emission_of_materialized_design(self, gemm_module):
+        from repro.emit import emit_hlscpp
+
+        result = small_explorer().explore(gemm_module)
+        code = emit_hlscpp(result.best_design().module)
+        assert "void gemm(" in code
