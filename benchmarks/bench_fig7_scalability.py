@@ -16,6 +16,15 @@ and reports the parallel and warm-cache speedups plus the cache hit rate.
 The parallel speedup depends on the machine's core count; the warm-cache
 speedup and the ≥ 90% repeat hit rate are machine-independent properties of
 the runtime.
+
+A third mode::
+
+    python benchmarks/bench_fig7_scalability.py --pass-timing
+
+reports per-pass wall-clock for one DSE evaluation under the legacy
+full-module fixpoint sweep driver versus the worklist rewrite driver, the
+A/B behind the worklist driver's hot-path claim (both drivers produce
+identical IR; only the revisit strategy differs).
 """
 
 import argparse
@@ -129,6 +138,89 @@ def print_runtime_report(measurement: dict) -> None:
           f"{measurement['identical_frontier']}")
 
 
+# -- rewrite-driver pass timing ---------------------------------------------------------------
+
+
+def measure_pass_timing(kernel: str, problem_size: int,
+                        rounds: int = 3) -> dict:
+    """Per-pass wall-clock of one DSE evaluation, sweep vs. worklist driver.
+
+    The same design point (a tiled, pipelined configuration that produces
+    large unrolled blocks — the canonicalize/CSE hot path) is applied
+    ``rounds`` times under each rewrite strategy; accumulated per-pass times
+    come from the PassManager instrumentation.
+    """
+    from repro.dse.apply import apply_design_point
+    from repro.dse.space import KernelDesignPoint
+    from repro.ir.pass_manager import collect_pass_timings
+    from repro.ir.rewrite import set_rewrite_strategy
+
+    module = compile_kernel(kernel, problem_size)
+    point = KernelDesignPoint(True, True, (1, 2, 0), (4, 4, 8), 1)
+
+    def run_once(strategy, accumulated):
+        previous = set_rewrite_strategy(strategy)
+        try:
+            with collect_pass_timings() as collector:
+                design = apply_design_point(module, point)
+        finally:
+            set_rewrite_strategy(previous)
+        for name, seconds in collector.timings.items():
+            accumulated[name] = accumulated.get(name, 0.0) + seconds
+        return design.qor
+
+    # One untimed warmup, then strictly alternating rounds so cache/alloc
+    # drift cancels out instead of biasing whichever strategy runs first.
+    rounds = max(1, int(rounds))
+    apply_design_point(module, point)
+    sweep_timings: dict = {}
+    worklist_timings: dict = {}
+    sweep_qor = worklist_qor = None
+    for _ in range(rounds):
+        sweep_qor = run_once("sweep", sweep_timings)
+        worklist_qor = run_once("worklist", worklist_timings)
+    if (sweep_qor.latency, sweep_qor.dsp) != (worklist_qor.latency, worklist_qor.dsp):
+        raise SystemExit("sweep and worklist drivers diverged: "
+                         f"{sweep_qor} vs {worklist_qor}")
+    return {
+        "kernel": kernel,
+        "problem_size": problem_size,
+        "rounds": rounds,
+        "sweep": sweep_timings,
+        "worklist": worklist_timings,
+    }
+
+
+#: The timing buckets the worklist driver actually changes.
+_DRIVER_PASSES = ("canonicalize", "simplify-affine-if")
+
+
+def print_pass_timing_report(measurement: dict) -> None:
+    sweep, worklist = measurement["sweep"], measurement["worklist"]
+    print("=" * 78)
+    print(f"Rewrite driver pass timing — {measurement['kernel']} "
+          f"(size {measurement['problem_size']}, "
+          f"{measurement['rounds']} evaluations per strategy)")
+    print("=" * 78)
+    widths = (34, 14, 14, 10)
+    print(format_row(("pass", "sweep", "worklist", "speedup"), widths))
+    for name in sorted(set(sweep) | set(worklist),
+                       key=lambda n: -sweep.get(n, 0.0)):
+        s, w = sweep.get(name, 0.0), worklist.get(name, 0.0)
+        speedup = f"{s / w:.2f}x" if w > 0 else "-"
+        print(format_row((name, f"{s * 1000:.1f} ms", f"{w * 1000:.1f} ms",
+                          speedup), widths))
+    s_total, w_total = sum(sweep.values()), sum(worklist.values())
+    print(format_row(("Total", f"{s_total * 1000:.1f} ms",
+                      f"{w_total * 1000:.1f} ms",
+                      f"{s_total / max(w_total, 1e-9):.2f}x"), widths))
+    s_driver = sum(sweep.get(n, 0.0) for n in _DRIVER_PASSES)
+    w_driver = sum(worklist.get(n, 0.0) for n in _DRIVER_PASSES)
+    print(f"driver-rewritten passes ({' + '.join(_DRIVER_PASSES)}): "
+          f"{s_driver * 1000:.1f} ms -> {w_driver * 1000:.1f} ms "
+          f"({s_driver / max(w_driver, 1e-9):.2f}x)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="runtime scalability smoke of the parallel DSE")
@@ -139,7 +231,33 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=16)
     parser.add_argument("--smoke", action="store_true",
                         help="small budgets suitable for a ~30 second CI check")
+    parser.add_argument("--pass-timing", action="store_true",
+                        help="report per-pass time of one DSE evaluation under "
+                             "the sweep vs. worklist rewrite driver")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="evaluations per strategy in --pass-timing mode")
     args = parser.parse_args(argv)
+
+    if args.pass_timing:
+        measurement = measure_pass_timing(args.kernel, args.size,
+                                          rounds=args.rounds)
+        print_pass_timing_report(measurement)
+        sweep = sum(measurement["sweep"].get(n, 0.0) for n in _DRIVER_PASSES)
+        worklist = sum(measurement["worklist"].get(n, 0.0)
+                       for n in _DRIVER_PASSES)
+        # Explicit checks (not assert): they must gate even under -O.  A
+        # 10% tolerance absorbs scheduler noise on loaded machines — the
+        # gate catches regressions, not jitter around parity.
+        if worklist > sweep * 1.10:
+            raise SystemExit(
+                f"worklist driver ({worklist * 1000:.1f} ms) clearly slower "
+                f"than the fixpoint sweeps ({sweep * 1000:.1f} ms) on the "
+                f"cleanup passes")
+        if worklist >= sweep:
+            print(f"warning: worklist ({worklist * 1000:.1f} ms) did not beat "
+                  f"the sweeps ({sweep * 1000:.1f} ms) this run — within the "
+                  f"10% noise tolerance; rerun with more --rounds")
+        return 0
 
     if args.smoke:
         args.samples = min(args.samples, 6)

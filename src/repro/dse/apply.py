@@ -2,37 +2,31 @@
 transform library.
 
 Given a kernel module (scf/affine level) and a :class:`KernelDesignPoint`,
-:func:`apply_design_point` clones the module, runs the corresponding transform
-passes with the point's parameters, runs the redundancy-elimination passes,
-partitions the arrays and finally invokes the QoR estimator — mirroring how
-the ScaleHLS DSE drives its transform and analysis library.
+:func:`apply_design_point` clones the module, builds the corresponding
+registry pipeline (:func:`kernel_pipeline_spec`), runs it on the kernel
+function and finally invokes the QoR estimator — mirroring how the ScaleHLS
+DSE drives its transform and analysis library through pass pipelines.
+
+The pipeline spec is also the *hashable transform description* of the flow:
+:func:`kernel_pipeline_signature` is embedded in the parallel runtime's
+QoR-cache fingerprints and checkpoint configs, so changing the transform
+pipeline can never silently reuse stale estimates.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Optional
 
-from repro.dialects.affine_ops import outermost_loops, perfect_loop_band
+from repro.dialects.affine_ops import outermost_loops
 from repro.dse.space import KernelDesignPoint
 from repro.estimation.estimator import QoREstimator, QoRResult
 from repro.estimation.platform import Platform, XC7Z020
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import PassError
-from repro.transforms import (
-    canonicalize,
-    eliminate_common_subexpressions,
-    forward_stores,
-    partition_arrays,
-    perfectize_band,
-    permute_loop_band,
-    pipeline_loop,
-    remove_variable_bounds,
-    simplify_affine_ifs,
-    simplify_memref_accesses,
-    tile_loop_band,
-)
+from repro.ir.pass_manager import PassManager
+from repro.ir.pass_registry import build_pipeline_cached, pipeline_signature
 
 
 @dataclasses.dataclass
@@ -47,9 +41,73 @@ class AppliedDesign:
     partition_factors: dict = dataclasses.field(default_factory=dict)
 
 
+#: The redundancy-elimination tail shared by every kernel evaluation.
+CLEANUP_PIPELINE = ("canonicalize,simplify-affine-if,affine-store-forward,"
+                    "simplify-memref-access,cse,canonicalize")
+
+
+def design_point_pass(point: KernelDesignPoint) -> "ApplyDesignPointPass":
+    """The configured ``apply-design-point`` pass for ``point``.
+
+    This (plus the pass's own option declarations) is the single source of
+    truth for how a design point is spelled textually — all-ones tile
+    vectors normalize to "untiled" exactly as the pass treats them.
+    """
+    from repro.transforms import ApplyDesignPointPass
+
+    tiles = tuple(point.tile_sizes) \
+        if any(size > 1 for size in point.tile_sizes) else ()
+    return ApplyDesignPointPass(
+        perfectize=point.loop_perfectization,
+        rvb=point.remove_variable_bound,
+        perm=tuple(point.perm_map),
+        tiles=tiles,
+        ii=point.target_ii)
+
+
+def design_point_options(point: KernelDesignPoint) -> str:
+    """The ``apply-design-point`` option string encoding ``point``."""
+    options = design_point_pass(point).option_string()
+    return f"{{{options}}}" if options else ""
+
+
+def _kernel_tail_spec(point: Optional[KernelDesignPoint]) -> str:
+    """Everything after the initial canonicalization of one evaluation."""
+    middle = "apply-design-point" + (design_point_options(point) if point else "")
+    return f"{middle},{CLEANUP_PIPELINE},array-partition"
+
+
+def kernel_pipeline_spec(point: Optional[KernelDesignPoint] = None) -> str:
+    """The textual pipeline one kernel DSE evaluation runs.
+
+    With ``point`` None the spec is the point-independent *template* (the
+    ``apply-design-point`` pass with no options); with a concrete point it
+    is the exact, replayable pipeline of that evaluation.  To replay it
+    from C source through the driver, prepend the frontend raise::
+
+        driver compile --kernel gemm --pipeline \\
+            "func.func(raise-scf-to-affine,<this spec>)"
+
+    (``--pipeline`` replaces the whole post-parse flow, so the raise pass
+    must be included explicitly.)
+
+    Caveat: for a function with no affine loop nest the evaluation stops
+    after the leading canonicalize (see :func:`optimize_kernel_module`) —
+    the remaining passes would at most re-partition arrays the DSE never
+    touched, so the replay equivalence holds only for kernels with loops.
+    """
+    return f"canonicalize,{_kernel_tail_spec(point)}"
+
+
+@functools.lru_cache(maxsize=1)
+def kernel_pipeline_signature() -> str:
+    """Canonical printed template spec — the runtime's transform fingerprint."""
+    return pipeline_signature(kernel_pipeline_spec(None))
+
+
 def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
                            func_name: Optional[str] = None) -> tuple[ModuleOp, Operation]:
-    """Clone ``module`` and apply the transforms selected by ``point``.
+    """Clone ``module`` and run the design-point pipeline of ``point``.
 
     Returns the transformed clone and its kernel function.  Transform steps
     that are not applicable to the design point (e.g. permutation of a
@@ -62,40 +120,17 @@ def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
     if func_op is None:
         raise ValueError(f"function {func_name!r} not found in the module")
 
-    canonicalize(func_op)
-
-    outer = _outer_loop(func_op)
-    if outer is None:
+    build_pipeline_cached("canonicalize").run(func_op)
+    if _outer_loop(func_op) is None:
+        # Nothing to transform or partition: mirror the bare canonicalization
+        # the estimator sees for loop-less functions.
         return cloned, func_op
 
-    if point.loop_perfectization:
-        perfectize_band(outer)
-    if point.remove_variable_bound:
-        remove_variable_bounds(func_op)
-
-    band = perfect_loop_band(_outer_loop(func_op))
-    if len(point.perm_map) == len(band):
-        try:
-            band = permute_loop_band(band, point.perm_map)
-        except PassError:
-            pass
-
-    tile_loops = band
-    if any(size > 1 for size in point.tile_sizes[: len(band)]):
-        sizes = list(point.tile_sizes[: len(band)])
-        sizes += [1] * (len(band) - len(sizes))
-        try:
-            tile_loops, _ = tile_loop_band(band, sizes)
-        except PassError:
-            tile_loops = band
-
-    try:
-        pipeline_loop(tile_loops[-1], point.target_ii)
-    except PassError:
-        pass
-
-    _cleanup(func_op)
-    partition_arrays(func_op)
+    # Same sequence as _kernel_tail_spec(point), but the point-specific pass
+    # is constructed directly: parsing a distinct spec per design point
+    # would thrash the pipeline cache on large sweeps.
+    PassManager([design_point_pass(point)]).run(func_op)
+    build_pipeline_cached(f"{CLEANUP_PIPELINE},array-partition").run(func_op)
     return cloned, func_op
 
 
@@ -117,7 +152,7 @@ def estimate_baseline(module: ModuleOp, platform: Platform = XC7Z020,
     """Estimate the unoptimized kernel (no directives, no code rewriting)."""
     cloned = module.clone()
     func_op = cloned.lookup(func_name) if func_name else cloned.functions()[0]
-    canonicalize(func_op)
+    build_pipeline_cached("canonicalize").run(func_op)
     estimator = QoREstimator(platform)
     return estimator.estimate_function(func_op, module=cloned)
 
@@ -128,15 +163,6 @@ def estimate_baseline(module: ModuleOp, platform: Platform = XC7Z020,
 def _outer_loop(func_op: Operation):
     loops = outermost_loops(func_op)
     return loops[0] if loops else None
-
-
-def _cleanup(func_op: Operation) -> None:
-    canonicalize(func_op)
-    simplify_affine_ifs(func_op)
-    forward_stores(func_op)
-    simplify_memref_accesses(func_op)
-    eliminate_common_subexpressions(func_op)
-    canonicalize(func_op)
 
 
 def _achieved_ii(func_op: Operation) -> Optional[int]:

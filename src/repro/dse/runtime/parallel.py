@@ -43,21 +43,28 @@ from repro.ir.module import ModuleOp
 
 
 def _kernel_fingerprint(space: KernelDesignSpace, func_op) -> str:
-    """Cache/checkpoint identity of (kernel, design space).
+    """Cache/checkpoint identity of (kernel, design space, transform pipeline).
 
     ``space.fingerprint()`` covers the kernel IR only when the space was
     built via :meth:`KernelDesignSpace.from_function`; a directly
     constructed space (``ir_digest == ""``) would collide across different
     kernels with the same shape.  The runtime always has the function at
     hand, so it mixes the actual IR digest in for that case.
+
+    The canonical pipeline signature of the evaluation flow is always mixed
+    in: cached estimates produced under a different transform pipeline must
+    never be reused.
     """
-    if space.ir_digest:
-        return space.fingerprint()
     import hashlib
 
-    from repro.dse.space import ir_digest
+    from repro.dse.apply import kernel_pipeline_signature
 
-    combined = f"{space.fingerprint()}:{ir_digest(func_op)}"
+    parts = [space.fingerprint(), kernel_pipeline_signature()]
+    if not space.ir_digest:
+        from repro.dse.space import ir_digest
+
+        parts.append(ir_digest(func_op))
+    combined = ":".join(parts)
     return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:20]
 
 
@@ -146,10 +153,15 @@ class ParallelExplorer:
 
         # The parameters that define the exploration trajectory: a checkpoint
         # taken under different ones must not be resumed (it would continue
-        # the *old* trajectory mislabeled as the new configuration).
+        # the *old* trajectory mislabeled as the new configuration).  The
+        # pipeline signature guards the *meaning* of every recorded QoR the
+        # same way.
+        from repro.dse.apply import kernel_pipeline_signature
+
         config = {"seed": self.seed, "batch_size": self.batch_size,
                   "num_samples": self.num_samples,
-                  "max_iterations": self.max_iterations}
+                  "max_iterations": self.max_iterations,
+                  "pipeline": kernel_pipeline_signature()}
         store = CheckpointStore(self.checkpoint_path) if self.checkpoint_path else None
         state: Optional[ExplorerState] = None
         if resume and store is not None:
@@ -170,7 +182,8 @@ class ParallelExplorer:
             if created_backend is None:
                 contexts = {context_key: KernelContext(
                     module=module, func_name=func_name,
-                    platform=self.platform, space=space)}
+                    platform=self.platform, space=space,
+                    pipeline=config["pipeline"])}
                 created_backend = create_backend(contexts, self.jobs,
                                                  mp_context=self.mp_context)
             return created_backend

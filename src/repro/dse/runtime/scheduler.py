@@ -63,9 +63,13 @@ class MultiKernelScheduler:
         if not kernels:
             return {}
 
+        from repro.dse.apply import kernel_pipeline_signature
+
+        signature = kernel_pipeline_signature()
         contexts = {
             name: KernelContext(module=module, func_name=name,
-                                platform=self.platform, space=space)
+                                platform=self.platform, space=space,
+                                pipeline=signature)
             for name, space in kernels
         }
         backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)

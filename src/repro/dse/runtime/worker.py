@@ -33,17 +33,35 @@ from repro.ir.module import ModuleOp
 
 @dataclasses.dataclass
 class KernelContext:
-    """Everything a worker needs to evaluate points of one kernel."""
+    """Everything a worker needs to evaluate points of one kernel.
+
+    ``pipeline`` is the canonical transform-pipeline signature the
+    coordinator evaluated under (see
+    :func:`repro.dse.apply.kernel_pipeline_signature`).  It ships to workers
+    as data — a picklable spec instead of ad-hoc transform imports — and the
+    worker refuses to evaluate when its own registry would run a different
+    pipeline (version-skew guard between coordinator and workers).
+    """
 
     module: ModuleOp
     func_name: Optional[str]
     platform: Platform
     space: KernelDesignSpace
+    pipeline: str = ""
 
 
 def evaluate_encoded(context: KernelContext,
                      encoded: tuple[int, ...]) -> EvaluationRecord:
     """Evaluate one encoded design point against its kernel context."""
+    if context.pipeline:
+        from repro.dse.apply import kernel_pipeline_signature
+        from repro.ir.pass_manager import PassError
+
+        local = kernel_pipeline_signature()
+        if local != context.pipeline:
+            raise PassError(
+                f"worker pipeline mismatch: coordinator evaluated under "
+                f"'{context.pipeline}' but this worker would run '{local}'")
     point = context.space.decode(encoded)
     design = apply_design_point(context.module, point, context.platform,
                                 func_name=context.func_name)

@@ -26,13 +26,13 @@ from repro.dialects.affine_ops import (
 from repro.ir.block import Block
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
 from repro.ir.value import Value
 
 
+@register_pass("raise-scf-to-affine")
 class RaiseSCFToAffinePass(FunctionPass):
     """Raise scf-level control flow and memory accesses to the affine dialect."""
-
-    name = "raise-scf-to-affine"
 
     def run(self, func_op: Operation) -> None:
         self._process_block(func_op.region(0).front, [])

@@ -36,8 +36,35 @@ from repro.ir.module import ModuleOp
 from repro.ir.builder import Builder, InsertionPoint
 from repro.ir.printer import Printer, print_op
 from repro.ir.verifier import verify, VerificationError
-from repro.ir.pass_manager import Pass, FunctionPass, ModulePass, LambdaPass, PassManager, PassError
-from repro.ir.rewrite import RewritePattern, PatternRewriter, apply_patterns_greedily
+from repro.ir.pass_manager import (
+    AnchoredPipeline,
+    FunctionPass,
+    LambdaPass,
+    ModulePass,
+    Pass,
+    PassError,
+    PassManager,
+    PassOption,
+    PassTimingCollector,
+    collect_pass_timings,
+)
+from repro.ir.pass_registry import (
+    build_pipeline,
+    get_pass_class,
+    parse_pipeline,
+    pipeline_signature,
+    register_pass,
+    registered_passes,
+)
+from repro.ir.rewrite import (
+    BlockScanPattern,
+    GreedyRewriteDriver,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    get_rewrite_strategy,
+    set_rewrite_strategy,
+)
 from repro.ir.dialect import Dialect, DialectRegistry, registry, register_operation
 
 __all__ = [
@@ -82,9 +109,23 @@ __all__ = [
     "LambdaPass",
     "PassManager",
     "PassError",
+    "PassOption",
+    "PassTimingCollector",
+    "AnchoredPipeline",
+    "collect_pass_timings",
+    "build_pipeline",
+    "get_pass_class",
+    "parse_pipeline",
+    "pipeline_signature",
+    "register_pass",
+    "registered_passes",
     "RewritePattern",
     "PatternRewriter",
+    "BlockScanPattern",
+    "GreedyRewriteDriver",
     "apply_patterns_greedily",
+    "get_rewrite_strategy",
+    "set_rewrite_strategy",
     "Dialect",
     "DialectRegistry",
     "registry",

@@ -1,19 +1,27 @@
 """Passes and the pass manager.
 
 A :class:`Pass` transforms (or analyses) one operation — usually a
-``builtin.module`` or a ``func.func``.  The :class:`PassManager` runs a
-sequence of passes over a module, optionally verifying after each pass and
-collecting per-pass timing statistics (the paper reports ScaleHLS runtimes
-via MLIR's ``-pass-timing``; :attr:`PassManager.timings` plays that role
-here).
+``builtin.module`` or a ``func.func``.  Passes declare typed options
+(:class:`PassOption`) so they can be constructed from, and printed back to,
+the textual pipeline syntax of :mod:`repro.ir.pass_registry`.
+
+The :class:`PassManager` runs a pipeline — a sequence of passes and nested
+:class:`AnchoredPipeline` groups — over a module, optionally verifying after
+each pass (dumping the offending IR on failure) and collecting per-pass
+timing statistics keyed by ``name{options}`` (the paper reports ScaleHLS
+runtimes via MLIR's ``-pass-timing``; :attr:`PassManager.timings` and
+:func:`collect_pass_timings` play that role here).
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
+import tempfile
 import time
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
-from repro.ir.verifier import verify
+from repro.ir.verifier import VerificationError, verify
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ir.operation import Operation
@@ -23,15 +31,98 @@ class PassError(Exception):
     """Raised when a pass fails or its target is not legalizable."""
 
 
+# -- typed pass options -------------------------------------------------------------------
+
+
+class PassOption:
+    """One declared, textually settable option of a pass.
+
+    ``type`` is one of ``"int"``, ``"bool"``, ``"str"`` or ``"int-list"``;
+    ``attr`` names the constructor keyword / instance attribute backing the
+    option (defaults to the option name with dashes replaced by underscores).
+    """
+
+    TYPES = ("int", "bool", "str", "int-list")
+
+    def __init__(self, name: str, type: str = "str", default: Any = None,
+                 attr: Optional[str] = None, help: str = ""):
+        if type not in self.TYPES:
+            raise ValueError(f"unknown option type {type!r}; choose from {self.TYPES}")
+        self.name = name
+        self.type = type
+        self.default = default
+        self.attr = attr or name.replace("-", "_")
+        self.help = help
+
+    # -- parsing ---------------------------------------------------------------------------
+
+    def parse(self, segments: Sequence[str], pass_name: str) -> Any:
+        """Convert raw ``{key=value}`` segments to the option's python value."""
+        if self.type == "int-list":
+            try:
+                return tuple(int(segment) for segment in segments)
+            except ValueError:
+                raise PassError(
+                    f"option '{self.name}' of pass '{pass_name}' expects a "
+                    f"comma-separated list of integers, got "
+                    f"'{','.join(segments)}'") from None
+        if self.type == "bool" and not segments:
+            return True  # bare flag: {insert-copy}
+        if len(segments) != 1:
+            raise PassError(
+                f"option '{self.name}' of pass '{pass_name}' expects a single "
+                f"{self.type} value, got '{','.join(segments)}'")
+        text = segments[0]
+        if self.type == "int":
+            try:
+                return int(text)
+            except ValueError:
+                raise PassError(f"option '{self.name}' of pass '{pass_name}' "
+                                f"expects an integer, got '{text}'") from None
+        if self.type == "bool":
+            lowered = text.lower()
+            if lowered in ("true", "1", "yes"):
+                return True
+            if lowered in ("false", "0", "no"):
+                return False
+            raise PassError(f"option '{self.name}' of pass '{pass_name}' "
+                            f"expects true/false, got '{text}'")
+        return text
+
+    def render(self, value: Any) -> str:
+        """Canonical textual form of a value (inverse of :meth:`parse`)."""
+        if self.type == "bool":
+            return "true" if value else "false"
+        if self.type == "int-list":
+            return ",".join(str(int(v)) for v in value)
+        return str(value)
+
+    def is_default(self, value: Any) -> bool:
+        if self.type == "int-list":
+            mine = tuple(value) if value is not None else None
+            them = tuple(self.default) if self.default is not None else None
+            return mine == them
+        return value == self.default
+
+    def __repr__(self) -> str:
+        return f"<PassOption {self.name}: {self.type} = {self.default!r}>"
+
+
+# -- the pass base classes ----------------------------------------------------------------
+
+
 class Pass:
     """Base class of transform and analysis passes."""
 
-    #: Human-readable pass name (defaults to the class name).
+    #: Registered pass name (set by ``@register_pass``; defaults to the class name).
     name: str = ""
 
     #: Operation name this pass anchors on ("func.func", "builtin.module", ...).
     #: None means the pass is run directly on whatever op it is given.
     target_op: Optional[str] = "func.func"
+
+    #: Declared textual options, in canonical print order.
+    OPTIONS: tuple[PassOption, ...] = ()
 
     def run(self, op: "Operation") -> None:
         """Transform ``op`` in place.  Subclasses must override."""
@@ -46,9 +137,52 @@ class Pass:
             if op.name == self.target_op:
                 self.run(op)
 
+    # -- option plumbing -------------------------------------------------------------------
+
+    @classmethod
+    def from_option_strings(cls, options: dict[str, list[str]]) -> "Pass":
+        """Construct the pass from raw textual option segments.
+
+        Unknown options and malformed values raise :class:`PassError` with
+        the pass and option named.
+        """
+        declared = {option.name: option for option in cls.OPTIONS}
+        kwargs = {}
+        for name, segments in options.items():
+            option = declared.get(name)
+            if option is None:
+                known = ", ".join(sorted(declared)) or "none"
+                raise PassError(
+                    f"pass '{cls.name or cls.__name__}' has no option '{name}' "
+                    f"(known options: {known})")
+            kwargs[option.attr] = option.parse(segments, cls.name or cls.__name__)
+        return cls(**kwargs)
+
+    def option_values(self) -> dict[str, Any]:
+        """Current option values, keyed by option name."""
+        return {option.name: getattr(self, option.attr, option.default)
+                for option in self.OPTIONS}
+
+    def option_string(self) -> str:
+        """Canonical ``key=value`` text of every non-default option."""
+        parts = []
+        for option in self.OPTIONS:
+            value = getattr(self, option.attr, option.default)
+            if option.is_default(value) or value is None:
+                continue
+            parts.append(f"{option.name}={option.render(value)}")
+        return ",".join(parts)
+
     @property
     def display_name(self) -> str:
-        return self.name or type(self).__name__
+        """``name{options}`` — the canonical textual form of this instance.
+
+        Timing buckets are keyed by this string, so two instances of the same
+        pass with different options are reported separately.
+        """
+        base = self.name or type(self).__name__
+        options = self.option_string()
+        return f"{base}{{{options}}}" if options else base
 
     def __repr__(self) -> str:
         return f"<Pass {self.display_name}>"
@@ -67,7 +201,11 @@ class ModulePass(Pass):
 
 
 class LambdaPass(Pass):
-    """Wraps a plain callable as a pass (handy for tests and pipelines)."""
+    """Wraps a plain callable as a pass (handy for tests and pipelines).
+
+    Lambda passes hold arbitrary closures, so unlike registered passes they
+    are neither picklable nor expressible in the textual pipeline syntax.
+    """
 
     def __init__(self, fn: Callable[["Operation"], None], name: str = "",
                  target_op: Optional[str] = "func.func"):
@@ -79,37 +217,196 @@ class LambdaPass(Pass):
         self._fn(op)
 
 
-class PassManager:
-    """Runs a pipeline of passes over a module."""
+# -- pass timing instrumentation ----------------------------------------------------------
 
-    def __init__(self, passes: Sequence[Pass] = (), verify_each: bool = False):
-        self.passes: list[Pass] = list(passes)
-        self.verify_each = verify_each
-        #: Pass display name -> accumulated wall-clock seconds.
+
+class PassTimingCollector:
+    """Accumulates pass timings across every PassManager run in its scope."""
+
+    def __init__(self):
         self.timings: dict[str, float] = {}
 
-    def add(self, *passes: Pass) -> "PassManager":
+    def add(self, display_name: str, seconds: float) -> None:
+        self.timings[display_name] = self.timings.get(display_name, 0.0) + seconds
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def report(self) -> str:
+        return format_timing_report(self.timings)
+
+
+#: Collectors currently receiving timings from every PassManager run.
+_ACTIVE_COLLECTORS: list[PassTimingCollector] = []
+
+
+@contextlib.contextmanager
+def collect_pass_timings():
+    """Collect timings of every pass executed inside the ``with`` block.
+
+    The driver wraps whole flows (``--print-pass-timing``) in this scope so
+    nested PassManagers — one per DNN stage function, one per DSE
+    evaluation — report into a single ``-pass-timing`` style table.
+    """
+    collector = PassTimingCollector()
+    _ACTIVE_COLLECTORS.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE_COLLECTORS.remove(collector)
+
+
+def format_timing_report(timings: dict[str, float]) -> str:
+    """A ``-pass-timing`` style report, slowest pass first."""
+    lines = ["===-- Pass execution timing report --==="]
+    for name, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {seconds * 1000.0:10.3f} ms  {name}")
+    total = sum(timings.values())
+    lines.append(f"  {total * 1000.0:10.3f} ms  Total")
+    return "\n".join(lines)
+
+
+# -- pipelines ---------------------------------------------------------------------------
+
+
+class AnchoredPipeline:
+    """A nested pipeline anchored on an operation name.
+
+    ``func.func(canonicalize,cse)`` runs the inner pipeline once per
+    ``func.func`` op nested under (or equal to) the root, mirroring MLIR's
+    ``OpPassManager`` nesting.
+    """
+
+    def __init__(self, anchor: str, entries: Sequence["PipelineEntry"] = ()):
+        self.anchor = anchor
+        self.entries: list[PipelineEntry] = list(entries)
+
+    def to_spec(self) -> str:
+        inner = ",".join(_entry_spec(entry) for entry in self.entries)
+        return f"{self.anchor}({inner})"
+
+    def __repr__(self) -> str:
+        return f"<AnchoredPipeline {self.to_spec()}>"
+
+
+PipelineEntry = Union[Pass, AnchoredPipeline]
+
+
+def _entry_spec(entry: PipelineEntry) -> str:
+    return entry.to_spec() if isinstance(entry, AnchoredPipeline) else entry.display_name
+
+
+class PassManager:
+    """Runs a pipeline of passes (and nested anchored pipelines) over a module."""
+
+    def __init__(self, passes: Sequence[PipelineEntry] = (), verify_each: bool = False,
+                 failure_dump_dir: Optional[str] = None):
+        self.passes: list[PipelineEntry] = list(passes)
+        self.verify_each = verify_each
+        #: Where verify-after-failure IR snapshots are written (a temp file
+        #: in the system temp dir when None).
+        self.failure_dump_dir = failure_dump_dir
+        #: Pass ``name{options}`` -> accumulated wall-clock seconds.
+        self.timings: dict[str, float] = {}
+        #: The root of the in-flight run() (what verify_each checks).
+        self._run_root: Optional["Operation"] = None
+
+    def add(self, *passes: PipelineEntry) -> "PassManager":
         self.passes.extend(passes)
         return self
 
+    def nest(self, anchor: str) -> AnchoredPipeline:
+        """Append and return a nested pipeline anchored on ``anchor``."""
+        nested = AnchoredPipeline(anchor)
+        self.passes.append(nested)
+        return nested
+
+    # -- execution --------------------------------------------------------------------------
+
     def run(self, module: "Operation") -> "Operation":
-        for pass_ in self.passes:
-            started = time.perf_counter()
-            pass_.run_on_module(module)
-            elapsed = time.perf_counter() - started
-            self.timings[pass_.display_name] = (
-                self.timings.get(pass_.display_name, 0.0) + elapsed)
-            if self.verify_each:
-                verify(module)
+        #: verify_each always checks the whole run root — an anchored pass
+        #: that corrupts IR outside its anchor must not escape verification.
+        self._run_root = module
+        try:
+            for entry in self.passes:
+                self._run_entry(entry, module)
+        finally:
+            self._run_root = None
         return module
+
+    def _run_entry(self, entry: PipelineEntry, root: "Operation") -> None:
+        if isinstance(entry, AnchoredPipeline):
+            if root.name == entry.anchor:
+                targets = [root]
+            else:
+                targets = [op for op in root.walk() if op.name == entry.anchor]
+            for target in targets:
+                for sub_entry in entry.entries:
+                    self._run_anchored(sub_entry, target)
+            return
+        self._run_pass(entry, root, anchored=False)
+
+    def _run_anchored(self, entry: PipelineEntry, target: "Operation") -> None:
+        if isinstance(entry, AnchoredPipeline):
+            self._run_entry(entry, target)
+            return
+        self._run_pass(entry, target, anchored=True)
+
+    def _run_pass(self, pass_: Pass, op: "Operation", anchored: bool) -> None:
+        started = time.perf_counter()
+        if anchored and pass_.target_op is not None and pass_.target_op == op.name:
+            pass_.run(op)
+        else:
+            pass_.run_on_module(op)
+        elapsed = time.perf_counter() - started
+        self._record(pass_.display_name, elapsed)
+        if self.verify_each:
+            self._verify_after(pass_, self._run_root if self._run_root is not None
+                               else op)
+
+    def _record(self, display_name: str, seconds: float) -> None:
+        self.timings[display_name] = self.timings.get(display_name, 0.0) + seconds
+        for collector in _ACTIVE_COLLECTORS:
+            collector.add(display_name, seconds)
+
+    def _verify_after(self, pass_: Pass, op: "Operation") -> None:
+        try:
+            verify(op)
+        except VerificationError as error:
+            dump_path = self._dump_ir(pass_, op)
+            raise PassError(
+                f"IR verification failed after pass '{pass_.display_name}': "
+                f"{error} (offending IR dumped to {dump_path})") from error
+
+    def _dump_ir(self, pass_: Pass, op: "Operation") -> str:
+        from repro.ir.printer import print_op
+
+        directory = self.failure_dump_dir
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        slug = (pass_.name or type(pass_).__name__).replace("/", "-")
+        fd, path = tempfile.mkstemp(prefix=f"repro-after-{slug}-", suffix=".mlir",
+                                    dir=directory or None)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            try:
+                handle.write(print_op(op))
+            except Exception:  # printing must never mask the verification error
+                handle.write("<IR unprintable>")
+        return path
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def to_spec(self) -> str:
+        """The canonical textual pipeline this manager executes.
+
+        Round-trips through :func:`repro.ir.pass_registry.parse_pipeline` as
+        long as every pass is registered (LambdaPass is not).
+        """
+        return ",".join(_entry_spec(entry) for entry in self.passes)
 
     def total_time(self) -> float:
         return sum(self.timings.values())
 
     def timing_report(self) -> str:
         """A ``-pass-timing`` style report, slowest pass first."""
-        lines = ["===-- Pass execution timing report --==="]
-        for name, seconds in sorted(self.timings.items(), key=lambda kv: -kv[1]):
-            lines.append(f"  {seconds * 1000.0:10.3f} ms  {name}")
-        lines.append(f"  {self.total_time() * 1000.0:10.3f} ms  Total")
-        return "\n".join(lines)
+        return format_timing_report(self.timings)

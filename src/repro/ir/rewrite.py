@@ -1,9 +1,22 @@
-"""A small greedy pattern-rewrite driver.
+"""The greedy pattern-rewrite driver.
 
 Canonicalization-style passes register :class:`RewritePattern` objects; the
-driver repeatedly walks the IR applying patterns until a fixed point is
-reached (or an iteration limit trips, which indicates a non-converging
-pattern set).
+:class:`GreedyRewriteDriver` applies them until a fixed point is reached.
+Two strategies are available:
+
+* ``"worklist"`` (the default) seeds a worklist with every op under the root
+  once and afterwards only revisits operations whose operands, users or
+  position actually changed — the hot-path friendly driver the cleanup
+  passes run once per DSE evaluation.
+* ``"sweep"`` is the legacy full-module fixpoint: repeatedly walk *all* ops
+  until one sweep makes no change.  It is kept for A/B benchmarking
+  (``bench_fig7_scalability.py --pass-timing``) and as an oracle in the
+  equivalence tests — both strategies converge to the same IR.
+
+Linear per-block analyses (CSE, store forwarding, ...) plug in as
+:class:`BlockScanPattern` objects; the driver runs each scan exactly once
+per block in walk order, matching the single-scan semantics those passes
+always had.
 """
 
 from __future__ import annotations
@@ -11,19 +24,80 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.ir.builder import Builder, InsertionPoint
-from repro.ir.value import Value
+from repro.ir.value import OpResult, Value
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import Block
     from repro.ir.operation import Operation
+
+#: The process-wide default rewrite strategy ("worklist" or "sweep").
+_DEFAULT_STRATEGY = "worklist"
+
+_STRATEGIES = ("worklist", "sweep")
+
+
+def set_rewrite_strategy(strategy: str) -> str:
+    """Set the default driver strategy; returns the previous one."""
+    global _DEFAULT_STRATEGY
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown rewrite strategy {strategy!r}; "
+                         f"choose from {_STRATEGIES}")
+    previous = _DEFAULT_STRATEGY
+    _DEFAULT_STRATEGY = strategy
+    return previous
+
+
+def get_rewrite_strategy() -> str:
+    return _DEFAULT_STRATEGY
+
+
+class _LazyBefore(InsertionPoint):
+    """An insertion point before ``anchor`` whose index resolves on first use.
+
+    The driver points the rewriter before every op it visits; resolving the
+    block index eagerly would cost a linear ``index_of`` scan per visited op
+    (quadratic on the huge straight-line blocks full unrolling produces), so
+    the scan is deferred until a pattern actually inserts something.
+    """
+
+    def __init__(self, anchor: "Operation"):
+        self._anchor = anchor
+        self._resolved = False
+        super().__init__(anchor.parent, None)
+
+    def insert(self, op: "Operation") -> "Operation":
+        if not self._resolved:
+            self.block = self._anchor.parent
+            self.index = self.block.index_of(self._anchor)
+            self._resolved = True
+        return super().insert(op)
 
 
 class PatternRewriter(Builder):
-    """Builder handed to patterns; records whether the IR changed."""
+    """Builder handed to patterns; records changes and feeds the worklist.
 
-    def __init__(self):
+    Every structured mutation (``insert``, ``replace_op``, ``erase_op``,
+    ``replace_all_uses``, ``enqueue``) notifies the owning driver so only
+    genuinely affected operations are revisited.
+    """
+
+    def __init__(self, driver: "Optional[GreedyRewriteDriver]" = None):
         super().__init__()
         self.changed = False
-        self._erased: set[int] = set()
+        #: Erased operations, held by (identity-hashed) object reference:
+        #: storing bare id() ints would let CPython reuse a freed op's id for
+        #: a newly created op, falsely marking it erased.
+        self._erased: set = set()
+        self._driver = driver
+
+    # -- mutation API ----------------------------------------------------------------------
+
+    def insert(self, op: "Operation") -> "Operation":
+        inserted = super().insert(op)
+        self.changed = True
+        if self._driver is not None:
+            self._driver.enqueue_tree(inserted)
+        return inserted
 
     def replace_op(self, op: "Operation", new_values: Sequence[Value] | Value) -> None:
         """Replace all results of ``op`` with ``new_values`` and erase it."""
@@ -31,17 +105,66 @@ class PatternRewriter(Builder):
             new_values = [new_values]
         if len(new_values) != len(op.results):
             raise ValueError("replacement value count mismatch")
+        if self._driver is not None:
+            for result in op.results:
+                self._driver.enqueue_users(result)
         for result, new_value in zip(op.results, new_values):
             result.replace_all_uses_with(new_value)
         self.erase_op(op)
 
     def erase_op(self, op: "Operation") -> None:
-        self._erased.add(id(op))
+        self._notify_erasure(op)
+        self._mark_erased(op)
         op.erase()
         self.changed = True
 
+    def remove_op(self, op: "Operation") -> None:
+        """Remove ``op`` from its block without the no-uses check of ``erase``."""
+        self._notify_erasure(op)
+        self._mark_erased(op)
+        op.drop_all_references()
+        op.parent.remove(op)
+        self.changed = True
+
+    def _notify_erasure(self, op: "Operation") -> None:
+        # Re-enqueue the defining ops of every operand referenced anywhere in
+        # the erased subtree — a value whose only users lived inside the
+        # subtree just became dead.  Definers inside the subtree are enqueued
+        # too but skipped at pop (they are marked erased).
+        if self._driver is None:
+            return
+        if op.regions:
+            for nested in op.walk():
+                self._driver.enqueue_defining_ops(nested.operands)
+        else:
+            self._driver.enqueue_defining_ops(op.operands)
+
+    def _mark_erased(self, op: "Operation") -> None:
+        # Mark the whole subtree: descendants of an erased region op keep
+        # their parent links, so the driver relies on this to skip them in
+        # O(1) instead of walking ancestor chains per popped op.
+        if op.regions:
+            for nested in op.walk():
+                self._erased.add(nested)
+        else:
+            self._erased.add(op)
+
+    def replace_all_uses(self, old: Value, new: Value) -> None:
+        """RAUW that re-enqueues every (former) user of ``old``."""
+        if self._driver is not None:
+            self._driver.enqueue_users(old)
+        old.replace_all_uses_with(new)
+        self.changed = True
+
+    def enqueue(self, op: "Operation") -> None:
+        """Ask the driver to (re)visit ``op`` — e.g. after moving it."""
+        if self._driver is not None:
+            self._driver.enqueue(op)
+
+    # -- bookkeeping -----------------------------------------------------------------------
+
     def was_erased(self, op: "Operation") -> bool:
-        return id(op) in self._erased
+        return op in self._erased
 
     def notify_changed(self) -> None:
         self.changed = True
@@ -62,39 +185,198 @@ class RewritePattern:
         raise NotImplementedError
 
 
-def apply_patterns_greedily(root: "Operation", patterns: Iterable[RewritePattern],
-                            max_iterations: int = 32) -> bool:
+class BlockScanPattern:
+    """A linear per-block rewrite (CSE-style scoped analyses).
+
+    The driver calls :meth:`scan_block` exactly once per block, in the same
+    ``root.walk()`` order the standalone cleanup passes always used.
+    Implementations return the number of rewrites applied.
+    """
+
+    def scan_block(self, block: "Block", rewriter: PatternRewriter) -> int:
+        raise NotImplementedError
+
+
+class GreedyRewriteDriver:
+    """Applies op patterns to a fixed point and block scans once each."""
+
+    def __init__(self, patterns: Iterable, max_iterations: int = 32,
+                 strategy: Optional[str] = None):
+        patterns = list(patterns)
+        for pattern in patterns:
+            if not isinstance(pattern, (RewritePattern, BlockScanPattern)):
+                raise TypeError(
+                    f"expected RewritePattern or BlockScanPattern instances, "
+                    f"got {pattern!r} (did you pass the class instead of an "
+                    f"instance?)")
+        self.op_patterns: list[RewritePattern] = sorted(
+            (p for p in patterns if isinstance(p, RewritePattern)),
+            key=lambda p: -p.benefit)
+        self.block_patterns: list[BlockScanPattern] = [
+            p for p in patterns if isinstance(p, BlockScanPattern)]
+        self.max_iterations = max_iterations
+        self.strategy = strategy or _DEFAULT_STRATEGY
+        self.num_block_rewrites = 0
+        self._worklist: list[Operation] = []
+        self._pending: set[int] = set()
+        self._root: Optional[Operation] = None
+        #: Pattern lists per concrete op name (generic patterns merged in,
+        #: benefit order preserved), built lazily per name encountered.
+        self._pattern_cache: dict[str, list[RewritePattern]] = {}
+
+    # -- worklist management ---------------------------------------------------------------
+
+    def enqueue(self, op: "Operation") -> None:
+        # _pending holds ids only of ops the worklist strongly references
+        # (discarded at pop), so freed-id reuse cannot alias a pending entry.
+        if id(op) not in self._pending:
+            self._pending.add(id(op))
+            self._worklist.append(op)
+
+    def enqueue_tree(self, op: "Operation") -> None:
+        for nested in op.walk():
+            self.enqueue(nested)
+
+    def enqueue_users(self, value: Value) -> None:
+        for user in value.users:
+            self.enqueue(user)
+
+    def enqueue_defining_ops(self, values: Sequence[Value]) -> None:
+        for value in values:
+            if isinstance(value, OpResult):
+                self.enqueue(value.owner)
+
+    # -- execution -------------------------------------------------------------------------
+
+    def rewrite(self, root: "Operation") -> bool:
+        """Apply every pattern under ``root`` to a fixed point.
+
+        Returns True when anything changed.  Raises RuntimeError when the
+        pattern set fails to converge (a pattern keeps reporting changes
+        beyond the iteration budget).
+        """
+        self._root = root
+        changed = False
+        for pattern in self.block_patterns:
+            changed |= self._run_block_scans(root, pattern)
+        if self.op_patterns:
+            if self.strategy == "sweep":
+                changed |= self._run_sweeps(root)
+            else:
+                changed |= self._run_worklist(root)
+        return changed
+
+    def _matching_patterns(self, op: "Operation") -> list[RewritePattern]:
+        patterns = self._pattern_cache.get(op.name)
+        if patterns is None:
+            patterns = [pattern for pattern in self.op_patterns
+                        if pattern.op_name is None or pattern.op_name == op.name]
+            self._pattern_cache[op.name] = patterns
+        return patterns
+
+    # -- worklist strategy -----------------------------------------------------------------
+
+    def _run_worklist(self, root: "Operation") -> bool:
+        rewriter = PatternRewriter(driver=self)
+        self._worklist = []
+        self._pending = set()
+        for op in root.walk_post_order():
+            if op is not root:
+                self.enqueue(op)
+        # Non-convergence guard: a healthy run applies at most a few rewrites
+        # per op; max_iterations bounds the rewrites-per-op ratio like the
+        # sweep count bounded full walks.
+        budget = max(1, self.max_iterations) * max(1, len(self._worklist))
+        rewrites = 0
+        changed = False
+        index = 0
+        # Erased region ops have their whole subtree marked erased by the
+        # rewriter, so attachment is the O(1) check below — no ancestor walks.
+        while index < len(self._worklist):
+            op = self._worklist[index]
+            index += 1
+            self._pending.discard(id(op))
+            if index > 4096 and index * 2 > len(self._worklist):
+                # Compact the processed prefix so memory stays bounded.
+                del self._worklist[:index]
+                index = 0
+            if op.parent is None or rewriter.was_erased(op):
+                continue
+            patterns = self._matching_patterns(op)
+            if not patterns:
+                continue
+            rewriter.insertion_point = _LazyBefore(op)
+            for pattern in patterns:
+                rewriter.changed = False
+                if pattern.match_and_rewrite(op, rewriter) or rewriter.changed:
+                    rewrites += 1
+                    changed = True
+                    if rewrites > budget:
+                        raise RuntimeError(
+                            f"pattern application did not converge after "
+                            f"{rewrites} rewrites "
+                            f"(budget {budget}, max_iterations={self.max_iterations})")
+                    # Give other patterns (and this one again) a later shot
+                    # at whatever the rewrite left behind.
+                    if op.parent is not None and not rewriter.was_erased(op):
+                        self.enqueue(op)
+                    break
+                if rewriter.was_erased(op):
+                    break
+        return changed
+
+    # -- legacy sweep strategy ---------------------------------------------------------------
+
+    def _run_sweeps(self, root: "Operation") -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations):
+            rewriter = PatternRewriter(driver=None)
+            self._sweep_once(root, rewriter)
+            if not rewriter.changed:
+                return changed_any
+            changed_any = True
+        raise RuntimeError(
+            f"pattern application did not converge after "
+            f"{self.max_iterations} iterations")
+
+    def _sweep_once(self, root: "Operation", rewriter: PatternRewriter) -> None:
+        # Walk a snapshot so erasures during iteration are safe; skip ops that
+        # were erased by an earlier pattern in this sweep.
+        for op in list(root.walk()):
+            if op is root or rewriter.was_erased(op):
+                continue
+            if op.parent is None:
+                continue
+            for pattern in self._matching_patterns(op):
+                rewriter.insertion_point = _LazyBefore(op)
+                if pattern.match_and_rewrite(op, rewriter):
+                    rewriter.notify_changed()
+                    break
+                if rewriter.was_erased(op):
+                    break
+
+    # -- block scans -------------------------------------------------------------------------
+
+    def _run_block_scans(self, root: "Operation", pattern: BlockScanPattern) -> bool:
+        rewriter = PatternRewriter(driver=None)
+        total = 0
+        for op in list(root.walk()):
+            for region in op.regions:
+                for block in region.blocks:
+                    total += pattern.scan_block(block, rewriter)
+        self.num_block_rewrites += total
+        return total > 0
+
+
+def apply_patterns_greedily(root: "Operation", patterns: Iterable,
+                            max_iterations: int = 32,
+                            strategy: Optional[str] = None) -> bool:
     """Apply ``patterns`` to every op nested under ``root`` until fixpoint.
 
     Returns True if anything changed.  ``root`` itself is not rewritten.
+    ``strategy`` overrides the process default ("worklist" unless changed
+    via :func:`set_rewrite_strategy`).
     """
-    patterns = sorted(patterns, key=lambda p: -p.benefit)
-    changed_any = False
-    for _ in range(max_iterations):
-        rewriter = PatternRewriter()
-        _apply_once(root, patterns, rewriter)
-        if not rewriter.changed:
-            return changed_any
-        changed_any = True
-    raise RuntimeError(
-        f"pattern application did not converge after {max_iterations} iterations")
-
-
-def _apply_once(root: "Operation", patterns: Sequence[RewritePattern],
-                rewriter: PatternRewriter) -> None:
-    # Walk a snapshot so erasures during iteration are safe; skip ops that
-    # were erased by an earlier pattern in this sweep.
-    for op in list(root.walk()):
-        if op is root or rewriter.was_erased(op):
-            continue
-        if op.parent is None:
-            continue
-        for pattern in patterns:
-            if pattern.op_name is not None and op.name != pattern.op_name:
-                continue
-            rewriter.insertion_point = InsertionPoint.before(op)
-            if pattern.match_and_rewrite(op, rewriter):
-                rewriter.notify_changed()
-                break
-            if rewriter.was_erased(op):
-                break
+    driver = GreedyRewriteDriver(patterns, max_iterations=max_iterations,
+                                 strategy=strategy)
+    return driver.rewrite(root)

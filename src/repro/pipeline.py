@@ -24,7 +24,6 @@ import math
 import time
 from typing import Optional
 
-from repro.dialects.affine_ops import AffineForOp, innermost_loops
 from repro.dse.apply import AppliedDesign, apply_design_point, estimate_baseline
 from repro.dse.space import KernelDesignPoint
 from repro.emit.hlscpp_emitter import emit_hlscpp
@@ -33,44 +32,35 @@ from repro.estimation.platform import Platform, VU9P_SLR, XC7Z020
 from repro.frontend.c_to_mlir import parse_c_to_module
 from repro.frontend.models import build_model
 from repro.frontend.pytorch_like import model_flops
-from repro.frontend.raise_to_affine import RaiseSCFToAffinePass
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import PassError, PassManager
+from repro.ir.pass_registry import build_pipeline_cached
 from repro.kernels import kernel_source
-from repro.transforms import (
-    canonicalize,
-    eliminate_common_subexpressions,
-    forward_stores,
-    legalize_dataflow,
-    lower_graph_to_loops,
-    partition_arrays,
-    pipeline_loop,
-    simplify_affine_ifs,
-    simplify_memref_accesses,
-    split_function,
-)
-from repro.transforms.loop.loop_unroll import fully_unroll, unroll_loop
+from repro.transforms import legalize_dataflow, lower_graph_to_loops, split_function
 
 
 # -- computation kernels -----------------------------------------------------------------------------
 
+#: The frontend pipeline every C-level module goes through after parsing.
+FRONTEND_PIPELINE = "func.func(raise-scf-to-affine,canonicalize)"
 
-def compile_kernel(name: str, problem_size: int) -> ModuleOp:
-    """Parse a PolyBench kernel and raise it to the affine level."""
+
+def compile_kernel(name: str, problem_size: int,
+                   pipeline: Optional[str] = None) -> ModuleOp:
+    """Parse a PolyBench kernel and raise it to the affine level.
+
+    ``pipeline`` overrides the default :data:`FRONTEND_PIPELINE` spec.
+    """
     module = parse_c_to_module(kernel_source(name, problem_size), name)
-    RaiseSCFToAffinePass().run_on_module(module)
-    for func_op in module.functions():
-        canonicalize(func_op)
+    build_pipeline_cached(pipeline if pipeline is not None else FRONTEND_PIPELINE).run(module)
     return module
 
 
-def compile_c(source: str, module_name: str = "c_module") -> ModuleOp:
+def compile_c(source: str, module_name: str = "c_module",
+              pipeline: Optional[str] = None) -> ModuleOp:
     """Parse arbitrary HLS C source and raise it to the affine level."""
     module = parse_c_to_module(source, module_name)
-    RaiseSCFToAffinePass().run_on_module(module)
-    for func_op in module.functions():
-        canonicalize(func_op)
+    build_pipeline_cached(pipeline if pipeline is not None else FRONTEND_PIPELINE).run(module)
     return module
 
 
@@ -226,39 +216,23 @@ def dnn_baseline(model_name: str, platform: Platform = VU9P_SLR,
 # -- internals ----------------------------------------------------------------------------------------
 
 
+def dnn_function_pipeline_spec(unroll_factor: int) -> str:
+    """The per-stage loop/directive pipeline of the DNN flow as a spec."""
+    from repro.dse.apply import CLEANUP_PIPELINE
+
+    factor = f"{{factor={int(unroll_factor)}}}" if unroll_factor != 1 else ""
+    return f"dnn-loop-opt{factor},{CLEANUP_PIPELINE},array-partition"
+
+
 def _optimize_lowered_function(func_op: Operation, unroll_factor: int) -> None:
     """Loop + directive optimization of one lowered (loop-level) function.
 
-    Each lowered loop nest is first loop-order optimized (reduction loops are
-    permuted outwards so the pipelined loop carries no dependence), then the
-    innermost loops are unrolled towards the requested factor, and the
-    innermost remaining loop is pipelined.
+    Runs the registry pipeline of :func:`dnn_function_pipeline_spec`: the
+    ``dnn-loop-opt`` pass (loop-order optimization, unrolling towards the
+    factor, pipelining), the shared redundancy-elimination tail and array
+    partitioning.
     """
-    from repro.dialects.affine_ops import outermost_loops, perfect_loop_band
-    from repro.transforms import optimize_loop_order
-
-    for outer in outermost_loops(func_op):
-        if outer.parent is None:
-            continue
-        band = perfect_loop_band(outer)
-        try:
-            band = optimize_loop_order(band)
-        except PassError:
-            pass
-        target = _unroll_towards_factor(band[-1], unroll_factor)
-        if target is None:
-            continue
-        try:
-            pipeline_loop(target, 1)
-        except PassError:
-            continue
-    canonicalize(func_op)
-    simplify_affine_ifs(func_op)
-    forward_stores(func_op)
-    simplify_memref_accesses(func_op)
-    eliminate_common_subexpressions(func_op)
-    canonicalize(func_op)
-    partition_arrays(func_op)
+    build_pipeline_cached(dnn_function_pipeline_spec(unroll_factor)).run(func_op)
 
 
 def _function_flops(func_op: Operation) -> int:
@@ -277,28 +251,3 @@ def _round_power_of_two(value: float) -> int:
     if value <= 1:
         return 1
     return 2 ** int(round(math.log2(value)))
-
-
-def _unroll_towards_factor(innermost: AffineForOp, factor: int) -> Optional[AffineForOp]:
-    """Unroll a loop nest bottom-up until roughly ``factor`` copies exist.
-
-    Fully unrolls inner loops while their trip count fits in the remaining
-    factor, then partially unrolls the next enclosing loop.  Returns the loop
-    that should be pipelined afterwards.
-    """
-    loop = innermost
-    remaining = max(1, factor)
-    while remaining > 1 and loop is not None:
-        trip = loop.trip_count()
-        if trip is None:
-            break
-        parent = loop.parent_op
-        parent_loop = parent if isinstance(parent, AffineForOp) else None
-        if trip <= remaining and parent_loop is not None:
-            fully_unroll(loop)
-            remaining = max(1, -(-remaining // max(1, trip)))
-            loop = parent_loop
-        else:
-            unroll_loop(loop, remaining)
-            remaining = 1
-    return loop

@@ -24,6 +24,15 @@ functionality behind one entry point with sub-commands:
     Compile one of the bundled DNN models with the multi-level optimization
     and report its QoR.
 
+``list-passes``
+    Print every registered pass with its anchor and options, and self-check
+    the registry (constructibility, picklability, spec round-trip).
+
+Pass pipelines are first-class: ``compile --pipeline SPEC`` runs a textual
+pipeline (e.g. ``"func.func(raise-scf-to-affine,canonicalize)"``) instead of
+the default flow, and every sub-command accepts ``--print-pass-timing`` to
+emit an MLIR ``-pass-timing`` style report of all passes the flow executed.
+
 Run ``python -m repro.tools.driver <command> --help`` for the options.
 """
 
@@ -41,6 +50,7 @@ from repro.emit import emit_hlscpp
 from repro.estimation import PLATFORMS, XC7Z020
 from repro.estimation.platform import Platform
 from repro.ir import print_op, verify
+from repro.ir.pass_manager import PassError, collect_pass_timings
 from repro.kernels import KERNEL_NAMES
 from repro.pipeline import compile_c, compile_dnn, compile_kernel, dnn_baseline
 
@@ -54,11 +64,12 @@ def _platform(name: str) -> Platform:
 
 
 def _load_module(args) -> "ModuleOp":
+    pipeline = getattr(args, "pipeline", None)
     if args.kernel:
-        return compile_kernel(args.kernel, args.size)
+        return compile_kernel(args.kernel, args.size, pipeline=pipeline)
     if args.input:
         with open(args.input, "r", encoding="utf-8") as handle:
-            return compile_c(handle.read())
+            return compile_c(handle.read(), pipeline=pipeline)
     raise SystemExit("either --kernel or an input C file is required")
 
 
@@ -84,6 +95,9 @@ def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", type=int, default=256,
                         help="problem size of the bundled kernel (default 256)")
     parser.add_argument("--platform", default="xc7z020", help="target platform name")
+    parser.add_argument("--print-pass-timing", action="store_true",
+                        help="print an MLIR -pass-timing style report of every "
+                             "pass the flow executed")
 
 
 def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_parser = commands.add_parser("compile", help="parse C and print affine-level IR")
     _add_kernel_arguments(compile_parser)
+    compile_parser.add_argument(
+        "--pipeline", metavar="SPEC",
+        help="textual pass pipeline run after parsing, replacing the default "
+             "'func.func(raise-scf-to-affine,canonicalize)' "
+             "(e.g. 'func.func(raise-scf-to-affine,canonicalize,cse)')")
 
     estimate_parser = commands.add_parser("estimate", help="estimate latency and resources")
     _add_kernel_arguments(estimate_parser)
@@ -140,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
     dnn_parser.add_argument("--graph-level", type=int, default=4)
     dnn_parser.add_argument("--loop-level", type=int, default=3)
     dnn_parser.add_argument("--platform", default="vu9p-slr")
+    dnn_parser.add_argument("--print-pass-timing", action="store_true",
+                            help="print an MLIR -pass-timing style report of "
+                                 "every pass the flow executed")
+
+    list_parser = commands.add_parser(
+        "list-passes",
+        help="list registered passes and self-check the registry")
+    list_parser.add_argument("--verbose", action="store_true",
+                             help="also print option types, defaults and help")
     return parser
 
 
@@ -260,18 +288,77 @@ def run_dnn(args) -> int:
     return 0
 
 
+def run_list_passes(args) -> int:
+    """Print the registry and self-check every registered pass.
+
+    The self-check fails (exit 1) when a pass cannot be default-constructed,
+    does not survive a pickle round-trip (the DSE workers require it), or
+    does not round-trip through the textual pipeline syntax — so a transform
+    added without proper registration fails fast in CI.
+    """
+    import pickle
+
+    from repro.ir.pass_registry import (build_pipeline, pass_aliases,
+                                        registered_passes)
+
+    failures = []
+    aliases_by_canonical: dict[str, list[str]] = {}
+    for alias, canonical in pass_aliases().items():
+        aliases_by_canonical.setdefault(canonical, []).append(alias)
+
+    passes = registered_passes()
+    for name, cls in passes.items():
+        try:
+            instance = cls()
+            if instance.name != name:
+                raise PassError(f"instance name {instance.name!r} != registry "
+                                f"key {name!r}")
+            restored = pickle.loads(pickle.dumps(instance))
+            if restored.display_name != instance.display_name:
+                raise PassError("pickle round-trip changed the display name")
+            if build_pipeline(instance.display_name).to_spec() \
+                    != instance.display_name:
+                raise PassError("textual spec round-trip diverged")
+        except Exception as error:  # noqa: BLE001 — report, don't crash the listing
+            failures.append((name, error))
+            status = f"SELF-CHECK FAILED: {error}"
+        else:
+            status = ""
+        anchor = cls.target_op or "any"
+        alias_note = ""
+        if name in aliases_by_canonical:
+            alias_note = f" (aliases: {', '.join(sorted(aliases_by_canonical[name]))})"
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:28s} [{anchor}]{alias_note} {summary} {status}".rstrip())
+        if args.verbose:
+            for option in cls.OPTIONS:
+                print(f"    {option.name}={option.type} "
+                      f"(default {option.default!r}) {option.help}".rstrip())
+    print(f"{len(passes)} passes registered, "
+          f"{len(pass_aliases())} aliases, {len(failures)} self-check failures")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "compile": run_compile,
     "estimate": run_estimate,
     "dse": run_dse,
     "emit": run_emit,
     "dnn": run_dnn,
+    "list-passes": run_list_passes,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    if getattr(args, "print_pass_timing", False):
+        with collect_pass_timings() as collector:
+            status = handler(args)
+        print(collector.report())
+        return status
+    return handler(args)
 
 
 if __name__ == "__main__":

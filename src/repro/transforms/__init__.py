@@ -1,12 +1,22 @@
 """The HLS transform and analysis library.
 
-Every optimization described in the paper is exposed both as a pass (for
-pipeline-style use through the :class:`~repro.ir.pass_manager.PassManager`)
-and as a callable function with explicit parameters (for the DSE engine),
-mirroring how ScaleHLS packages its transform library (paper Section V).
+Every optimization described in the paper is exposed three ways, mirroring
+how ScaleHLS packages its transform library (paper Section V):
+
+* as a *registered pass* (``@register_pass``) constructible from the textual
+  pipeline syntax of :mod:`repro.ir.pass_registry`,
+* as a :class:`~repro.ir.pass_manager.Pass` subclass for programmatic
+  pipeline construction, and
+* as a callable function with explicit parameters (for the DSE engine).
+
+Importing this package populates the pass registry.
 """
 
-from repro.transforms.cleanup.canonicalize import CanonicalizePass, canonicalize
+from repro.transforms.cleanup.canonicalize import (
+    CanonicalizePass,
+    canonicalize,
+    canonicalization_patterns,
+)
 from repro.transforms.cleanup.cse import CSEPass, eliminate_common_subexpressions
 from repro.transforms.cleanup.simplify_affine_if import SimplifyAffineIfPass, simplify_affine_ifs
 from repro.transforms.cleanup.store_forward import AffineStoreForwardPass, forward_stores
@@ -36,9 +46,14 @@ from repro.transforms.directive.array_partition import ArrayPartitionPass, parti
 from repro.transforms.graph.legalize_dataflow import LegalizeDataflowPass, legalize_dataflow
 from repro.transforms.graph.split_function import SplitFunctionPass, split_function
 from repro.transforms.graph.lower_graph import LowerGraphPass, lower_graph_to_loops
+from repro.transforms.composite import (
+    ApplyDesignPointPass,
+    DNNLoopOptPass,
+    unroll_towards_factor,
+)
 
 __all__ = [
-    "CanonicalizePass", "canonicalize",
+    "CanonicalizePass", "canonicalize", "canonicalization_patterns",
     "CSEPass", "eliminate_common_subexpressions",
     "SimplifyAffineIfPass", "simplify_affine_ifs",
     "AffineStoreForwardPass", "forward_stores",
@@ -53,4 +68,5 @@ __all__ = [
     "LegalizeDataflowPass", "legalize_dataflow",
     "SplitFunctionPass", "split_function",
     "LowerGraphPass", "lower_graph_to_loops",
+    "ApplyDesignPointPass", "DNNLoopOptPass", "unroll_towards_factor",
 ]

@@ -3,7 +3,9 @@ trivial loop simplifications.
 
 ScaleHLS leans on MLIR's canonicalizer between its own transforms to remove
 the redundancies they leave behind; this pass plays that role for the
-reproduction.  It iterates to a fixed point:
+reproduction.  The rewrites are expressed as :class:`RewritePattern` objects
+applied by the greedy worklist driver, which — unlike the former full-module
+fixpoint sweeps — only revisits operations whose operands actually changed:
 
 * fold arithmetic on constants and ``affine.apply`` of constants,
 * erase side-effect-free operations whose results are unused,
@@ -13,31 +15,42 @@ reproduction.  It iterates to a fixed point:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.dialects import arith
 from repro.dialects.affine_ops import AffineForOp, AffineIfOp
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
-from repro.ir.types import IndexType, IntegerType, index
+from repro.ir.pass_registry import register_pass
+from repro.ir.rewrite import GreedyRewriteDriver, PatternRewriter, RewritePattern
+from repro.ir.types import index
 
 
-def canonicalize(root: Operation, max_iterations: int = 64) -> bool:
+def canonicalize(root: Operation, max_iterations: int = 64,
+                 strategy: Optional[str] = None) -> bool:
     """Canonicalize everything nested under ``root``.  Returns True if changed."""
-    changed_any = False
-    for _ in range(max_iterations):
-        changed = False
-        changed |= _fold_constants(root)
-        changed |= _simplify_loops(root)
-        changed |= _erase_dead_ops(root)
-        if not changed:
-            return changed_any
-        changed_any = True
-    return changed_any
+    driver = GreedyRewriteDriver(canonicalization_patterns(),
+                                 max_iterations=max_iterations, strategy=strategy)
+    return driver.rewrite(root)
 
 
+def canonicalization_patterns() -> list[RewritePattern]:
+    """A fresh set of the canonicalization patterns (driver-agnostic).
+
+    The fold pattern is instantiated once per foldable operation name so the
+    driver's per-name dispatch skips it entirely on loads, stores and other
+    never-foldable ops.
+    """
+    patterns: list[RewritePattern] = [
+        FoldConstantsPattern(name) for name in _FOLDABLE_NAMES]
+    patterns += [SimplifyAffineForPattern(), EraseEmptyAffineIfPattern(),
+                 EraseDeadOpPattern()]
+    return patterns
+
+
+@register_pass("canonicalize")
 class CanonicalizePass(FunctionPass):
     """Pass wrapper around :func:`canonicalize`."""
-
-    name = "canonicalize"
 
     def run(self, op: Operation) -> None:
         canonicalize(op)
@@ -70,21 +83,28 @@ _CMP_FUNCS = {
     "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
 }
 
+#: Every op name :func:`_try_fold` can possibly fold.
+_FOLDABLE_NAMES = tuple(sorted(
+    set(_FOLDABLE_INT) | set(_FOLDABLE_FLOAT)
+    | {"arith.cmpi", "arith.cmpf", "affine.apply", "arith.select",
+       "arith.index_cast"}))
 
-def _fold_constants(root: Operation) -> bool:
-    changed = False
-    for op in list(root.walk()):
-        if op.parent is None or op is root:
-            continue
+
+class FoldConstantsPattern(RewritePattern):
+    """Replace constant-operand arithmetic with a materialized constant."""
+
+    benefit = 3
+
+    def __init__(self, op_name: Optional[str] = None):
+        self.op_name = op_name
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         folded = _try_fold(op)
         if folded is None:
-            continue
-        constant = arith.ConstantOp(folded, op.result().type)
-        op.parent.insert_before(op, constant)
-        op.result().replace_all_uses_with(constant.result())
-        op.erase()
-        changed = True
-    return changed
+            return False
+        constant = rewriter.insert(arith.ConstantOp(folded, op.result().type))
+        rewriter.replace_op(op, constant.result())
+        return True
 
 
 def _try_fold(op: Operation):
@@ -122,71 +142,75 @@ def _try_fold(op: Operation):
 # -- dead code ---------------------------------------------------------------------------
 
 
-def _erase_dead_ops(root: Operation) -> bool:
-    changed = False
-    for op in list(root.walk_post_order()):
-        if op is root or op.parent is None:
-            continue
+class EraseDeadOpPattern(RewritePattern):
+    """Erase side-effect-free, region-free operations with no used results."""
+
+    benefit = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if op.regions or op.has_side_effects():
-            continue
+            return False
         if op.num_results == 0:
-            continue
+            return False
         if any(result.has_uses() for result in op.results):
-            continue
-        op.erase()
-        changed = True
-    return changed
+            return False
+        rewriter.erase_op(op)
+        return True
 
 
 # -- loop simplifications --------------------------------------------------------------------
 
 
-def _simplify_loops(root: Operation) -> bool:
-    changed = False
-    for op in list(root.walk_post_order()):
-        if op.parent is None:
-            continue
-        if isinstance(op, AffineForOp):
-            changed |= _simplify_for(op)
-        elif isinstance(op, AffineIfOp):
-            changed |= _erase_empty_if(op)
-    return changed
+class SimplifyAffineForPattern(RewritePattern):
+    """Erase zero-trip and empty loops; inline single-iteration loops."""
 
+    op_name = "affine.for"
+    benefit = 2
 
-def _simplify_for(loop: AffineForOp) -> bool:
-    trip = loop.trip_count()
-    if trip == 0:
-        loop.drop_all_references()
-        loop.parent.remove(loop)
-        return True
-    if trip == 1 and loop.has_constant_lower_bound():
-        block = loop.parent
-        constant = arith.ConstantOp(loop.constant_lower_bound, index)
-        block.insert_before(loop, constant)
-        loop.induction_variable.replace_all_uses_with(constant.result())
-        anchor = loop
-        for inner in list(loop.body.operations):
-            if inner.name == "affine.yield":
-                continue
-            inner.detach()
-            block.insert_after(anchor, inner)
-            anchor = inner
-        loop.erase()
-        return True
-    # Erase loops whose body is empty (e.g. after other simplifications).
-    body_ops = [inner for inner in loop.body.operations if inner.name != "affine.yield"]
-    if not body_ops:
-        loop.erase()
-        return True
-    return False
-
-
-def _erase_empty_if(if_op: AffineIfOp) -> bool:
-    if if_op.results:
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, AffineForOp):
+            return False
+        loop = op
+        trip = loop.trip_count()
+        if trip == 0:
+            rewriter.remove_op(loop)
+            return True
+        if trip == 1 and loop.has_constant_lower_bound():
+            block = loop.parent
+            constant = rewriter.insert(
+                arith.ConstantOp(loop.constant_lower_bound, index))
+            rewriter.replace_all_uses(loop.induction_variable, constant.result())
+            anchor = loop
+            for inner in list(loop.body.operations):
+                if inner.name == "affine.yield":
+                    continue
+                inner.detach()
+                block.insert_after(anchor, inner)
+                anchor = inner
+                rewriter.enqueue(inner)
+            rewriter.erase_op(loop)
+            return True
+        # Erase loops whose body is empty (e.g. after other simplifications).
+        body_ops = [inner for inner in loop.body.operations
+                    if inner.name != "affine.yield"]
+        if not body_ops:
+            rewriter.erase_op(loop)
+            return True
         return False
-    then_empty = if_op.then_block.empty()
-    else_empty = if_op.else_block is None or if_op.else_block.empty()
-    if then_empty and else_empty:
-        if_op.erase()
-        return True
-    return False
+
+
+class EraseEmptyAffineIfPattern(RewritePattern):
+    """Erase result-less ``affine.if`` ops whose branches are both empty."""
+
+    op_name = "affine.if"
+    benefit = 2
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, AffineIfOp) or op.results:
+            return False
+        then_empty = op.then_block.empty()
+        else_empty = op.else_block is None or op.else_block.empty()
+        if then_empty and else_empty:
+            rewriter.erase_op(op)
+            return True
+        return False

@@ -12,25 +12,30 @@ from repro.dialects.arith import PURE_OPS
 from repro.ir.block import Block
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
+from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewriter
 
 #: Additional pure operations outside the arith dialect.
 _EXTRA_PURE = {"affine.apply"}
 
 
+class CSEScanPattern(BlockScanPattern):
+    """Linear per-block common-subexpression elimination."""
+
+    def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
+        return _cse_block(block)
+
+
 def eliminate_common_subexpressions(root: Operation) -> int:
     """Run CSE on every block nested under ``root``.  Returns #ops removed."""
-    removed = 0
-    for op in list(root.walk()):
-        for region in op.regions:
-            for block in region.blocks:
-                removed += _cse_block(block)
-    return removed
+    driver = GreedyRewriteDriver([CSEScanPattern()])
+    driver.rewrite(root)
+    return driver.num_block_rewrites
 
 
+@register_pass("cse")
 class CSEPass(FunctionPass):
     """Pass wrapper around :func:`eliminate_common_subexpressions`."""
-
-    name = "cse"
 
     def run(self, op: Operation) -> None:
         eliminate_common_subexpressions(op)

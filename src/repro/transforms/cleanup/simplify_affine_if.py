@@ -16,31 +16,41 @@ from repro.affine.analysis import expr_min_max
 from repro.dialects.affine_ops import AffineForOp, AffineIfOp
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
+from repro.ir.rewrite import GreedyRewriteDriver, PatternRewriter, RewritePattern
 from repro.ir.value import BlockArgument, OpResult, Value
 
 
-def simplify_affine_ifs(root: Operation) -> int:
+class SimplifyAffineIfPattern(RewritePattern):
+    """Inline (or erase) ``affine.if`` ops whose condition is decidable."""
+
+    op_name = "affine.if"
+    benefit = 1
+
+    def __init__(self):
+        self.simplified = 0
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, AffineIfOp) or op.results:
+            return False
+        verdict = _evaluate_condition(op)
+        if verdict is None:
+            return False
+        _inline_branch(op, take_then=verdict, rewriter=rewriter)
+        self.simplified += 1
+        return True
+
+
+def simplify_affine_ifs(root: Operation, strategy: Optional[str] = None) -> int:
     """Simplify every ``affine.if`` nested under ``root``.  Returns #simplified."""
-    simplified = 0
-    changed = True
-    while changed:
-        changed = False
-        for op in list(root.walk()):
-            if not isinstance(op, AffineIfOp) or op.parent is None or op.results:
-                continue
-            verdict = _evaluate_condition(op)
-            if verdict is None:
-                continue
-            _inline_branch(op, take_then=verdict)
-            simplified += 1
-            changed = True
-    return simplified
+    pattern = SimplifyAffineIfPattern()
+    GreedyRewriteDriver([pattern], strategy=strategy).rewrite(root)
+    return pattern.simplified
 
 
+@register_pass("simplify-affine-if")
 class SimplifyAffineIfPass(FunctionPass):
     """Pass wrapper around :func:`simplify_affine_ifs`."""
-
-    name = "simplify-affine-if"
 
     def run(self, op: Operation) -> None:
         simplify_affine_ifs(op)
@@ -117,7 +127,8 @@ def _evaluate_condition(if_op: AffineIfOp) -> Optional[bool]:
     return True if always else None
 
 
-def _inline_branch(if_op: AffineIfOp, take_then: bool) -> None:
+def _inline_branch(if_op: AffineIfOp, take_then: bool,
+                   rewriter: Optional[PatternRewriter] = None) -> None:
     block = if_op.parent
     source = if_op.then_block if take_then else if_op.else_block
     anchor = if_op
@@ -128,4 +139,9 @@ def _inline_branch(if_op: AffineIfOp, take_then: bool) -> None:
             op.detach()
             block.insert_after(anchor, op)
             anchor = op
-    if_op.erase()
+            if rewriter is not None:
+                rewriter.enqueue(op)
+    if rewriter is not None:
+        rewriter.erase_op(if_op)
+    else:
+        if_op.erase()

@@ -14,26 +14,30 @@ from repro.dialects.affine_ops import access_is_write, access_memref
 from repro.ir.block import Block
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
+from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewriter
 from repro.transforms.cleanup.store_forward import access_key
 
 _ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
 
 
+class MemrefAccessScanPattern(BlockScanPattern):
+    """Linear per-block load folding + dead-store removal."""
+
+    def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
+        return _fold_loads(block) + _remove_dead_stores(block)
+
+
 def simplify_memref_accesses(root: Operation) -> int:
     """Fold redundant accesses under ``root``.  Returns the number of ops removed."""
-    removed = 0
-    for op in list(root.walk()):
-        for region in op.regions:
-            for block in region.blocks:
-                removed += _fold_loads(block)
-                removed += _remove_dead_stores(block)
-    return removed
+    driver = GreedyRewriteDriver([MemrefAccessScanPattern()])
+    driver.rewrite(root)
+    return driver.num_block_rewrites
 
 
+@register_pass("simplify-memref-access")
 class SimplifyMemrefAccessPass(FunctionPass):
     """Pass wrapper around :func:`simplify_memref_accesses`."""
-
-    name = "simplify-memref-access"
 
     def run(self, op: Operation) -> None:
         simplify_memref_accesses(op)

@@ -13,25 +13,29 @@ from repro.dialects.affine_ops import access_indices, access_is_write, access_me
 from repro.ir.block import Block
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
+from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewriter
 
 _ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
 
 
+class StoreForwardScanPattern(BlockScanPattern):
+    """Linear per-block store-to-load forwarding."""
+
+    def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
+        return _forward_in_block(block)
+
+
 def forward_stores(root: Operation) -> int:
     """Forward stores to loads under ``root``.  Returns the number of forwards."""
-    forwarded = 0
-    for op in list(root.walk()):
-        for region in op.regions:
-            for block in region.blocks:
-                forwarded += _forward_in_block(block)
-    forwarded += _remove_write_only_buffers(root)
-    return forwarded
+    driver = GreedyRewriteDriver([StoreForwardScanPattern()])
+    driver.rewrite(root)
+    return driver.num_block_rewrites + _remove_write_only_buffers(root)
 
 
+@register_pass("affine-store-forward")
 class AffineStoreForwardPass(FunctionPass):
     """Pass wrapper around :func:`forward_stores`."""
-
-    name = "affine-store-forward"
 
     def run(self, op: Operation) -> None:
         forward_stores(op)

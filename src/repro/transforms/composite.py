@@ -1,0 +1,155 @@
+"""Composite registered passes used by the compilation flows.
+
+These passes bundle the data-dependent transform sequences that the DSE and
+the DNN flow apply per function, so that *every* flow — hand-written
+pipelines, the serial DSE, the parallel runtime workers and the CLI — can be
+expressed as one textual pipeline built from the registry:
+
+* ``apply-design-point`` reproduces one :class:`KernelDesignPoint` of the
+  paper's kernel DSE (Tab. II parameters) as a single configurable pass.
+* ``dnn-loop-opt`` is the per-stage loop/directive optimization of the DNN
+  flow (loop-order optimization, unrolling towards a factor, pipelining).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dialects.affine_ops import AffineForOp, outermost_loops, perfect_loop_band
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
+from repro.transforms.directive.pipelining import pipeline_loop
+from repro.transforms.loop.loop_order_opt import optimize_loop_order, permute_loop_band
+from repro.transforms.loop.loop_tiling import tile_loop_band
+from repro.transforms.loop.loop_unroll import fully_unroll, unroll_loop
+from repro.transforms.loop.perfectization import perfectize_band
+from repro.transforms.loop.remove_variable_bound import remove_variable_bounds
+
+
+@register_pass("apply-design-point")
+class ApplyDesignPointPass(FunctionPass):
+    """Apply one kernel design point (perfectize, rvb, permute, tile, pipeline).
+
+    Transform steps that are not applicable to the design point (e.g.
+    permutation of a non-perfect band) are skipped rather than failing — the
+    estimator will simply see the weaker design, which is how unprofitable
+    points lose in the exploration.
+    """
+
+    OPTIONS = (
+        PassOption("perfectize", type="bool", default=False,
+                   help="run loop perfectization first"),
+        PassOption("rvb", type="bool", default=False,
+                   help="remove variable loop bounds"),
+        PassOption("perm", type="int-list", default=(),
+                   help="loop permutation map (applied when it fits the band)"),
+        PassOption("tiles", type="int-list", default=(),
+                   help="per-loop tile sizes (1 leaves a loop untiled)"),
+        PassOption("ii", type="int", default=1,
+                   help="pipeline target initiation interval"),
+    )
+
+    def __init__(self, perfectize: bool = False, rvb: bool = False,
+                 perm: Sequence[int] = (), tiles: Sequence[int] = (),
+                 ii: int = 1):
+        self.perfectize = perfectize
+        self.rvb = rvb
+        self.perm = tuple(perm)
+        self.tiles = tuple(tiles)
+        self.ii = ii
+
+    def run(self, func_op: Operation) -> None:
+        outer = _outer_loop(func_op)
+        if outer is None:
+            return
+
+        if self.perfectize:
+            perfectize_band(outer)
+        if self.rvb:
+            remove_variable_bounds(func_op)
+
+        band = perfect_loop_band(_outer_loop(func_op))
+        if len(self.perm) == len(band):
+            try:
+                band = permute_loop_band(band, self.perm)
+            except PassError:
+                pass
+
+        tile_loops = band
+        if any(size > 1 for size in self.tiles[: len(band)]):
+            sizes = list(self.tiles[: len(band)])
+            sizes += [1] * (len(band) - len(sizes))
+            try:
+                tile_loops, _ = tile_loop_band(band, sizes)
+            except PassError:
+                tile_loops = band
+
+        try:
+            pipeline_loop(tile_loops[-1], self.ii)
+        except PassError:
+            pass
+
+
+@register_pass("dnn-loop-opt")
+class DNNLoopOptPass(FunctionPass):
+    """Loop + directive optimization of one lowered (loop-level) DNN stage.
+
+    Each lowered loop nest is first loop-order optimized (reduction loops are
+    permuted outwards so the pipelined loop carries no dependence), then the
+    innermost loops are unrolled towards the requested factor, and the
+    innermost remaining loop is pipelined.
+    """
+
+    OPTIONS = (PassOption("factor", type="int", default=1,
+                          help="unroll factor the loop nests are driven towards"),)
+
+    def __init__(self, factor: int = 1):
+        self.factor = factor
+
+    def run(self, func_op: Operation) -> None:
+        for outer in outermost_loops(func_op):
+            if outer.parent is None:
+                continue
+            band = perfect_loop_band(outer)
+            try:
+                band = optimize_loop_order(band)
+            except PassError:
+                pass
+            target = unroll_towards_factor(band[-1], self.factor)
+            if target is None:
+                continue
+            try:
+                pipeline_loop(target, 1)
+            except PassError:
+                continue
+
+
+def unroll_towards_factor(innermost: AffineForOp, factor: int) -> Optional[AffineForOp]:
+    """Unroll a loop nest bottom-up until roughly ``factor`` copies exist.
+
+    Fully unrolls inner loops while their trip count fits in the remaining
+    factor, then partially unrolls the next enclosing loop.  Returns the loop
+    that should be pipelined afterwards.
+    """
+    loop = innermost
+    remaining = max(1, factor)
+    while remaining > 1 and loop is not None:
+        trip = loop.trip_count()
+        if trip is None:
+            break
+        parent = loop.parent_op
+        parent_loop = parent if isinstance(parent, AffineForOp) else None
+        if trip <= remaining and parent_loop is not None:
+            fully_unroll(loop)
+            remaining = max(1, -(-remaining // max(1, trip)))
+            loop = parent_loop
+        else:
+            unroll_loop(loop, remaining)
+            remaining = 1
+    return loop
+
+
+def _outer_loop(func_op: Operation) -> Optional[AffineForOp]:
+    loops = outermost_loops(func_op)
+    return loops[0] if loops else None

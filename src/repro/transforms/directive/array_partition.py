@@ -25,7 +25,8 @@ from repro.dialects.affine_ops import (
 from repro.dialects.func import FuncOp
 from repro.dialects.hlscpp import is_pipelined
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_manager import FunctionPass, PassOption
+from repro.ir.pass_registry import register_pass
 from repro.ir.types import FunctionType, MemRefType, PartitionKind
 from repro.ir.value import BlockArgument, Value
 
@@ -71,10 +72,12 @@ def partition_arrays(func_op: Operation,
     return plans
 
 
+@register_pass("array-partition")
 class ArrayPartitionPass(FunctionPass):
     """Pass wrapper around :func:`partition_arrays`."""
 
-    name = "array-partition"
+    OPTIONS = (PassOption("max-factor", type="int", attr="max_factor", default=64,
+                          help="upper bound on any per-dimension partition factor"),)
 
     def __init__(self, part_factors: Optional[dict[str, Sequence[int]]] = None,
                  max_factor: int = 64):

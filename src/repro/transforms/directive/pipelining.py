@@ -19,7 +19,8 @@ from repro.dialects.hlscpp import (
     ensure_loop_directive,
 )
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 from repro.transforms.loop.loop_unroll import fully_unroll_nested
 
 
@@ -60,10 +61,12 @@ def pipeline_function(func_op: Operation, target_ii: int = 1) -> int:
     return unrolled
 
 
+@register_pass("loop-pipelining", aliases=("pipeline",))
 class LoopPipeliningPass(FunctionPass):
     """Pipeline every innermost loop of a function with a fixed target II."""
 
-    name = "loop-pipelining"
+    OPTIONS = (PassOption("ii", type="int", attr="target_ii", default=1,
+                          help="target initiation interval"),)
 
     def __init__(self, target_ii: int = 1):
         self.target_ii = target_ii
@@ -78,10 +81,16 @@ class LoopPipeliningPass(FunctionPass):
                 continue
 
 
+@register_pass("func-pipelining")
 class FuncPipeliningPass(FunctionPass):
     """Pipeline entire functions (Tab. II: ``-func-pipelining``)."""
 
-    name = "func-pipelining"
+    OPTIONS = (
+        PassOption("ii", type="int", attr="target_ii", default=1,
+                   help="target initiation interval"),
+        PassOption("only-named", type="str", attr="only_named", default=None,
+                   help="restrict to the function with this sym_name"),
+    )
 
     def __init__(self, target_ii: int = 1, only_named: Optional[str] = None):
         self.target_ii = target_ii

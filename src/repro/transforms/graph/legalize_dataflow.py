@@ -22,7 +22,8 @@ from typing import Optional
 from repro.dialects import graph as graph_dialect
 from repro.dialects.hlscpp import FuncDirective, ensure_func_directive, set_dataflow_stage
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 from repro.ir.value import OpResult
 
 
@@ -46,10 +47,12 @@ def legalize_dataflow(func_op: Operation, insert_copy: bool = False) -> int:
     return max(stages.values()) + 1 if stages else 0
 
 
+@register_pass("legalize-dataflow")
 class LegalizeDataflowPass(FunctionPass):
     """Pass wrapper around :func:`legalize_dataflow`."""
 
-    name = "legalize-dataflow"
+    OPTIONS = (PassOption("insert-copy", type="bool", attr="insert_copy", default=False,
+                          help="insert copy nodes along bypass paths (Fig. 4c)"),)
 
     def __init__(self, insert_copy: bool = False):
         self.insert_copy = insert_copy

@@ -23,6 +23,7 @@ from repro.ir.builder import Builder
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import ModulePass, PassError
+from repro.ir.pass_registry import register_pass
 from repro.ir.types import (
     FunctionType,
     IntegerType,
@@ -47,10 +48,9 @@ def lower_graph_to_loops(module: ModuleOp) -> int:
     return lowered
 
 
+@register_pass("lower-graph-to-loops")
 class LowerGraphPass(ModulePass):
     """Pass wrapper around :func:`lower_graph_to_loops`."""
-
-    name = "lower-graph-to-loops"
 
     def run(self, module: Operation) -> None:
         if isinstance(module, ModuleOp):

@@ -23,7 +23,8 @@ from repro.dialects.hlscpp import (
 )
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import ModulePass, PassError
+from repro.ir.pass_manager import ModulePass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 from repro.ir.types import FunctionType
 from repro.ir.value import OpResult, Value
 
@@ -98,10 +99,12 @@ def split_function(module: ModuleOp, func_op: Operation,
     return sub_functions
 
 
+@register_pass("split-function")
 class SplitFunctionPass(ModulePass):
     """Split every dataflow-legalized function of the module."""
 
-    name = "split-function"
+    OPTIONS = (PassOption("min-granularity", type="int", attr="min_granularity",
+                          default=1, help="graph nodes merged per dataflow stage"),)
 
     def __init__(self, min_granularity: int = 1):
         self.min_granularity = min_granularity

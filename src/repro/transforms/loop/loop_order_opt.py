@@ -26,7 +26,8 @@ from repro.dialects.affine_ops import (
     perfect_loop_band,
 )
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 
 
 def band_memory_accesses(band: Sequence[AffineForOp]) -> list[MemoryAccess]:
@@ -114,10 +115,12 @@ def optimize_loop_order(band: Sequence[AffineForOp],
     return permute_loop_band(band, perm_map)
 
 
+@register_pass("affine-loop-order-opt")
 class AffineLoopOrderOptPass(FunctionPass):
     """Optimize the loop order of every outermost perfect band of a function."""
 
-    name = "affine-loop-order-opt"
+    OPTIONS = (PassOption("perm", type="int-list", attr="perm_map", default=None,
+                          help="explicit permutation map; derived when omitted"),)
 
     def __init__(self, perm_map: Optional[Sequence[int]] = None):
         self.perm_map = list(perm_map) if perm_map is not None else None

@@ -15,7 +15,8 @@ from repro.affine.expr import dim as dim_expr
 from repro.affine.map import AffineMap
 from repro.dialects.affine_ops import AffineApplyOp, AffineForOp, perfect_loop_band
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 
 
 def tile_loop_band(band: Sequence[AffineForOp],
@@ -90,10 +91,16 @@ def tile_loop_band(band: Sequence[AffineForOp],
     return tile_loops, point_loops
 
 
+@register_pass("affine-loop-tile", aliases=("loop-tiling",))
 class AffineLoopTilePass(FunctionPass):
     """Tile every outermost perfect band of a function with fixed tile sizes."""
 
-    name = "affine-loop-tile"
+    OPTIONS = (
+        PassOption("sizes", type="int-list", attr="tile_sizes", default=None,
+                   help="per-loop tile sizes (padded with 1s)"),
+        PassOption("default-size", type="int", attr="default_size", default=2,
+                   help="tile size used when 'sizes' is omitted"),
+    )
 
     def __init__(self, tile_sizes: Optional[Sequence[int]] = None, default_size: int = 2):
         self.tile_sizes = list(tile_sizes) if tile_sizes is not None else None

@@ -18,7 +18,8 @@ from repro.affine.map import AffineMap
 from repro.dialects import arith
 from repro.dialects.affine_ops import AffineApplyOp, AffineForOp
 from repro.ir.operation import Operation
-from repro.ir.pass_manager import FunctionPass, PassError
+from repro.ir.pass_manager import FunctionPass, PassError, PassOption
+from repro.ir.pass_registry import register_pass
 from repro.ir.types import index
 
 
@@ -76,10 +77,12 @@ def fully_unroll_nested(root: Operation) -> int:
     return unrolled
 
 
+@register_pass("affine-loop-unroll", aliases=("loop-unroll",))
 class AffineLoopUnrollPass(FunctionPass):
     """Unroll innermost loops by a fixed factor (Tab. II: ``unroll-factor``)."""
 
-    name = "affine-loop-unroll"
+    OPTIONS = (PassOption("factor", type="int", attr="unroll_factor", default=4,
+                          help="unroll factor applied to every innermost loop"),)
 
     def __init__(self, unroll_factor: int = 4):
         self.unroll_factor = unroll_factor

@@ -15,6 +15,7 @@ from repro.affine.set import Constraint, IntegerSet
 from repro.dialects.affine_ops import AffineForOp, AffineIfOp
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
 
 
 def perfectize_band(outer: AffineForOp) -> bool:
@@ -31,10 +32,9 @@ def perfectize_band(outer: AffineForOp) -> bool:
     return changed
 
 
+@register_pass("affine-loop-perfectization")
 class AffineLoopPerfectizationPass(FunctionPass):
     """Perfectize every outermost loop nest of a function."""
-
-    name = "affine-loop-perfectization"
 
     def run(self, op: Operation) -> None:
         from repro.dialects.affine_ops import outermost_loops

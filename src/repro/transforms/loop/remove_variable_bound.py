@@ -18,6 +18,7 @@ from repro.affine.set import Constraint, IntegerSet
 from repro.dialects.affine_ops import AffineForOp, AffineIfOp
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
+from repro.ir.pass_registry import register_pass
 from repro.ir.value import BlockArgument, Value
 
 
@@ -34,10 +35,9 @@ def remove_variable_bounds(root: Operation) -> int:
     return changed
 
 
+@register_pass("remove-variable-bound")
 class RemoveVariableBoundPass(FunctionPass):
     """Pass wrapper around :func:`remove_variable_bounds`."""
-
-    name = "remove-variable-bound"
 
     def run(self, op: Operation) -> None:
         remove_variable_bounds(op)
