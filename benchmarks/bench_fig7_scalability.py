@@ -142,13 +142,15 @@ def print_runtime_report(measurement: dict) -> None:
 
 
 def measure_pass_timing(kernel: str, problem_size: int,
-                        rounds: int = 3) -> dict:
+                        rounds: int = 3, tiles: tuple = (4, 4, 8)) -> dict:
     """Per-pass wall-clock of one DSE evaluation, sweep vs. worklist driver.
 
     The same design point (a tiled, pipelined configuration that produces
     large unrolled blocks — the canonicalize/CSE hot path) is applied
     ``rounds`` times under each rewrite strategy; accumulated per-pass times
-    come from the PassManager instrumentation.
+    come from the PassManager instrumentation.  ``tiles`` sets the tile
+    sizes of the point; tiles equal to the problem size yield a *fully*
+    unrolled kernel, the block-size extreme of the paper's Fig. 7 space.
     """
     from repro.dse.apply import apply_design_point
     from repro.dse.space import KernelDesignPoint
@@ -156,7 +158,7 @@ def measure_pass_timing(kernel: str, problem_size: int,
     from repro.ir.rewrite import set_rewrite_strategy
 
     module = compile_kernel(kernel, problem_size)
-    point = KernelDesignPoint(True, True, (1, 2, 0), (4, 4, 8), 1)
+    point = KernelDesignPoint(True, True, (1, 2, 0), tuple(tiles), 1)
 
     def run_once(strategy, accumulated):
         previous = set_rewrite_strategy(strategy)
@@ -236,11 +238,16 @@ def main(argv=None) -> int:
                              "the sweep vs. worklist rewrite driver")
     parser.add_argument("--rounds", type=int, default=3,
                         help="evaluations per strategy in --pass-timing mode")
+    parser.add_argument("--tiles", default="4,4,8",
+                        help="tile sizes of the --pass-timing design point; "
+                             "tiles equal to --size fully unroll the kernel "
+                             "(e.g. --size 16 --tiles 16,16,16)")
     args = parser.parse_args(argv)
 
     if args.pass_timing:
+        tiles = tuple(int(v) for v in args.tiles.split(","))
         measurement = measure_pass_timing(args.kernel, args.size,
-                                          rounds=args.rounds)
+                                          rounds=args.rounds, tiles=tiles)
         print_pass_timing_report(measurement)
         sweep = sum(measurement["sweep"].get(n, 0.0) for n in _DRIVER_PASSES)
         worklist = sum(measurement["worklist"].get(n, 0.0)

@@ -1,0 +1,247 @@
+"""Micro-benchmark of the IR hot paths the intrusive op list optimizes.
+
+The DSE evaluates thousands of design points, and unroll-heavy points
+produce blocks with thousands of straight-line operations; every block
+mutation and ordering query inside that loop is a hot path.  This benchmark
+measures the scaling of those primitives on the intrusive doubly-linked
+Block representation:
+
+* ``append``        — N appends building a block,
+* ``mid_insert``    — N ``insert_before`` at a fixed mid-block anchor,
+* ``mid_remove``    — N ``remove`` calls at the middle of the block,
+* ``splice``        — one ``insert_all_after`` of N ops,
+* ``ordering``      — N ``is_before_in_block`` queries on random pairs,
+* ``move``          — N ``move_before``/``move_after`` hops,
+
+and, as the asymptotic baseline, ``list_mid_insert`` — the same mid-block
+insertion against a plain Python list (the seed representation): O(n) per
+insert, visibly quadratic at these sizes.
+
+Usage::
+
+    python benchmarks/bench_ir_hotpaths.py                # full curve
+    python benchmarks/bench_ir_hotpaths.py --smoke        # CI gate (~seconds)
+    python benchmarks/bench_ir_hotpaths.py --json out.json
+
+``--smoke`` exits non-zero when any linked-list scenario scales worse than
+near-linear (per-op cost growing more than ``--max-growth`` across an 8x
+size sweep — a quadratic regression would grow ~8x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+
+FULL_SIZES = (1000, 2000, 4000, 8000, 16000)
+SMOKE_SIZES = (500, 1000, 2000, 4000)
+
+
+def _ops(count: int) -> list[Operation]:
+    return [Operation("bench.op") for _ in range(count)]
+
+
+def _filled_block(count: int) -> Block:
+    block = Block()
+    for op in _ops(count):
+        block.append(op)
+    return block
+
+
+# -- scenarios (each returns elapsed seconds for `size` primitive calls) ------------------
+
+
+def scenario_append(size: int) -> float:
+    ops = _ops(size)
+    block = Block()
+    started = time.perf_counter()
+    for op in ops:
+        block.append(op)
+    return time.perf_counter() - started
+
+
+def scenario_mid_insert(size: int) -> float:
+    block = _filled_block(size)
+    anchor = block.operations[size // 2]
+    ops = _ops(size)
+    started = time.perf_counter()
+    for op in ops:
+        block.insert_before(anchor, op)
+    return time.perf_counter() - started
+
+
+def scenario_mid_remove(size: int) -> float:
+    block = _filled_block(2 * size)
+    # Collect the middle ops first so the timed loop is pure `remove`.
+    middle = list(block.operations)[size // 2: size // 2 + size]
+    started = time.perf_counter()
+    for op in middle:
+        block.remove(op)
+    return time.perf_counter() - started
+
+
+def scenario_splice(size: int) -> float:
+    block = _filled_block(size)
+    anchor = block.operations[size // 2]
+    ops = _ops(size)
+    started = time.perf_counter()
+    block.insert_all_after(anchor, ops)
+    return time.perf_counter() - started
+
+
+def scenario_ordering(size: int) -> float:
+    block = _filled_block(size)
+    ops = list(block.operations)
+    rng = random.Random(2022)
+    pairs = [(ops[rng.randrange(size)], ops[rng.randrange(size)])
+             for _ in range(size)]
+    started = time.perf_counter()
+    for a, b in pairs:
+        a.is_before_in_block(b)
+    return time.perf_counter() - started
+
+
+def scenario_move(size: int) -> float:
+    block = _filled_block(size)
+    ops = list(block.operations)
+    first, last = ops[0], ops[-1]
+    rng = random.Random(7)
+    movers = [ops[rng.randrange(1, size - 1)] for _ in range(size)]
+    started = time.perf_counter()
+    for i, op in enumerate(movers):
+        if i % 2:
+            op.move_before(last)
+        else:
+            op.move_after(first)
+    return time.perf_counter() - started
+
+
+def scenario_list_mid_insert(size: int) -> float:
+    """The seed representation's mid-block insert: a plain list splice."""
+    data = list(range(size))
+    started = time.perf_counter()
+    for i in range(size):
+        data.insert(size // 2, i)
+    return time.perf_counter() - started
+
+
+SCENARIOS = {
+    "append": scenario_append,
+    "mid_insert": scenario_mid_insert,
+    "mid_remove": scenario_mid_remove,
+    "splice": scenario_splice,
+    "ordering": scenario_ordering,
+    "move": scenario_move,
+    "list_mid_insert": scenario_list_mid_insert,
+}
+
+#: Scenarios gated on near-linear scaling (the baseline is *expected* to be
+#: quadratic, so it is excluded).
+GATED = ("append", "mid_insert", "mid_remove", "splice", "ordering", "move")
+
+
+def measure(sizes, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` seconds for every (scenario, size) pair."""
+    results = {name: {} for name in SCENARIOS}
+    for name, scenario in SCENARIOS.items():
+        for size in sizes:
+            best = min(scenario(size) for _ in range(repeats))
+            results[name][size] = best
+    return results
+
+
+def per_op_ns(results: dict, name: str, size: int) -> float:
+    return results[name][size] / size * 1e9
+
+
+def growth_factor(results: dict, name: str, sizes) -> float:
+    """Per-op cost growth from the smallest to the largest size."""
+    lo, hi = sizes[0], sizes[-1]
+    base = per_op_ns(results, name, lo)
+    return per_op_ns(results, name, hi) / max(base, 1e-9)
+
+
+def print_report(results: dict, sizes) -> None:
+    header = f"{'scenario':<18}" + "".join(f"{size:>12}" for size in sizes) \
+        + f"{'growth':>9}"
+    print("=" * len(header))
+    print("IR hot-path scaling (per-op ns; growth = per-op cost largest/smallest)")
+    print("=" * len(header))
+    print(header)
+    for name in SCENARIOS:
+        row = f"{name:<18}"
+        for size in sizes:
+            row += f"{per_op_ns(results, name, size):>12.0f}"
+        row += f"{growth_factor(results, name, sizes):>8.1f}x"
+        print(row)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scaling micro-benchmark of the intrusive Block op list")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes + regression gate for CI")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        help="override the benchmark sizes")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per measurement (best-of)")
+    parser.add_argument("--max-growth", type=float, default=5.0,
+                        help="per-op cost growth allowed across the size "
+                             "sweep before the smoke gate fails (linear ~1x, "
+                             "quadratic ~= the size ratio)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the raw measurements as JSON")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes \
+        else (SMOKE_SIZES if args.smoke else FULL_SIZES)
+    results = measure(sizes, repeats=args.repeats)
+    print_report(results, sizes)
+
+    if args.json:
+        payload = {
+            "sizes": list(sizes),
+            "seconds": {name: {str(size): results[name][size] for size in sizes}
+                        for name in SCENARIOS},
+            "per_op_ns": {name: {str(size): per_op_ns(results, name, size)
+                                 for size in sizes} for name in SCENARIOS},
+            "growth": {name: growth_factor(results, name, sizes)
+                       for name in SCENARIOS},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        # Self-calibrate against the quadratic plain-list baseline measured
+        # on the same machine: on a noisy CI runner both inflate together,
+        # so the relative bound keeps the gate from flaking while still
+        # catching a primitive that regressed to baseline-like scaling.
+        baseline_growth = growth_factor(results, "list_mid_insert", sizes)
+        limit = max(args.max_growth, 0.6 * baseline_growth)
+        failures = []
+        for name in GATED:
+            growth = growth_factor(results, name, sizes)
+            if growth > limit:
+                failures.append(f"{name}: per-op cost grew {growth:.1f}x over "
+                                f"a {sizes[-1] // sizes[0]}x size sweep "
+                                f"(limit {limit:.1f}x; quadratic baseline "
+                                f"grew {baseline_growth:.1f}x)")
+        if failures:
+            print("hot-path scaling regression:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"smoke gate passed: all gated scenarios scale near-linearly "
+              f"(growth <= {limit:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,12 +11,32 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class InsertionPoint:
-    """A position inside a block where new operations are inserted."""
+    """A position inside a block where new operations are inserted.
 
-    def __init__(self, block: "Block", index: Optional[int] = None):
+    The position is anchored on an operation — "immediately before
+    ``anchor``" (``None`` anchors at the end of the block), "directly after"
+    for :meth:`after`, or "the start of the block" for :meth:`at_start` —
+    which makes creating and using an insertion point O(1): no positional
+    index is ever computed.  Consecutive inserts keep their creation order,
+    exactly like the old index-advancing behavior.
+
+    Anchored points resolve their block at insert time, so they stay valid
+    when the anchor operation is moved to another block in between.
+    """
+
+    def __init__(self, block: Optional["Block"], anchor: "Optional[Operation]" = None,
+                 at_start: bool = False, after: "Optional[Operation]" = None):
         self.block = block
-        #: None means "at the end of the block".
-        self.index = index
+        #: Insert before this operation; None means "at the end of block".
+        self.anchor = anchor
+        #: True while the point means "the start of the block": the anchor is
+        #: resolved to the block's first op at first insert, so ops appended
+        #: or prepended between creation and use cannot displace it.
+        self._at_start = at_start
+        #: "Directly after this op" mode: advances to each inserted op so
+        #: consecutive inserts keep their order, and ops appended behind the
+        #: anchor by other code cannot displace the point.
+        self._after = after
 
     @staticmethod
     def at_end(block: "Block") -> "InsertionPoint":
@@ -24,22 +44,42 @@ class InsertionPoint:
 
     @staticmethod
     def at_start(block: "Block") -> "InsertionPoint":
-        return InsertionPoint(block, 0)
+        return InsertionPoint(block, None, at_start=True)
 
     @staticmethod
     def before(op: "Operation") -> "InsertionPoint":
-        return InsertionPoint(op.parent, op.parent.index_of(op))
+        return InsertionPoint(op.parent, op)
 
     @staticmethod
     def after(op: "Operation") -> "InsertionPoint":
-        return InsertionPoint(op.parent, op.parent.index_of(op) + 1)
+        return InsertionPoint(op.parent, after=op)
 
     def insert(self, op: "Operation") -> "Operation":
-        if self.index is None:
+        if self._after is not None:
+            block = self._after.parent
+            if block is None:
+                raise ValueError("insertion anchor is no longer in a block")
+            self.block = block
+            inserted = block.insert_after(self._after, op)
+            self._after = inserted
+            return inserted
+        if self._at_start:
+            self.anchor = self.block.first_op
+            self._at_start = False
+            if self.anchor is None:
+                # First insert into an empty block: append, then keep
+                # tracking the front by advancing behind what we inserted
+                # (old index semantics), not by degrading to "at end".
+                inserted = self.block.append(op)
+                self._after = inserted
+                return inserted
+        if self.anchor is None:
             return self.block.append(op)
-        inserted = self.block.insert(self.index, op)
-        self.index += 1
-        return inserted
+        block = self.anchor.parent
+        if block is None:
+            raise ValueError("insertion anchor is no longer in a block")
+        self.block = block
+        return block.insert_before(self.anchor, op)
 
 
 class Builder:

@@ -51,6 +51,13 @@ class Operation:
         self.name = name
         self.attributes: dict[str, Any] = dict(attributes or {})
         self.parent: Optional["Block"] = None
+        #: Intrusive block-list links and order key, owned by the parent
+        #: Block (see repro.ir.block): _prev/_next chain the ops of a block
+        #: and _order is a monotone key making "is A before B" an O(1)
+        #: integer comparison.
+        self._prev: Optional["Operation"] = None
+        self._next: Optional["Operation"] = None
+        self._order = 0
         self._operands: list[Value] = []
         self.results: list[OpResult] = []
         self.regions: list[Region] = []
@@ -188,7 +195,18 @@ class Operation:
     def is_before_in_block(self, other: "Operation") -> bool:
         if self.parent is None or self.parent is not other.parent:
             raise ValueError("operations are not in the same block")
-        return self.parent.index_of(self) < self.parent.index_of(other)
+        self.parent.ensure_order()
+        return self._order < other._order
+
+    @property
+    def prev_op(self) -> Optional["Operation"]:
+        """The operation immediately before this one in its block (O(1))."""
+        return self._prev
+
+    @property
+    def next_op(self) -> Optional["Operation"]:
+        """The operation immediately after this one in its block (O(1))."""
+        return self._next
 
     # -- movement and deletion --------------------------------------------------------------
 
@@ -302,6 +320,27 @@ class Operation:
 
     def has_attr(self, key: str) -> bool:
         return key in self.attributes
+
+    # -- pickling ----------------------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Strip the intrusive links: pickling would otherwise recurse one
+        # stack frame per _next hop (O(block length) deep).  The parent Block
+        # persists its op order and relinks on load (Block.__setstate__).
+        state = self.__dict__.copy()
+        for key in ("_prev", "_next", "_order"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # In cyclic graphs pickle may apply the parent Block's state (which
+        # relinks this op) before this op's own state — only default the
+        # links when the block has not installed them yet.
+        if "_prev" not in self.__dict__:
+            self._prev = None
+            self._next = None
+            self._order = 0
 
     # -- misc ---------------------------------------------------------------------------------------
 

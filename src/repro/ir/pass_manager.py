@@ -266,6 +266,59 @@ def format_timing_report(timings: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
+# -- IR snapshot dumps --------------------------------------------------------------------
+
+
+class IRDumper:
+    """Writes numbered IR snapshots after selected passes.
+
+    ``pass_names`` holds canonical registry pass names (resolve aliases with
+    :func:`repro.ir.pass_registry.pass_aliases` before constructing); an
+    empty set dumps after *every* pass.  Snapshots are written to
+    ``directory`` as ``NNNN-<pass-name>.mlir`` in execution order, dumping
+    the whole run root so nested/anchored pipelines produce module-level
+    snapshots (the MLIR ``--mlir-print-ir-after`` behavior the driver's
+    ``--dump-ir-after`` mirrors).
+    """
+
+    def __init__(self, directory: str, pass_names: Sequence[str] = ()):
+        self.directory = directory
+        self.pass_names = frozenset(pass_names)
+        self.counter = 0
+        #: Paths written, in order.
+        self.paths: list[str] = []
+
+    def after_pass(self, pass_: Pass, root: "Operation") -> None:
+        name = pass_.name or type(pass_).__name__
+        if self.pass_names and name not in self.pass_names:
+            return
+        from repro.ir.printer import print_op
+
+        os.makedirs(self.directory, exist_ok=True)
+        self.counter += 1
+        slug = name.replace("/", "-")
+        path = os.path.join(self.directory, f"{self.counter:04d}-{slug}.mlir")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(print_op(root))
+            handle.write("\n")
+        self.paths.append(path)
+
+
+#: Dumpers currently receiving snapshots from every PassManager run.
+_ACTIVE_DUMPERS: list[IRDumper] = []
+
+
+@contextlib.contextmanager
+def dump_ir_after(directory: str, pass_names: Sequence[str] = ()):
+    """Dump IR snapshots after matching passes executed inside the block."""
+    dumper = IRDumper(directory, pass_names)
+    _ACTIVE_DUMPERS.append(dumper)
+    try:
+        yield dumper
+    finally:
+        _ACTIVE_DUMPERS.remove(dumper)
+
+
 # -- pipelines ---------------------------------------------------------------------------
 
 
@@ -360,6 +413,10 @@ class PassManager:
             pass_.run_on_module(op)
         elapsed = time.perf_counter() - started
         self._record(pass_.display_name, elapsed)
+        if _ACTIVE_DUMPERS:
+            root = self._run_root if self._run_root is not None else op
+            for dumper in _ACTIVE_DUMPERS:
+                dumper.after_pass(pass_, root)
         if self.verify_each:
             self._verify_after(pass_, self._run_root if self._run_root is not None
                                else op)

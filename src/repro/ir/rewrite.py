@@ -21,6 +21,7 @@ always had.
 
 from __future__ import annotations
 
+import contextlib
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.ir.builder import Builder, InsertionPoint
@@ -51,26 +52,56 @@ def get_rewrite_strategy() -> str:
     return _DEFAULT_STRATEGY
 
 
-class _LazyBefore(InsertionPoint):
-    """An insertion point before ``anchor`` whose index resolves on first use.
+# -- pattern-level instrumentation ---------------------------------------------------------
 
-    The driver points the rewriter before every op it visits; resolving the
-    block index eagerly would cost a linear ``index_of`` scan per visited op
-    (quadratic on the huge straight-line blocks full unrolling produces), so
-    the scan is deferred until a pattern actually inserts something.
+
+class PatternStatsCollector:
+    """Accumulates per-pattern hit/miss counts across driver runs in its scope.
+
+    A *hit* is one successful ``match_and_rewrite`` application (or, for
+    :class:`BlockScanPattern`, one applied rewrite); a *miss* is one attempt
+    that matched nothing.  The driver reports into every active collector at
+    the end of each ``rewrite()`` — the CLI's ``--print-pass-timing`` wraps
+    whole flows in one collector to print a pattern table next to the pass
+    timing table.
     """
 
-    def __init__(self, anchor: "Operation"):
-        self._anchor = anchor
-        self._resolved = False
-        super().__init__(anchor.parent, None)
+    def __init__(self):
+        #: Pattern class name -> [hits, misses].
+        self.stats: dict[str, list[int]] = {}
 
-    def insert(self, op: "Operation") -> "Operation":
-        if not self._resolved:
-            self.block = self._anchor.parent
-            self.index = self.block.index_of(self._anchor)
-            self._resolved = True
-        return super().insert(op)
+    def add(self, pattern_name: str, hits: int, misses: int) -> None:
+        entry = self.stats.setdefault(pattern_name, [0, 0])
+        entry[0] += hits
+        entry[1] += misses
+
+    def total_hits(self) -> int:
+        return sum(hits for hits, _ in self.stats.values())
+
+    def report(self) -> str:
+        lines = ["===-- Rewrite pattern statistics --==="]
+        lines.append(f"  {'hits':>8}  {'misses':>8}  pattern")
+        for name in sorted(self.stats, key=lambda n: (-self.stats[n][0], n)):
+            hits, misses = self.stats[name]
+            lines.append(f"  {hits:>8}  {misses:>8}  {name}")
+        lines.append(f"  {self.total_hits():>8}  "
+                     f"{sum(m for _, m in self.stats.values()):>8}  Total")
+        return "\n".join(lines)
+
+
+#: Collectors currently receiving stats from every GreedyRewriteDriver run.
+_ACTIVE_STATS_COLLECTORS: list[PatternStatsCollector] = []
+
+
+@contextlib.contextmanager
+def collect_pattern_stats():
+    """Collect hit/miss counts of every pattern applied inside the block."""
+    collector = PatternStatsCollector()
+    _ACTIVE_STATS_COLLECTORS.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE_STATS_COLLECTORS.remove(collector)
 
 
 class PatternRewriter(Builder):
@@ -217,6 +248,10 @@ class GreedyRewriteDriver:
         self.max_iterations = max_iterations
         self.strategy = strategy or _DEFAULT_STRATEGY
         self.num_block_rewrites = 0
+        #: Pattern class name -> [hits, misses] accumulated over rewrite() calls.
+        self.pattern_stats: dict[str, list[int]] = {}
+        self._run_stats: dict[str, list[int]] = {}
+        self._stats_entries: dict[int, list[int]] = {}
         self._worklist: list[Operation] = []
         self._pending: set[int] = set()
         self._root: Optional[Operation] = None
@@ -256,6 +291,12 @@ class GreedyRewriteDriver:
         beyond the iteration budget).
         """
         self._root = root
+        self._run_stats = {}
+        # Per-instance stat entries resolved once (id lookup in the hot loop
+        # instead of type().__name__ hashing per attempt).
+        self._stats_entries = {
+            id(pattern): self._run_stats.setdefault(type(pattern).__name__, [0, 0])
+            for pattern in (*self.op_patterns, *self.block_patterns)}
         changed = False
         for pattern in self.block_patterns:
             changed |= self._run_block_scans(root, pattern)
@@ -264,7 +305,16 @@ class GreedyRewriteDriver:
                 changed |= self._run_sweeps(root)
             else:
                 changed |= self._run_worklist(root)
+        for name, (hits, misses) in self._run_stats.items():
+            entry = self.pattern_stats.setdefault(name, [0, 0])
+            entry[0] += hits
+            entry[1] += misses
+            for collector in _ACTIVE_STATS_COLLECTORS:
+                collector.add(name, hits, misses)
         return changed
+
+    def _count(self, pattern, matched: bool) -> None:
+        self._stats_entries[id(pattern)][0 if matched else 1] += 1
 
     def _matching_patterns(self, op: "Operation") -> list[RewritePattern]:
         patterns = self._pattern_cache.get(op.name)
@@ -305,10 +355,11 @@ class GreedyRewriteDriver:
             patterns = self._matching_patterns(op)
             if not patterns:
                 continue
-            rewriter.insertion_point = _LazyBefore(op)
+            rewriter.insertion_point = InsertionPoint.before(op)
             for pattern in patterns:
                 rewriter.changed = False
                 if pattern.match_and_rewrite(op, rewriter) or rewriter.changed:
+                    self._count(pattern, True)
                     rewrites += 1
                     changed = True
                     if rewrites > budget:
@@ -321,6 +372,7 @@ class GreedyRewriteDriver:
                     if op.parent is not None and not rewriter.was_erased(op):
                         self.enqueue(op)
                     break
+                self._count(pattern, False)
                 if rewriter.was_erased(op):
                     break
         return changed
@@ -348,10 +400,12 @@ class GreedyRewriteDriver:
             if op.parent is None:
                 continue
             for pattern in self._matching_patterns(op):
-                rewriter.insertion_point = _LazyBefore(op)
+                rewriter.insertion_point = InsertionPoint.before(op)
                 if pattern.match_and_rewrite(op, rewriter):
+                    self._count(pattern, True)
                     rewriter.notify_changed()
                     break
+                self._count(pattern, False)
                 if rewriter.was_erased(op):
                     break
 
@@ -360,10 +414,14 @@ class GreedyRewriteDriver:
     def _run_block_scans(self, root: "Operation", pattern: BlockScanPattern) -> bool:
         rewriter = PatternRewriter(driver=None)
         total = 0
+        # Hits are applied rewrites; misses are scanned blocks yielding none.
+        entry = self._run_stats.setdefault(type(pattern).__name__, [0, 0])
         for op in list(root.walk()):
             for region in op.regions:
                 for block in region.blocks:
-                    total += pattern.scan_block(block, rewriter)
+                    applied = pattern.scan_block(block, rewriter)
+                    total += applied
+                    entry[0 if applied else 1] += applied or 1
         self.num_block_rewrites += total
         return total > 0
 

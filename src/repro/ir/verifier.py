@@ -41,20 +41,27 @@ def _verify_op(op: "Operation", available: set, require_terminators: bool) -> No
         for block in region.blocks:
             block_available = set(available)
             block_available.update(block.arguments)
+            block.ensure_order()
+            previous = None
             for inner in block.operations:
                 if inner.parent is not block:
                     raise VerificationError(
                         f"operation {inner.name} has a stale parent pointer")
+                if previous is not None and previous._order >= inner._order:
+                    raise VerificationError(
+                        f"operation {inner.name} has a non-increasing block "
+                        f"order key (broken intrusive list invariant)")
+                previous = inner
                 _verify_op(inner, block_available, require_terminators)
                 block_available.update(inner.results)
-            if require_terminators and block.operations:
-                last = block.operations[-1]
-                for inner in block.operations[:-1]:
-                    if inner.is_terminator():
+            if require_terminators:
+                # The last op may or may not be a terminator depending on
+                # dialect, but a terminator anywhere else is always invalid.
+                for inner in block.operations:
+                    if inner.is_terminator() and inner is not block.last_op:
                         raise VerificationError(
                             f"terminator {inner.name} is not the last operation "
                             f"of its block (inside {op.name})")
-                del last  # the last op may or may not be a terminator depending on dialect
 
 
 def _check_dominance(op: "Operation", operand, index: int) -> None:

@@ -39,6 +39,7 @@ Run ``python -m repro.tools.driver <command> --help`` for the options.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import Optional, Sequence
@@ -50,7 +51,8 @@ from repro.emit import emit_hlscpp
 from repro.estimation import PLATFORMS, XC7Z020
 from repro.estimation.platform import Platform
 from repro.ir import print_op, verify
-from repro.ir.pass_manager import PassError, collect_pass_timings
+from repro.ir.pass_manager import PassError, collect_pass_timings, dump_ir_after
+from repro.ir.rewrite import collect_pattern_stats
 from repro.kernels import KERNEL_NAMES
 from repro.pipeline import compile_c, compile_dnn, compile_kernel, dnn_baseline
 
@@ -95,9 +97,31 @@ def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", type=int, default=256,
                         help="problem size of the bundled kernel (default 256)")
     parser.add_argument("--platform", default="xc7z020", help="target platform name")
+    _add_instrumentation_arguments(parser)
+
+
+def _add_instrumentation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--print-pass-timing", action="store_true",
                         help="print an MLIR -pass-timing style report of every "
-                             "pass the flow executed")
+                             "pass the flow executed, plus per-RewritePattern "
+                             "hit/miss statistics")
+    parser.add_argument("--dump-ir-after", metavar="PASS", action="append",
+                        default=[],
+                        help="write a numbered IR snapshot after every "
+                             "execution of the named registry pass (repeat "
+                             "for several passes; 'all' dumps after every "
+                             "pass)")
+    parser.add_argument("--dump-ir-dir", metavar="DIR", default="ir-dumps",
+                        help="directory receiving --dump-ir-after snapshots "
+                             "(default: ir-dumps)")
+
+
+def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pipeline", metavar="SPEC",
+        help="textual pass pipeline run after parsing, replacing the default "
+             "'func.func(raise-scf-to-affine,canonicalize)' "
+             "(e.g. 'func.func(raise-scf-to-affine,canonicalize,cse)')")
 
 
 def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
@@ -115,14 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_parser = commands.add_parser("compile", help="parse C and print affine-level IR")
     _add_kernel_arguments(compile_parser)
-    compile_parser.add_argument(
-        "--pipeline", metavar="SPEC",
-        help="textual pass pipeline run after parsing, replacing the default "
-             "'func.func(raise-scf-to-affine,canonicalize)' "
-             "(e.g. 'func.func(raise-scf-to-affine,canonicalize,cse)')")
+    _add_pipeline_argument(compile_parser)
 
     estimate_parser = commands.add_parser("estimate", help="estimate latency and resources")
     _add_kernel_arguments(estimate_parser)
+    _add_pipeline_argument(estimate_parser)
     _add_point_arguments(estimate_parser)
 
     dse_parser = commands.add_parser("dse", help="run the automated DSE engine")
@@ -149,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
     _add_kernel_arguments(emit_parser)
+    _add_pipeline_argument(emit_parser)
     _add_point_arguments(emit_parser)
     emit_parser.add_argument("--dse", action="store_true",
                              help="pick the design point with the DSE engine")
@@ -159,9 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     dnn_parser.add_argument("--graph-level", type=int, default=4)
     dnn_parser.add_argument("--loop-level", type=int, default=3)
     dnn_parser.add_argument("--platform", default="vu9p-slr")
-    dnn_parser.add_argument("--print-pass-timing", action="store_true",
-                            help="print an MLIR -pass-timing style report of "
-                                 "every pass the flow executed")
+    _add_instrumentation_arguments(dnn_parser)
 
     list_parser = commands.add_parser(
         "list-passes",
@@ -350,15 +370,53 @@ _COMMANDS = {
 }
 
 
+def _resolve_dump_passes(names: Sequence[str]) -> list[str]:
+    """Resolve ``--dump-ir-after`` names to canonical registry pass names.
+
+    ``all`` (alone or among other names) selects every pass.  Unknown names
+    fail fast with the registry's actionable error instead of silently
+    producing no snapshots.
+    """
+    from repro.ir.pass_registry import get_pass_class, pass_aliases
+
+    if any(name == "all" for name in names):
+        return []
+    aliases = pass_aliases()
+    resolved = []
+    for name in names:
+        get_pass_class(name)  # raises PassError for unknown names
+        resolved.append(aliases.get(name, name))
+    return resolved
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
-    if getattr(args, "print_pass_timing", False):
-        with collect_pass_timings() as collector:
-            status = handler(args)
+    dump_passes = getattr(args, "dump_ir_after", None)
+    timing = getattr(args, "print_pass_timing", False)
+    if not dump_passes and not timing:
+        return handler(args)
+
+    with contextlib.ExitStack() as stack:
+        if timing:
+            collector = stack.enter_context(collect_pass_timings())
+            stats = stack.enter_context(collect_pattern_stats())
+        if dump_passes:
+            try:
+                resolved = _resolve_dump_passes(dump_passes)
+            except PassError as error:
+                raise SystemExit(str(error)) from error
+            dumper = stack.enter_context(
+                dump_ir_after(args.dump_ir_dir, resolved))
+        status = handler(args)
+    if timing:
         print(collector.report())
-        return status
-    return handler(args)
+        if stats.stats:
+            print(stats.report())
+    if dump_passes:
+        print(f"wrote {dumper.counter} IR snapshot(s) to {args.dump_ir_dir}",
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

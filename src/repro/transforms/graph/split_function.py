@@ -49,8 +49,8 @@ def split_function(module: ModuleOp, func_op: Operation,
         group_index = get_dataflow_stage(node) // min_granularity
         groups.setdefault(group_index, []).append(node)
 
-    return_op = func_op.region(0).front.operations[-1]
-    if return_op.name != "func.return":
+    return_op = func_op.region(0).front.last_op
+    if return_op is None or return_op.name != "func.return":
         raise PassError("the top function must end with func.return")
 
     # Values available in the rewritten top function: arguments map to themselves.

@@ -113,8 +113,7 @@ def _fully_unroll(loop: AffineForOp) -> list[Operation]:
             if body_op.name == "affine.yield":
                 continue
             new_ops.append(body_op.clone(value_map))
-    position = block.index_of(loop)
-    block.insert_all(position + 1, new_ops)
+    block.insert_all_after(loop, new_ops)
     loop.erase()
     return new_ops
 

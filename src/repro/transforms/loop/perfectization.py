@@ -93,16 +93,23 @@ def _sink_group(ops, inner: AffineForOp, at_start: bool) -> bool:
     iv = inner.induction_variable
     if at_start:
         boundary = inner.constant_lower_bound
-        insert_index = 0
+        # Sunk ops land before the current first op of the body (None when
+        # the body is empty, in which case "before the end" is the start).
+        successor = inner.body.first_op
     else:
         trip = inner.trip_count()
         boundary = inner.constant_lower_bound + (trip - 1) * inner.step
-        insert_index = len(inner.body.operations)
+        successor = None  # append at the end of the body
 
     guard_set = IntegerSet(1, 0, [Constraint(dim_expr(0) - boundary, True)])
     guard: AffineIfOp | None = None
 
-    position = insert_index
+    def place(op: Operation) -> None:
+        if successor is None:
+            inner.body.append(op)
+        else:
+            inner.body.insert_before(successor, op)
+
     for op in ops:
         op.detach()
         if op.name in ("affine.store", "memref.store", "memref.copy"):
@@ -110,11 +117,9 @@ def _sink_group(ops, inner: AffineForOp, at_start: bool) -> bool:
                 # A fresh guard per run of stores keeps the original ordering
                 # between stores and the operations around them.
                 guard = AffineIfOp(guard_set, [iv])
-                inner.body.insert(position, guard)
-                position += 1
+                place(guard)
             guard.then_block.append(op)
         else:
-            inner.body.insert(position, op)
-            position += 1
+            place(op)
             guard = None
     return True

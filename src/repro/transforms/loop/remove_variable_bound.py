@@ -116,7 +116,7 @@ def _remove_for_loop(loop: AffineForOp) -> bool:
         break
     guard = AffineIfOp(guard_set, [*all_operands, loop.induction_variable])
     body_ops = [op for op in target.body.operations if op.name != "affine.yield"]
-    target.body.insert(0, guard)
+    target.body.prepend(guard)
     for op in body_ops:
         op.detach()
         guard.then_block.append(op)

@@ -114,3 +114,66 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "speedup" in output
         assert "dsp" in output
+
+
+class TestPipelineFlags:
+    def test_estimate_accepts_pipeline(self, capsys):
+        assert main(["estimate", "--kernel", "gemm", "--size", "8",
+                     "--pipeline",
+                     "func.func(raise-scf-to-affine,canonicalize,cse)"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_emit_accepts_pipeline(self, tmp_path, capsys):
+        target = tmp_path / "kernel.cpp"
+        assert main(["emit", "--kernel", "gemm", "--size", "8",
+                     "--pipeline", "func.func(raise-scf-to-affine,canonicalize)",
+                     "--perfectize", "--tiles", "1,1,2", "-o", str(target)]) == 0
+        assert "void gemm(" in target.read_text()
+
+    def test_estimate_rejects_bad_pipeline(self):
+        with pytest.raises(Exception):
+            main(["estimate", "--kernel", "gemm", "--size", "8",
+                  "--pipeline", "func.func(not-a-pass)"])
+
+
+class TestInstrumentationFlags:
+    def test_print_pass_timing_includes_pattern_stats(self, capsys):
+        assert main(["compile", "--kernel", "gemm", "--size", "8",
+                     "--print-pass-timing"]) == 0
+        output = capsys.readouterr().out
+        assert "Pass execution timing report" in output
+        assert "Rewrite pattern statistics" in output
+        assert "hits" in output
+
+    def test_dump_ir_after_writes_numbered_snapshots(self, tmp_path, capsys):
+        dump_dir = tmp_path / "dumps"
+        assert main(["compile", "--kernel", "gemm", "--size", "8",
+                     "--dump-ir-after", "canonicalize",
+                     "--dump-ir-dir", str(dump_dir)]) == 0
+        snapshots = sorted(p.name for p in dump_dir.iterdir())
+        assert snapshots == ["0001-canonicalize.mlir"]
+        assert "affine.for" in (dump_dir / snapshots[0]).read_text()
+
+    def test_dump_ir_after_all(self, tmp_path):
+        dump_dir = tmp_path / "dumps"
+        assert main(["compile", "--kernel", "gemm", "--size", "8",
+                     "--dump-ir-after", "all",
+                     "--dump-ir-dir", str(dump_dir)]) == 0
+        snapshots = sorted(p.name for p in dump_dir.iterdir())
+        assert len(snapshots) >= 2  # raise-scf-to-affine + canonicalize
+        assert snapshots[0].startswith("0001-")
+
+    def test_dump_ir_after_resolves_aliases(self, tmp_path):
+        dump_dir = tmp_path / "dumps"
+        # 'loop-unroll' is an alias of 'affine-loop-unroll'; resolution must
+        # succeed even though the pass does not run in the compile flow.
+        assert main(["compile", "--kernel", "gemm", "--size", "8",
+                     "--dump-ir-after", "loop-unroll",
+                     "--dump-ir-dir", str(dump_dir)]) == 0
+        assert not dump_dir.exists()  # nothing dumped, nothing created
+
+    def test_dump_ir_after_unknown_pass_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown pass"):
+            main(["compile", "--kernel", "gemm", "--size", "8",
+                  "--dump-ir-after", "not-a-pass",
+                  "--dump-ir-dir", str(tmp_path / "dumps")])

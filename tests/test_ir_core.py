@@ -298,7 +298,8 @@ class TestVerifier:
         module = ModuleOp("m")
         f = func.build_function(module, "f", [])
         orphan = arith.ConstantOp(1.0, f32)
-        f.body.operations.append(orphan)  # bypass Block.append on purpose
+        f.body.append(orphan)
+        orphan.parent = Block()  # corrupt the link on purpose
         with pytest.raises(VerificationError):
             verify(module)
 

@@ -123,6 +123,56 @@ class TestRewriteDriver:
             rewriter.replace_op(add, [])
 
 
+class TestPatternStats:
+    class _FoldAdd(RewritePattern):
+        op_name = "arith.addf"
+
+        def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+            lhs = arith.constant_value(op.operand(0))
+            rhs = arith.constant_value(op.operand(1))
+            if lhs is None or rhs is None:
+                return False
+            folded = rewriter.insert(arith.ConstantOp(lhs + rhs, f32))
+            rewriter.replace_op(op, folded.result())
+            return True
+
+    class _NeverMatches(RewritePattern):
+        op_name = "arith.constant"
+
+        def match_and_rewrite(self, op, rewriter) -> bool:
+            return False
+
+    def test_driver_counts_hits_and_misses(self):
+        from repro.ir import GreedyRewriteDriver
+
+        module, f = build_simple_module()
+        driver = GreedyRewriteDriver([self._FoldAdd(), self._NeverMatches()])
+        assert driver.rewrite(f)
+        assert driver.pattern_stats["_FoldAdd"][0] == 1  # one fold applied
+        assert driver.pattern_stats["_NeverMatches"][0] == 0
+        assert driver.pattern_stats["_NeverMatches"][1] >= 3  # the constants
+
+    def test_collector_aggregates_and_reports(self):
+        from repro.ir import collect_pattern_stats
+
+        module, f = build_simple_module()
+        with collect_pattern_stats() as collector:
+            apply_patterns_greedily(f, [self._FoldAdd()])
+        assert collector.stats["_FoldAdd"][0] == 1
+        assert collector.total_hits() == 1
+        report = collector.report()
+        assert "Rewrite pattern statistics" in report
+        assert "_FoldAdd" in report
+
+    def test_sweep_strategy_counts_too(self):
+        from repro.ir import collect_pattern_stats
+
+        module, f = build_simple_module()
+        with collect_pattern_stats() as collector:
+            apply_patterns_greedily(f, [self._FoldAdd()], strategy="sweep")
+        assert collector.stats["_FoldAdd"][0] == 1
+
+
 class TestDialectRegistry:
     def test_core_dialects_registered(self):
         for namespace in ("arith", "func", "memref", "affine", "scf", "graph"):
