@@ -12,6 +12,13 @@ Block representation:
 * ``splice``        — one ``insert_all_after`` of N ops,
 * ``ordering``      — N ``is_before_in_block`` queries on random pairs,
 * ``move``          — N ``move_before``/``move_after`` hops,
+* ``defined_above`` — N ``is_defined_above`` visibility queries from nested
+  blocks scattered through one large block (order-key dominance walk,
+  O(depth) per query regardless of the enclosing block's size),
+* ``verify_nested`` — one ``verify()`` of a region-heavy block (N ops, a
+  nested single-op block every 8 ops): per-operand order-key dominance;
+  the seed's availability-set verifier copied the visible set once per
+  nested block, i.e. quadratic on exactly this shape,
 
 and, as the asymptotic baseline, ``list_mid_insert`` — the same mid-block
 insertion against a plain Python list (the seed representation): O(n) per
@@ -122,6 +129,54 @@ def scenario_move(size: int) -> float:
     return time.perf_counter() - started
 
 
+def _nested_block_module(size: int, nest_every: int = 8):
+    """One big block of chained ops; every ``nest_every``-th op carries a
+    region whose block uses a value from the enclosing block."""
+    from repro.ir.value import Value
+
+    root = Operation("bench.root", num_regions=1)
+    block = root.regions[0].add_block(Block())
+    previous: Value = None
+    inner_blocks = []
+    for index in range(size):
+        operands = (previous,) if previous is not None else ()
+        if index % nest_every == nest_every - 1:
+            op = Operation("bench.wrap", operands=operands,
+                           result_types=(None,), num_regions=1)
+            inner = op.regions[0].add_block(Block())
+            inner.append(Operation("bench.use", operands=operands))
+            inner_blocks.append(inner)
+        else:
+            op = Operation("bench.op", operands=operands, result_types=(None,))
+        block.append(op)
+        previous = op.results[0]
+    return root, block, inner_blocks
+
+
+def scenario_defined_above(size: int) -> float:
+    from repro.ir.traversal import is_defined_above
+
+    _, block, inner_blocks = _nested_block_module(size)
+    anchors = list(block.operations)
+    rng = random.Random(11)
+    queries = [(anchors[rng.randrange(size)].results[0],
+                inner_blocks[rng.randrange(len(inner_blocks))])
+               for _ in range(size)]
+    started = time.perf_counter()
+    for value, inner in queries:
+        is_defined_above(value, inner)
+    return time.perf_counter() - started
+
+
+def scenario_verify_nested(size: int) -> float:
+    from repro.ir.verifier import verify
+
+    root, _, _ = _nested_block_module(size)
+    started = time.perf_counter()
+    verify(root, require_terminators=False)
+    return time.perf_counter() - started
+
+
 def scenario_list_mid_insert(size: int) -> float:
     """The seed representation's mid-block insert: a plain list splice."""
     data = list(range(size))
@@ -138,12 +193,15 @@ SCENARIOS = {
     "splice": scenario_splice,
     "ordering": scenario_ordering,
     "move": scenario_move,
+    "defined_above": scenario_defined_above,
+    "verify_nested": scenario_verify_nested,
     "list_mid_insert": scenario_list_mid_insert,
 }
 
 #: Scenarios gated on near-linear scaling (the baseline is *expected* to be
 #: quadratic, so it is excluded).
-GATED = ("append", "mid_insert", "mid_remove", "splice", "ordering", "move")
+GATED = ("append", "mid_insert", "mid_remove", "splice", "ordering", "move",
+         "defined_above", "verify_nested")
 
 
 def measure(sizes, repeats: int = 3) -> dict:

@@ -5,7 +5,10 @@ Given a kernel module (scf/affine level) and a :class:`KernelDesignPoint`,
 :func:`apply_design_point` clones the module, builds the corresponding
 registry pipeline (:func:`kernel_pipeline_spec`), runs it on the kernel
 function and finally invokes the QoR estimator — mirroring how the ScaleHLS
-DSE drives its transform and analysis library through pass pipelines.
+DSE drives its transform and analysis library through pass pipelines.  The
+cleanup tail of that pipeline is itself a design choice: every point names
+one of the registered :data:`CLEANUP_PIPELINES`, so the DSE explores *how
+to clean up* alongside *how to transform*.
 
 The pipeline spec is also the *hashable transform description* of the flow:
 :func:`kernel_pipeline_signature` is embedded in the parallel runtime's
@@ -41,9 +44,56 @@ class AppliedDesign:
     partition_factors: dict = dataclasses.field(default_factory=dict)
 
 
-#: The redundancy-elimination tail shared by every kernel evaluation.
+#: The redundancy-elimination tail of the reference kernel evaluation.
 CLEANUP_PIPELINE = ("canonicalize,simplify-affine-if,affine-store-forward,"
                     "simplify-memref-access,cse,canonicalize")
+
+#: Named cleanup/loop pipelines the DSE may choose between.  The *name* is a
+#: categorical design-space dimension (see
+#: :class:`~repro.dse.space.KernelDesignSpace`); the canonical printed spec
+#: of every entry is hashed into cache/checkpoint fingerprints, so renaming
+#: or editing a pipeline here can never silently reuse stale estimates.
+CLEANUP_PIPELINES: dict[str, str] = {
+    "default": CLEANUP_PIPELINE,
+    # A single canonicalize+cse round: cheaper per evaluation, but leaves
+    # redundant memory traffic the estimator will charge for.
+    "light": "canonicalize,cse",
+    # Two store-forwarding rounds: pays extra transform time to expose
+    # forwarding opportunities the first cse round uncovers.
+    "thorough": ("canonicalize,simplify-affine-if,affine-store-forward,"
+                 "simplify-memref-access,cse,affine-store-forward,"
+                 "simplify-memref-access,cse,canonicalize"),
+}
+
+#: The pipeline used when a design point does not choose one explicitly.
+DEFAULT_CLEANUP = "default"
+
+
+def cleanup_pipeline_names() -> tuple[str, ...]:
+    """Registered cleanup-pipeline names, in stable (sorted) order."""
+    return tuple(sorted(CLEANUP_PIPELINES))
+
+
+def cleanup_pipeline_spec(name: str) -> str:
+    """The raw textual spec of a named cleanup pipeline."""
+    try:
+        return CLEANUP_PIPELINES[name]
+    except KeyError:
+        from repro.ir.pass_manager import PassError
+
+        known = ", ".join(cleanup_pipeline_names())
+        raise PassError(f"unknown cleanup pipeline '{name}' "
+                        f"(registered pipelines: {known})") from None
+
+
+@functools.lru_cache(maxsize=None)
+def cleanup_pipeline_signature(name: str) -> str:
+    """Canonical printed spec of a named cleanup pipeline.
+
+    This string — not the name — is what design-space fingerprints embed, so
+    a renamed or edited pipeline invalidates cached estimates.
+    """
+    return pipeline_signature(cleanup_pipeline_spec(name))
 
 
 def design_point_pass(point: KernelDesignPoint) -> "ApplyDesignPointPass":
@@ -74,7 +124,8 @@ def design_point_options(point: KernelDesignPoint) -> str:
 def _kernel_tail_spec(point: Optional[KernelDesignPoint]) -> str:
     """Everything after the initial canonicalization of one evaluation."""
     middle = "apply-design-point" + (design_point_options(point) if point else "")
-    return f"{middle},{CLEANUP_PIPELINE},array-partition"
+    cleanup = cleanup_pipeline_spec(point.pipeline if point else DEFAULT_CLEANUP)
+    return f"{middle},{cleanup},array-partition"
 
 
 def kernel_pipeline_spec(point: Optional[KernelDesignPoint] = None) -> str:
@@ -101,8 +152,17 @@ def kernel_pipeline_spec(point: Optional[KernelDesignPoint] = None) -> str:
 
 @functools.lru_cache(maxsize=1)
 def kernel_pipeline_signature() -> str:
-    """Canonical printed template spec — the runtime's transform fingerprint."""
-    return pipeline_signature(kernel_pipeline_spec(None))
+    """The runtime's transform fingerprint: the canonical printed template
+    spec plus the canonical spec of every named cleanup pipeline.
+
+    Since the cleanup pipeline is a per-point design choice, the fingerprint
+    must cover the whole registry: a coordinator and a worker (or a cached
+    estimate and a new sweep) agree exactly when the template *and* every
+    pipeline a point could select print identically.
+    """
+    named = ";".join(f"{name}={cleanup_pipeline_signature(name)}"
+                     for name in cleanup_pipeline_names())
+    return f"{pipeline_signature(kernel_pipeline_spec(None))}|{named}"
 
 
 def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
@@ -128,9 +188,12 @@ def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
 
     # Same sequence as _kernel_tail_spec(point), but the point-specific pass
     # is constructed directly: parsing a distinct spec per design point
-    # would thrash the pipeline cache on large sweeps.
+    # would thrash the pipeline cache on large sweeps.  The cleanup tail is
+    # the point's chosen named pipeline — only a handful exist, so the
+    # cached builder still parses each exactly once.
     PassManager([design_point_pass(point)]).run(func_op)
-    build_pipeline_cached(f"{CLEANUP_PIPELINE},array-partition").run(func_op)
+    cleanup = cleanup_pipeline_spec(point.pipeline)
+    build_pipeline_cached(f"{cleanup},array-partition").run(func_op)
     return cloned, func_op
 
 

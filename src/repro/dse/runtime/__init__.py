@@ -15,15 +15,25 @@ exploration service, in four pieces:
   of explorer state (records, RNG, progress) every N evaluations, enabling
   ``--resume`` after interruption with a bit-identical final frontier.
 * :class:`~repro.dse.runtime.scheduler.MultiKernelScheduler` — concurrent
-  DSE over every function of a module (e.g. all stages of a DNN) on one
-  shared worker pool and cache.
+  DSE over many :class:`~repro.dse.runtime.scheduler.KernelTask`s (e.g.
+  every function of a module) on one shared worker pool and cache.
+* :class:`~repro.dse.runtime.model.ModelScheduler` — the whole-model flow:
+  graph staging, per-node kernel splitting, budgeted multi-kernel sweep and
+  model-level frontier composition.
 """
 
 from repro.dse.runtime.cache import CacheStats, EstimateCache
 from repro.dse.runtime.checkpoint import CheckpointStore, ExplorerState
+from repro.dse.runtime.model import (
+    ModelDSEResult,
+    ModelFrontierPoint,
+    ModelScheduler,
+    NodeBudgetPolicy,
+    compose_model_frontier,
+)
 from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
 from repro.dse.runtime.records import EvaluationRecord
-from repro.dse.runtime.scheduler import MultiKernelScheduler
+from repro.dse.runtime.scheduler import KernelTask, MultiKernelScheduler
 from repro.dse.runtime.worker import (
     KernelContext,
     ProcessPoolBackend,
@@ -36,9 +46,15 @@ __all__ = [
     "EstimateCache",
     "CheckpointStore",
     "ExplorerState",
+    "ModelDSEResult",
+    "ModelFrontierPoint",
+    "ModelScheduler",
+    "NodeBudgetPolicy",
+    "compose_model_frontier",
     "ParallelDSEResult",
     "ParallelExplorer",
     "EvaluationRecord",
+    "KernelTask",
     "MultiKernelScheduler",
     "KernelContext",
     "ProcessPoolBackend",

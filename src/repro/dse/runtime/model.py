@@ -1,0 +1,412 @@
+"""Whole-model design-space exploration: the paper's end-to-end DNN flow.
+
+The headline claim of ScaleHLS is that HLS DSE scales from single kernels to
+whole DNN models.  :class:`ModelScheduler` reproduces that flow on top of
+the parallel runtime:
+
+1. **Graph staging** — the model module goes through the graph-level stages
+   of :func:`repro.pipeline.compile_dnn` (``legalize-dataflow`` +
+   ``split-function``), producing one function per dataflow node, then
+   ``lower-graph-to-loops``.
+2. **Node splitting** — every explorable dataflow node is cloned into its
+   *own* single-function module, so the worker-pool payload holds one
+   small module per node instead of one whole-model copy per node.
+3. **Budgeted sweep** — one :class:`~repro.dse.runtime.scheduler.KernelTask`
+   per node runs on one shared process pool; the :class:`NodeBudgetPolicy`
+   gives light stages proportionally smaller exploration budgets (a node's
+   budget depends only on its own FLOPs, so the trajectory stays
+   deterministic for any worker count).
+4. **Frontier composition** — per-node Pareto frontiers compose into a
+   model-level latency/resource frontier: along the dataflow chain the
+   model latency is the **sum** of the chosen stage latencies, the dataflow
+   initiation interval is the **max** stage latency (the slowest stage
+   bounds throughput), and resources **sum** (each stage is its own
+   hardware).  After each node is merged the combined set is pruned back to
+   its Pareto frontier, so composition stays polynomial instead of taking
+   the full cartesian product.
+
+Determinism contract: a fixed ``(seed, budgets, batch_size)`` produces a
+byte-identical :meth:`ModelDSEResult.frontier_json` for any ``--jobs`` and
+across ``--resume`` from any checkpoint, because every per-node trajectory
+is deterministic (PR 1's contract) and composition is a pure function of
+the per-node frontiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from typing import Optional, Union
+
+from repro.dse.pareto import ParetoPoint, pareto_frontier
+from repro.dse.runtime.cache import EstimateCache
+from repro.dse.runtime.parallel import ParallelDSEResult
+from repro.dse.runtime.scheduler import KernelTask, MultiKernelScheduler
+from repro.dse.space import KernelDesignSpace
+from repro.estimation.platform import Platform, VU9P_SLR
+from repro.estimation.resources import ResourceUsage
+from repro.ir.module import ModuleOp
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeBudgetPolicy:
+    """How much exploration each dataflow node is allotted.
+
+    ``mode="flops"`` scales the budgets by ``sqrt(node_flops / heaviest)``
+    — light stages need proportionally less parallelism to keep up with the
+    heaviest stage, so spending the same budget on them buys nothing (the
+    same balancing argument the DNN flow uses for unroll factors).
+    ``mode="uniform"`` gives every node the full budget.
+    """
+
+    num_samples: int = 8
+    max_iterations: int = 12
+    mode: str = "flops"
+    min_samples: int = 2
+    min_iterations: int = 2
+
+    def budget_for(self, node_flops: int, heaviest_flops: int) -> tuple[int, int]:
+        """(num_samples, max_iterations) for a node of ``node_flops`` work."""
+        if self.mode not in ("flops", "uniform"):
+            raise ValueError(f"unknown budget mode {self.mode!r}; "
+                             f"expected 'flops' or 'uniform'")
+        if self.mode == "uniform" or heaviest_flops <= 0:
+            return self.num_samples, self.max_iterations
+        share = math.sqrt(max(1, node_flops) / heaviest_flops)
+        return (max(self.min_samples, int(round(self.num_samples * share))),
+                max(self.min_iterations, int(round(self.max_iterations * share))))
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelFrontierPoint:
+    """One point of the composed model-level frontier."""
+
+    #: Sum of the chosen stage latencies along the dataflow chain.
+    latency: int
+    #: Dataflow initiation interval: the slowest chosen stage.
+    interval: int
+    #: Summed resources of every stage's hardware.
+    resources: ResourceUsage
+    #: ``(node name, encoded design point)`` per node, in dataflow order.
+    choices: tuple[tuple[str, tuple[int, ...]], ...]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "latency": self.latency,
+            "interval": self.interval,
+            "dsp": self.resources.dsp,
+            "lut": self.resources.lut,
+            "memory_bits": self.resources.memory_bits,
+            "bram18k": self.resources.bram18k,
+            "choices": {name: list(encoded) for name, encoded in self.choices},
+        }
+
+
+def compose_model_frontier(node_order: list[str],
+                           node_results: dict[str, ParallelDSEResult],
+                           frontier_cap: int = 64
+                           ) -> tuple[list[ModelFrontierPoint], int]:
+    """Compose per-node frontiers into the model frontier.
+
+    Nodes are merged one at a time in dataflow order; after each merge the
+    combined set is pruned to its (latency, DSP) Pareto frontier, with ties
+    broken by the flattened choice vector so the result is a pure function
+    of the per-node frontiers.  ``frontier_cap`` bounds the working set by
+    downsampling evenly across the sorted frontier — both extremes (the
+    fastest design *and* the cheapest) always survive, so a tight resource
+    budget can still find a fitting point after truncation.  The number of
+    dropped points is returned so callers can report the truncation instead
+    of silently under-covering.
+    """
+    if not node_order:
+        return [], 0  # nothing explored -> no frontier, not a zero point
+    combos: list[ModelFrontierPoint] = [
+        ModelFrontierPoint(latency=0, interval=0, resources=ResourceUsage(),
+                           choices=())]
+    truncated = 0
+    for name in node_order:
+        records = node_results[name].frontier_records()
+        merged = [
+            ModelFrontierPoint(
+                latency=combo.latency + record.qor.latency,
+                interval=max(combo.interval, record.qor.latency),
+                resources=combo.resources + record.qor.resources,
+                choices=combo.choices + ((name, tuple(record.encoded)),),
+            )
+            for combo in combos
+            for record in records
+        ]
+        pruned = _pareto_prune(merged)
+        if frontier_cap and len(pruned) > frontier_cap:
+            truncated += len(pruned) - frontier_cap
+            pruned = _downsample(pruned, frontier_cap)
+        combos = pruned
+    return combos, truncated
+
+
+def _downsample(points: list[ModelFrontierPoint],
+                cap: int) -> list[ModelFrontierPoint]:
+    """Keep ``cap`` evenly spaced points of a latency-sorted frontier.
+
+    Index 0 (lowest latency) and the last index (lowest resources) are
+    always kept: dropping either end would bias later merges — and the
+    final ``best_point()`` selection — towards one side of the trade-off.
+    """
+    if cap <= 1:
+        return [points[-1]]  # the cheapest design always fits best
+    last = len(points) - 1
+    indices = sorted({round(i * last / (cap - 1)) for i in range(cap)})
+    return [points[i] for i in indices]
+
+
+def _pareto_prune(points: list[ModelFrontierPoint]) -> list[ModelFrontierPoint]:
+    """The (latency, DSP) Pareto subset, sorted by ascending latency."""
+    wrapped = [
+        ParetoPoint(latency=float(point.latency), area=float(point.resources.dsp),
+                    encoded=_flat_choices(point), payload=point)
+        for point in points
+    ]
+    return [wrapper.payload for wrapper in pareto_frontier(wrapped)]
+
+
+def _flat_choices(point: ModelFrontierPoint) -> tuple[int, ...]:
+    """Deterministic tie-break key: every chosen index, in dataflow order."""
+    flat: list[int] = []
+    for _, encoded in point.choices:
+        flat.extend(encoded)
+    return tuple(flat)
+
+
+@dataclasses.dataclass
+class ModelDSEResult:
+    """Outcome of one whole-model sweep."""
+
+    model: str
+    platform: Platform
+    graph_level: int
+    seed: int
+    #: Explored nodes, in dataflow order.
+    node_order: list[str]
+    #: Nodes without an affine loop nest (nothing to explore).
+    skipped: list[str]
+    node_results: dict[str, ParallelDSEResult]
+    frontier: list[ModelFrontierPoint]
+    #: Composition points dropped by the frontier cap (0 = exact frontier).
+    truncated: int
+    #: Frontier-building records that the persistent cache already held
+    #: *before* this run (0 when no cache is configured or the cache was
+    #: cold).  Distinct from the sweep's own ``cache_hits``: it makes a warm
+    #: cache visible even when checkpoints restored the whole trajectory
+    #: without dispatching a single evaluation, while a cold run — whose
+    #: records were only just stored — correctly reports 0.
+    frontier_cache_hits: int
+    wall_seconds: float
+
+    @property
+    def num_evaluations(self) -> int:
+        return sum(result.num_evaluations for result in self.node_results.values())
+
+    @property
+    def evaluated_this_run(self) -> int:
+        return sum(result.evaluated_this_run for result in self.node_results.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cache_hits for result in self.node_results.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(result.cache_misses for result in self.node_results.values())
+
+    def best_point(self) -> Optional[ModelFrontierPoint]:
+        """Fastest frontier point fitting the platform (smallest otherwise)."""
+        if not self.frontier:
+            return None
+        for point in self.frontier:
+            if self.platform.fits(point.resources, memory_margin=float("inf")):
+                return point
+        return min(self.frontier,
+                   key=lambda p: (p.resources.dsp, _flat_choices(p)))
+
+    # -- reporting --------------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """Deterministic JSON payload (no wall-clock, no float jitter)."""
+        return {
+            "model": self.model,
+            "platform": self.platform.name,
+            "graph_level": self.graph_level,
+            "seed": self.seed,
+            "node_order": list(self.node_order),
+            "skipped": list(self.skipped),
+            "truncated": self.truncated,
+            "nodes": {
+                name: {
+                    "fingerprint": result.fingerprint,
+                    "num_evaluations": result.num_evaluations,
+                    "frontier": [
+                        {"encoded": list(record.encoded),
+                         "latency": record.qor.latency,
+                         "dsp": record.qor.dsp,
+                         "pipeline": record.point.pipeline}
+                        for record in result.frontier_records()
+                    ],
+                }
+                for name, result in self.node_results.items()
+            },
+            "frontier": [point.to_json_dict() for point in self.frontier],
+        }
+
+    def frontier_json(self) -> str:
+        """Canonical (byte-stable) JSON rendering of the sweep outcome."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+
+class ModelScheduler:
+    """Drives the ``compile_dnn`` stages through the multi-kernel DSE."""
+
+    def __init__(self, platform: Platform = VU9P_SLR, jobs: int = 1,
+                 seed: int = 2022, batch_size: int = 4,
+                 budget: Optional[NodeBudgetPolicy] = None,
+                 cache: Optional[EstimateCache] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 16,
+                 frontier_cap: int = 64,
+                 max_evaluations_per_node: Optional[int] = None,
+                 mp_context: Optional[str] = None):
+        self.platform = platform
+        self.jobs = max(1, int(jobs))
+        self.seed = seed
+        self.batch_size = batch_size
+        self.budget = budget or NodeBudgetPolicy()
+        self.cache = cache
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.frontier_cap = frontier_cap
+        #: Bounds every node's sweep to N evaluations this run (simulating
+        #: an interruption or spreading a sweep over sessions); the capped
+        #: prefix checkpoints exactly like an interrupted run.
+        self.max_evaluations_per_node = max_evaluations_per_node
+        self.mp_context = mp_context
+
+    # -- public API -------------------------------------------------------------------------
+
+    def explore(self, model: Union[str, ModuleOp], graph_level: int = 4,
+                resume: bool = False,
+                max_nodes: Optional[int] = None) -> ModelDSEResult:
+        """Sweep a whole model and compose its latency/resource frontier.
+
+        ``model`` is a bundled model name or an un-staged graph-level module
+        (it is cloned, never mutated).  ``max_nodes`` truncates the sweep to
+        the N heaviest nodes — a smoke-test escape hatch, reported via
+        ``skipped`` rather than applied silently.
+        """
+        from repro.frontend.models import build_model
+        from repro.pipeline import function_flops, prepare_dnn_stages
+        from repro.transforms import lower_graph_to_loops
+
+        started = time.perf_counter()
+        if isinstance(model, str):
+            model_name, module = model, build_model(model)
+        else:
+            model_name = model.get_attr("sym_name") or "model"
+            module = model.clone()
+
+        prepare_dnn_stages(module, graph_level)
+        top = module.functions()[0]
+        stage_funcs = [func_op for func_op in module.functions()
+                       if func_op is not top]
+        if not stage_funcs:
+            # graph_level 0 leaves a single monolithic function.
+            stage_funcs = [top]
+        flops = {func_op.get_attr("sym_name"): function_flops(func_op)
+                 for func_op in stage_funcs}
+        lower_graph_to_loops(module)
+
+        tasks, node_order, skipped = self._node_tasks(stage_funcs, flops,
+                                                      max_nodes)
+        known_before = self.cache.known_keys() if self.cache is not None \
+            else frozenset()
+        scheduler = MultiKernelScheduler(
+            platform=self.platform, jobs=self.jobs, seed=self.seed,
+            batch_size=self.batch_size, cache=self.cache,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every, mp_context=self.mp_context)
+        node_results = scheduler.explore_kernels(tasks, resume=resume)
+
+        frontier, truncated = compose_model_frontier(
+            node_order, node_results, frontier_cap=self.frontier_cap)
+        return ModelDSEResult(
+            model=model_name, platform=self.platform, graph_level=graph_level,
+            seed=self.seed, node_order=node_order, skipped=skipped,
+            node_results=node_results, frontier=frontier, truncated=truncated,
+            frontier_cache_hits=self._revalidate_frontier(node_results,
+                                                          known_before),
+            wall_seconds=time.perf_counter() - started)
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _revalidate_frontier(self, node_results: dict[str, ParallelDSEResult],
+                             known_before: frozenset) -> int:
+        """Count frontier-building records the cache held before this run.
+
+        The composed model frontier mixes records restored from checkpoints
+        with fresh evaluations; this pass reports how many of them the
+        durable estimate store could already vouch for when the run started
+        — making cache warmth visible on resumed runs that never dispatch an
+        evaluation, while a cold run (which only just stored its records)
+        reports 0.
+        """
+        if self.cache is None or not known_before:
+            return 0
+        hits = 0
+        for result in node_results.values():
+            for record in result.frontier_records():
+                if (result.fingerprint, tuple(record.encoded)) in known_before:
+                    hits += 1
+        return hits
+
+    def _node_tasks(self, stage_funcs, flops: dict[str, int],
+                    max_nodes: Optional[int]
+                    ) -> tuple[list[KernelTask], list[str], list[str]]:
+        """One single-function module + budgeted task per explorable node.
+
+        Explorability and the ``max_nodes`` selection are decided on the
+        original functions; only the kept nodes pay for a deep clone.
+        """
+        from repro.dialects.affine_ops import outermost_loops
+
+        candidates = []
+        skipped: list[str] = []
+        for func_op in stage_funcs:
+            name = func_op.get_attr("sym_name")
+            if not outermost_loops(func_op):  # no loop nest to explore
+                skipped.append(name)
+                continue
+            candidates.append((name, func_op))
+        if max_nodes is not None and len(candidates) > max_nodes:
+            # Keep the heaviest nodes (they dominate the model frontier);
+            # ties break by name so the selection is deterministic.
+            keep = sorted(candidates,
+                          key=lambda item: (-flops.get(item[0], 0), item[0]))
+            keep_names = {name for name, _ in keep[:max_nodes]}
+            skipped.extend(name for name, _ in candidates
+                           if name not in keep_names)
+            candidates = [item for item in candidates if item[0] in keep_names]
+
+        heaviest = max((flops.get(name, 0) for name, _ in candidates),
+                       default=0)
+        tasks = []
+        for name, func_op in candidates:
+            node_module = ModuleOp(name)
+            node_module.append(func_op.clone())
+            space = KernelDesignSpace.from_function(node_module.functions()[0])
+            num_samples, max_iterations = self.budget.budget_for(
+                flops.get(name, 0), heaviest)
+            tasks.append(KernelTask(
+                key=name, module=node_module, func_name=name, space=space,
+                num_samples=num_samples, max_iterations=max_iterations,
+                max_evaluations=self.max_evaluations_per_node))
+        return tasks, [task.key for task in tasks], skipped

@@ -47,6 +47,7 @@ class EvaluationRecord:
                 "perm_map": list(self.point.perm_map),
                 "tile_sizes": list(self.point.tile_sizes),
                 "target_ii": self.point.target_ii,
+                "pipeline": self.point.pipeline,
             },
             "qor": {
                 "latency": self.qor.latency,
@@ -68,6 +69,7 @@ class EvaluationRecord:
                 perm_map=tuple(int(v) for v in point_data["perm_map"]),
                 tile_sizes=tuple(int(v) for v in point_data["tile_sizes"]),
                 target_ii=int(point_data["target_ii"]),
+                pipeline=str(point_data.get("pipeline", "default")),
             ),
             qor=QoRResult(
                 latency=int(qor_data["latency"]),

@@ -1,4 +1,4 @@
-"""Concurrent DSE over every kernel of a module.
+"""Concurrent DSE over many kernels sharing one worker pool.
 
 A DNN compiled through the graph flow (:func:`repro.pipeline.compile_dnn`)
 contains one lowered function per dataflow stage; sweeping a whole model
@@ -8,14 +8,22 @@ serves all kernels, per-kernel coordinator threads interleave their batches
 onto it, and a shared :class:`EstimateCache` deduplicates work across
 kernels and runs.
 
+The unit of scheduling is a :class:`KernelTask` — a (module, function,
+design space) triple with an optional per-task exploration budget.  The
+whole-model scheduler (:mod:`repro.dse.runtime.model`) builds one task per
+DNN node, each against its own single-function module: workers still
+receive every task's context up front (one initializer payload), but it
+holds N single-function modules instead of N copies of the whole model.
+
 Each kernel's trajectory stays fully deterministic — it only depends on the
-kernel's own ``(seed, policy)`` stream, never on how the pool interleaved
+kernel's own ``(seed, budget)`` stream, never on how the pool interleaved
 the evaluations of its neighbors.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import os
 from typing import Optional, Sequence
 
@@ -25,6 +33,29 @@ from repro.dse.runtime.worker import KernelContext, create_backend
 from repro.dse.space import KernelDesignSpace
 from repro.estimation.platform import Platform, XC7Z020
 from repro.ir.module import ModuleOp
+
+
+@dataclasses.dataclass
+class KernelTask:
+    """One kernel to explore: where it lives and how much budget it gets.
+
+    ``key`` names the task everywhere: the worker context, the checkpoint
+    file (``<key>.ckpt.json``) and the result dictionary.  ``num_samples``
+    and ``max_iterations`` override the scheduler defaults when set — the
+    per-node budget policy of the whole-model sweep uses them to give light
+    dataflow stages proportionally smaller explorations.
+    """
+
+    key: str
+    module: ModuleOp
+    func_name: Optional[str]
+    space: KernelDesignSpace
+    num_samples: Optional[int] = None
+    max_iterations: Optional[int] = None
+    #: Hard cap on evaluations processed this run (used to bound partial
+    #: sweeps; unlike the budgets above it is not part of the trajectory, so
+    #: a capped run checkpoints a resumable prefix of the uncapped one).
+    max_evaluations: Optional[int] = None
 
 
 class MultiKernelScheduler:
@@ -59,24 +90,36 @@ class MultiKernelScheduler:
         contains calls) are skipped.  Returns per-function results keyed by
         the function's symbol name.
         """
-        kernels = self._explorable_kernels(module, func_names)
-        if not kernels:
+        tasks = self._module_tasks(module, func_names)
+        return self.explore_kernels(tasks, resume=resume)
+
+    def explore_kernels(self, tasks: Sequence[KernelTask],
+                        resume: bool = False) -> dict[str, ParallelDSEResult]:
+        """Run DSE for every :class:`KernelTask` on one shared pool.
+
+        Returns results keyed by ``task.key`` (insertion order preserved).
+        """
+        tasks = list(tasks)
+        if not tasks:
             return {}
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"kernel task keys must be unique, got {keys}")
 
         from repro.dse.apply import kernel_pipeline_signature
 
         signature = kernel_pipeline_signature()
         contexts = {
-            name: KernelContext(module=module, func_name=name,
-                                platform=self.platform, space=space,
-                                pipeline=signature)
-            for name, space in kernels
+            task.key: KernelContext(module=task.module, func_name=task.func_name,
+                                    platform=self.platform, space=task.space,
+                                    pipeline=signature)
+            for task in tasks
         }
         backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)
         try:
-            if self.jobs <= 1 or len(kernels) == 1:
-                return {name: self._explore_one(module, name, space, backend, resume)
-                        for name, space in kernels}
+            if self.jobs <= 1 or len(tasks) == 1:
+                return {task.key: self._explore_one(task, backend, resume)
+                        for task in tasks}
             # Spawn the pool's workers from the main thread, before any
             # coordinator threads exist: forking from a multi-threaded
             # process risks inheriting locks held by other threads.
@@ -85,25 +128,24 @@ class MultiKernelScheduler:
             # One coordinator thread per kernel; they are I/O-bound (waiting
             # on pool futures), so threads are enough to keep the pool busy.
             with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=len(kernels)) as coordinators:
+                    max_workers=len(tasks)) as coordinators:
                 futures = {
-                    name: coordinators.submit(self._explore_one, module, name,
-                                              space, backend, resume)
-                    for name, space in kernels
+                    task.key: coordinators.submit(self._explore_one, task,
+                                                  backend, resume)
+                    for task in tasks
                 }
-                return {name: future.result() for name, future in futures.items()}
+                return {key: future.result() for key, future in futures.items()}
         finally:
             backend.close()
 
     # -- internals --------------------------------------------------------------------------
 
-    def _explorable_kernels(self, module: ModuleOp,
-                            func_names: Optional[Sequence[str]]
-                            ) -> list[tuple[str, KernelDesignSpace]]:
+    def _module_tasks(self, module: ModuleOp,
+                      func_names: Optional[Sequence[str]]) -> list[KernelTask]:
         if func_names is None:
             func_names = [func_op.get_attr("sym_name")
                           for func_op in module.functions()]
-        kernels: list[tuple[str, KernelDesignSpace]] = []
+        tasks: list[KernelTask] = []
         for name in func_names:
             func_op = module.lookup(name)
             if func_op is None:
@@ -112,19 +154,26 @@ class MultiKernelScheduler:
                 space = KernelDesignSpace.from_function(func_op)
             except ValueError:
                 continue  # no loop nest to explore
-            kernels.append((name, space))
-        return kernels
+            tasks.append(KernelTask(key=name, module=module, func_name=name,
+                                    space=space))
+        return tasks
 
-    def _explore_one(self, module: ModuleOp, name: str,
-                     space: KernelDesignSpace, backend,
+    def _explore_one(self, task: KernelTask, backend,
                      resume: bool) -> ParallelDSEResult:
         checkpoint_path = None
         if self.checkpoint_dir:
-            checkpoint_path = os.path.join(self.checkpoint_dir, f"{name}.ckpt.json")
+            checkpoint_path = os.path.join(self.checkpoint_dir,
+                                           f"{task.key}.ckpt.json")
         explorer = ParallelExplorer(
-            platform=self.platform, num_samples=self.num_samples,
-            max_iterations=self.max_iterations, seed=self.seed,
-            jobs=self.jobs, batch_size=self.batch_size, cache=self.cache,
-            checkpoint_path=checkpoint_path, checkpoint_every=self.checkpoint_every)
-        return explorer.explore(module, space=space, func_name=name,
-                                resume=resume, backend=backend, context_key=name)
+            platform=self.platform,
+            num_samples=task.num_samples if task.num_samples is not None
+            else self.num_samples,
+            max_iterations=task.max_iterations if task.max_iterations is not None
+            else self.max_iterations,
+            seed=self.seed, jobs=self.jobs, batch_size=self.batch_size,
+            cache=self.cache, checkpoint_path=checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            max_evaluations=task.max_evaluations)
+        return explorer.explore(task.module, space=task.space,
+                                func_name=task.func_name, resume=resume,
+                                backend=backend, context_key=task.key)

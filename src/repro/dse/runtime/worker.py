@@ -40,7 +40,10 @@ class KernelContext:
     :func:`repro.dse.apply.kernel_pipeline_signature`).  It ships to workers
     as data — a picklable spec instead of ad-hoc transform imports — and the
     worker refuses to evaluate when its own registry would run a different
-    pipeline (version-skew guard between coordinator and workers).
+    pipeline (version-skew guard between coordinator and workers).  The
+    signature covers every *named* cleanup pipeline a design point may
+    select, so the guard holds even though each point builds its own
+    cleanup tail (see :data:`repro.dse.apply.CLEANUP_PIPELINES`).
     """
 
     module: ModuleOp

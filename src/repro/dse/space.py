@@ -7,7 +7,10 @@ on/off switch or a tunable parameter of a transform pass (Tab. II):
 * variable-bound removal on/off,
 * the loop permutation of the band,
 * one tile size per band loop (powers of two dividing the trip count),
-* the pipeline target II.
+* the pipeline target II,
+* the named cleanup pipeline run after the design point (a categorical
+  dimension over :data:`repro.dse.apply.CLEANUP_PIPELINES` — exploring
+  *how to clean up* alongside *how to transform*).
 
 A design point is encoded as a tuple of indices into the per-dimension
 option lists, which makes "closest neighbor" proposals (Step 2 of the DSE
@@ -49,12 +52,15 @@ class KernelDesignPoint:
     perm_map: tuple[int, ...]
     tile_sizes: tuple[int, ...]
     target_ii: int
+    #: Name of the cleanup pipeline run after the design point (a key of
+    #: :data:`repro.dse.apply.CLEANUP_PIPELINES`).
+    pipeline: str = "default"
 
     def describe(self) -> str:
         return (f"LP={'yes' if self.loop_perfectization else 'no'} "
                 f"RVB={'yes' if self.remove_variable_bound else 'no'} "
                 f"perm={list(self.perm_map)} tiles={list(self.tile_sizes)} "
-                f"II={self.target_ii}")
+                f"II={self.target_ii} pipe={self.pipeline}")
 
 
 class KernelDesignSpace:
@@ -67,7 +73,7 @@ class KernelDesignSpace:
 
     def __init__(self, band_trip_counts: Sequence[int], has_variable_bounds: bool,
                  is_imperfect: bool, max_tile: int = 16, max_target_ii: int = 8,
-                 ir_digest: str = ""):
+                 ir_digest: str = "", pipeline_names: Optional[Sequence[str]] = None):
         #: Stable digest of the kernel IR the space was built from ("" when the
         #: space was constructed directly from trip counts).
         self.ir_digest = ir_digest
@@ -82,11 +88,20 @@ class KernelDesignSpace:
         self.tile_options = [self._tile_sizes(trip, max_tile)
                              for trip in self.band_trip_counts]
         self.ii_options = [1, 2, 4, max_target_ii]
+        from repro.dse.apply import cleanup_pipeline_names, cleanup_pipeline_spec
+
+        if pipeline_names is None:
+            pipeline_names = cleanup_pipeline_names()
+        else:
+            for name in pipeline_names:
+                cleanup_pipeline_spec(name)  # fail fast on unregistered names
+        self.pipeline_options = list(pipeline_names)
 
         #: Dimension option lists, in a fixed order.
         self.dimensions: list[list] = [self.lp_options, self.rvb_options, self.perm_options]
         self.dimensions.extend(self.tile_options)
         self.dimensions.append(self.ii_options)
+        self.dimensions.append(self.pipeline_options)
 
     # -- construction ----------------------------------------------------------------------
 
@@ -124,13 +139,22 @@ class KernelDesignSpace:
         processes and sessions.  A directly constructed space carries no IR
         digest, so its fingerprint only identifies the space *shape* — the
         DSE runtime mixes the kernel IR back in for that case.
+
+        The cleanup-pipeline dimension is hashed by the canonical printed
+        spec of each named pipeline, not by its name: editing a pipeline in
+        :data:`repro.dse.apply.CLEANUP_PIPELINES` changes the fingerprint,
+        so estimates cached under the old meaning can never be reused.
         """
+        from repro.dse.apply import cleanup_pipeline_signature
+
         payload = repr((
             self.ir_digest,
             self.band_trip_counts,
             self.has_variable_bounds,
             self.is_imperfect,
             [[repr(option) for option in options] for options in self.dimensions],
+            [(name, cleanup_pipeline_signature(name))
+             for name in self.pipeline_options],
         ))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
@@ -156,6 +180,7 @@ class KernelDesignSpace:
         lp, rvb, perm = values[0], values[1], values[2]
         tiles = list(values[3:3 + num_loops])
         target_ii = values[3 + num_loops]
+        pipeline = values[3 + num_loops + 1]
         tiles = self._clamp_tile_product(tiles)
         return KernelDesignPoint(
             loop_perfectization=lp,
@@ -163,6 +188,7 @@ class KernelDesignSpace:
             perm_map=tuple(perm),
             tile_sizes=tuple(tiles),
             target_ii=target_ii,
+            pipeline=pipeline,
         )
 
     def encode_vector(self, encoded: Sequence[int]) -> list[float]:
@@ -175,6 +201,7 @@ class KernelDesignSpace:
         vector.extend(float(p) for p in point.perm_map)
         vector.extend(float(t) for t in point.tile_sizes)
         vector.append(float(point.target_ii))
+        vector.append(float(self.pipeline_options.index(point.pipeline)))
         return vector
 
     def random_point(self, rng: random.Random) -> tuple[int, ...]:

@@ -46,7 +46,15 @@ def enclosing_block_chain(op: "Operation") -> Iterator["Block"]:
 
 
 def values_defined_above(block: "Block") -> set[Value]:
-    """Values visible inside ``block`` that are defined outside of it."""
+    """Values visible inside ``block`` that are defined outside of it.
+
+    Walks backwards from each enclosing anchor over the intrusive ``_prev``
+    links, so exactly the operations *before* the anchor are visited — the
+    seed implementation scanned every enclosing block from the front,
+    identity-comparing its way to the anchor.  For membership tests of a few
+    known values prefer :func:`is_defined_above`, which answers in
+    O(nesting depth) without materializing this set at all.
+    """
     visible: set[Value] = set()
     parent_op = block.parent_op
     while parent_op is not None:
@@ -54,12 +62,40 @@ def values_defined_above(block: "Block") -> set[Value]:
         if enclosing is None:
             break
         visible.update(enclosing.arguments)
-        for op in enclosing.operations:
-            if op is parent_op:
-                break
+        op = parent_op.prev_op
+        while op is not None:
             visible.update(op.results)
+            op = op.prev_op
         parent_op = enclosing.parent_op
     return visible
+
+
+def is_defined_above(value: Value, block: "Block") -> bool:
+    """True when ``value`` is visible inside ``block`` but defined outside it.
+
+    The order-key fast path of :func:`values_defined_above`: walk the
+    enclosing blocks up to the value's defining block and make one O(1)
+    ``is_before_in_block`` comparison there — O(nesting depth) total,
+    independent of how many operations the enclosing blocks hold.
+    """
+    defining_block = value.owner if isinstance(value, BlockArgument) \
+        else value.owner.parent
+    if defining_block is None or defining_block is block:
+        return False
+    ancestor = block.parent_op
+    current = ancestor.parent if ancestor is not None else None
+    while current is not None:
+        if current is defining_block:
+            if isinstance(value, BlockArgument):
+                return True
+            definer = value.owner
+            return definer is not ancestor and definer.is_before_in_block(ancestor)
+        parent_op = current.parent_op
+        if parent_op is None:
+            return False
+        ancestor = parent_op
+        current = parent_op.parent
+    return False
 
 
 def uses_outside(op: "Operation") -> list[Value]:

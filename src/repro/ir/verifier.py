@@ -4,6 +4,14 @@ The verifier catches the mistakes transforms are most likely to introduce:
 dangling operand uses, results used before they are defined, broken
 parent/child links, blocks without terminators inside region-holding ops, and
 type mismatches on common dialect operations.
+
+Dominance is checked per operand with the intrusive op list's O(1) order
+keys: walk the use's enclosing blocks up to the definition's block, then
+compare two order keys.  The seed implementation instead accumulated a
+"values available so far" set per block — copying the whole visible set once
+per nested block, which is quadratic on the region-heavy IR full unrolling
+produces (one nested block per unrolled body).  The order-key walk is
+O(nesting depth) per operand, and the nesting depth of real HLS IR is small.
 """
 
 from __future__ import annotations
@@ -25,22 +33,19 @@ def verify(op: "Operation", *, require_terminators: bool = True) -> None:
 
     Raises :class:`VerificationError` on the first problem found.
     """
-    _verify_op(op, available=set(), require_terminators=require_terminators)
+    _verify_op(op, require_terminators=require_terminators)
 
 
-def _verify_op(op: "Operation", available: set, require_terminators: bool) -> None:
+def _verify_op(op: "Operation", require_terminators: bool) -> None:
     for index, operand in enumerate(op.operands):
-        if isinstance(operand, (OpResult, BlockArgument)):
-            if operand not in available and op.parent is not None:
-                _check_dominance(op, operand, index)
+        if isinstance(operand, (OpResult, BlockArgument)) and op.parent is not None:
+            _check_dominance(op, operand, index)
         if not any(use.owner is op and use.index == index for use in operand.uses):
             raise VerificationError(
                 f"operand {index} of {op.name} is missing its use-list entry")
 
     for region in op.regions:
         for block in region.blocks:
-            block_available = set(available)
-            block_available.update(block.arguments)
             block.ensure_order()
             previous = None
             for inner in block.operations:
@@ -52,8 +57,7 @@ def _verify_op(op: "Operation", available: set, require_terminators: bool) -> No
                         f"operation {inner.name} has a non-increasing block "
                         f"order key (broken intrusive list invariant)")
                 previous = inner
-                _verify_op(inner, block_available, require_terminators)
-                block_available.update(inner.results)
+                _verify_op(inner, require_terminators)
             if require_terminators:
                 # The last op may or may not be a terminator depending on
                 # dialect, but a terminator anywhere else is always invalid.
@@ -65,19 +69,31 @@ def _verify_op(op: "Operation", available: set, require_terminators: bool) -> No
 
 
 def _check_dominance(op: "Operation", operand, index: int) -> None:
-    """Check that ``operand`` is visible at ``op`` by walking enclosing scopes."""
+    """Check that ``operand`` dominates ``op``.
+
+    Walk ``op``'s enclosing blocks outward until the operand's defining
+    block is found, tracking the ancestor operation at each level; the
+    definition must then come strictly before that ancestor (one O(1)
+    order-key comparison).  Block arguments only need their block to enclose
+    the use.
+    """
     defining_block = operand.owner if isinstance(operand, BlockArgument) else operand.owner.parent
+    ancestor = op
     current = op.parent
     while current is not None:
         if current is defining_block:
-            if isinstance(operand, OpResult) and operand.owner.parent is current \
-                    and op.parent is current:
-                if not operand.owner.is_before_in_block(op):
-                    raise VerificationError(
-                        f"operand {index} of {op.name} is used before its definition")
+            if isinstance(operand, BlockArgument):
+                return
+            definer = operand.owner
+            if definer is ancestor or not definer.is_before_in_block(ancestor):
+                raise VerificationError(
+                    f"operand {index} of {op.name} is used before its definition")
             return
         parent_op = current.parent_op
-        current = parent_op.parent if parent_op is not None else None
+        if parent_op is None:
+            break
+        ancestor = parent_op
+        current = parent_op.parent
     raise VerificationError(
         f"operand {index} of {op.name} ({operand!r}) is not visible from the "
         f"operation's position")

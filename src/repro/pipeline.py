@@ -15,6 +15,9 @@ the emitter into the flows the paper evaluates:
   optimization, graph-to-loop lowering, loop/directive optimization and QoR
   estimation, parameterized by the graph and loop optimization levels of the
   paper's Fig. 8 ablation.
+* :func:`explore_dnn` — the whole-model DSE: the same graph staging
+  (:func:`prepare_dnn_stages`) followed by a budgeted multi-kernel sweep of
+  every dataflow node and model-level frontier composition.
 """
 
 from __future__ import annotations
@@ -135,6 +138,58 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
 # -- DNN models --------------------------------------------------------------------------------------
 
 
+def prepare_dnn_stages(module: ModuleOp, graph_level: int) -> int:
+    """The graph-level stage of the DNN flow, shared by every driver.
+
+    Runs dataflow legalization and function splitting on the module's top
+    function in place (``graph_level`` 0 leaves the module monolithic) and
+    returns the number of dataflow stages.  Both :func:`compile_dnn` and the
+    whole-model DSE (:class:`repro.dse.runtime.ModelScheduler`) stage models
+    through this function, so their per-node kernels are identical.
+    """
+    if graph_level <= 0:
+        return 1
+    top = module.functions()[0]
+    num_stages = legalize_dataflow(top, insert_copy=graph_level >= 6)
+    min_granularity = max(1, math.ceil(num_stages / 2 ** (graph_level - 1)))
+    split_function(module, top, min_granularity)
+    return math.ceil(num_stages / min_granularity)
+
+
+def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
+                graph_level: int = 4, jobs: int = 1,
+                num_samples: int = 8, max_iterations: int = 12,
+                seed: int = 2022, batch_size: int = 4,
+                cache: "Optional[EstimateCache]" = None,
+                cache_path: Optional[str] = None,
+                checkpoint_dir: Optional[str] = None,
+                checkpoint_every: int = 16,
+                resume: bool = False,
+                budget_mode: str = "flops",
+                frontier_cap: int = 64,
+                max_nodes: Optional[int] = None) -> "ModelDSEResult":
+    """Run the whole-model DSE on a bundled DNN model.
+
+    Mirrors :func:`explore_kernel` / :func:`explore_module_kernels` for the
+    model flow: one shared worker pool sweeps every dataflow node of the
+    staged model, and the per-node frontiers compose into the model-level
+    latency/resource frontier.
+    """
+    from repro.dse.runtime import EstimateCache, ModelScheduler, NodeBudgetPolicy
+
+    if cache is None and cache_path:
+        cache = EstimateCache(cache_path)
+    scheduler = ModelScheduler(
+        platform, jobs=jobs, seed=seed, batch_size=batch_size,
+        budget=NodeBudgetPolicy(num_samples=num_samples,
+                                max_iterations=max_iterations,
+                                mode=budget_mode),
+        cache=cache, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every, frontier_cap=frontier_cap)
+    return scheduler.explore(model_name, graph_level=graph_level,
+                             resume=resume, max_nodes=max_nodes)
+
+
 @dataclasses.dataclass
 class DNNCompilationResult:
     """Outcome of one DNN compilation configuration."""
@@ -170,16 +225,11 @@ def compile_dnn(model_name: str, graph_level: int = 0, loop_level: int = 0,
     flops = model_flops(module)
     top = module.functions()[0]
 
-    num_stages = 1
-    if graph_level > 0:
-        num_stages = legalize_dataflow(top, insert_copy=graph_level >= 6)
-        min_granularity = max(1, math.ceil(num_stages / 2 ** (graph_level - 1)))
-        split_function(module, top, min_granularity)
-        num_stages = math.ceil(num_stages / min_granularity)
+    num_stages = prepare_dnn_stages(module, graph_level)
 
     # Per-stage work estimate (used to balance unroll factors across stages).
     stage_flops = {
-        func_op.get_attr("sym_name"): _function_flops(func_op)
+        func_op.get_attr("sym_name"): function_flops(func_op)
         for func_op in module.functions()
     }
     lower_graph_to_loops(module)
@@ -235,7 +285,7 @@ def _optimize_lowered_function(func_op: Operation, unroll_factor: int) -> None:
     build_pipeline_cached(dnn_function_pipeline_spec(unroll_factor)).run(func_op)
 
 
-def _function_flops(func_op: Operation) -> int:
+def function_flops(func_op: Operation) -> int:
     """Multiply-accumulate style work of the graph ops contained in a function."""
     from repro.dialects.graph import GraphOp
 

@@ -22,7 +22,10 @@ functionality behind one entry point with sub-commands:
 
 ``dnn``
     Compile one of the bundled DNN models with the multi-level optimization
-    and report its QoR.
+    and report its QoR — or, with ``--dse``, sweep every dataflow node's
+    design space through the multi-kernel scheduler and compose the
+    model-level Pareto frontier (``--jobs/--cache/--checkpoint/--resume``
+    parity with ``dse``, plus ``--smoke`` for a CI-sized sweep).
 
 ``list-passes``
     Print every registered pass with its anchor and options, and self-check
@@ -176,11 +179,51 @@ def build_parser() -> argparse.ArgumentParser:
                              help="pick the design point with the DSE engine")
     emit_parser.add_argument("-o", "--output", help="write the C++ to a file")
 
-    dnn_parser = commands.add_parser("dnn", help="compile a DNN model")
-    dnn_parser.add_argument("model", choices=("resnet18", "vgg16", "mobilenet"))
+    dnn_parser = commands.add_parser("dnn", help="compile or explore a DNN model")
+    dnn_parser.add_argument("model", nargs="?", default="mobilenet",
+                            choices=("resnet18", "vgg16", "mobilenet"),
+                            help="bundled model (default: mobilenet)")
     dnn_parser.add_argument("--graph-level", type=int, default=4)
     dnn_parser.add_argument("--loop-level", type=int, default=3)
     dnn_parser.add_argument("--platform", default="vu9p-slr")
+    dnn_parser.add_argument("--dse", action="store_true",
+                            help="sweep every dataflow node's design space "
+                                 "through the multi-kernel scheduler and "
+                                 "compose the model-level Pareto frontier")
+    dnn_parser.add_argument("--samples", type=int, default=8,
+                            help="initial samples per node (scaled down for "
+                                 "light stages unless --budget uniform)")
+    dnn_parser.add_argument("--iterations", type=int, default=12,
+                            help="frontier-evolution budget per node")
+    dnn_parser.add_argument("--seed", type=int, default=2022)
+    dnn_parser.add_argument("--jobs", type=int, default=1,
+                            help="number of parallel evaluation workers")
+    dnn_parser.add_argument("--batch-size", type=int, default=4,
+                            help="proposals evaluated per exploration round "
+                                 "(part of the trajectory, independent of --jobs)")
+    dnn_parser.add_argument("--budget", choices=("flops", "uniform"),
+                            default="flops",
+                            help="per-node budget policy: scale budgets by "
+                                 "node work share, or give every node the "
+                                 "full budget")
+    dnn_parser.add_argument("--cache", metavar="PATH",
+                            help="persistent QoR estimate cache (a JSONL "
+                                 "file, or a directory receiving "
+                                 "estimates.jsonl)")
+    dnn_parser.add_argument("--checkpoint", metavar="DIR",
+                            help="checkpoint directory (one snapshot file "
+                                 "per dataflow node)")
+    dnn_parser.add_argument("--checkpoint-every", type=int, default=16,
+                            help="snapshot a node's state every N evaluations")
+    dnn_parser.add_argument("--resume", action="store_true",
+                            help="resume every node from its checkpoint if present")
+    dnn_parser.add_argument("--smoke", action="store_true",
+                            help="tiny sweep for CI: 3 samples, 4 iterations, "
+                                 "3 heaviest nodes")
+    dnn_parser.add_argument("--frontier-out", metavar="PATH",
+                            default="dnn-dse-frontier.json",
+                            help="where --dse writes the model frontier JSON "
+                                 "(default: dnn-dse-frontier.json)")
     _add_instrumentation_arguments(dnn_parser)
 
     list_parser = commands.add_parser(
@@ -292,7 +335,75 @@ def run_emit(args) -> int:
     return 0
 
 
+def _estimate_cache_path(path: str) -> str:
+    """Resolve ``--cache`` to a JSONL file (directories get estimates.jsonl)."""
+    if os.path.isdir(path) or path.endswith(os.sep):
+        return os.path.join(path, "estimates.jsonl")
+    return path
+
+
+def run_dnn_dse(args) -> int:
+    from repro.pipeline import explore_dnn
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint DIR (otherwise the "
+                         "sweep would silently restart from scratch)")
+    if args.checkpoint and os.path.exists(args.checkpoint) \
+            and not os.path.isdir(args.checkpoint):
+        raise SystemExit("--checkpoint must name a directory for a model "
+                         f"sweep: {args.checkpoint!r} is a file")
+    platform = _platform(args.platform)
+    samples, iterations, max_nodes = args.samples, args.iterations, None
+    if args.smoke:
+        samples, iterations, max_nodes = 3, 4, 3
+    result = explore_dnn(
+        args.model, platform, graph_level=args.graph_level, jobs=args.jobs,
+        num_samples=samples, max_iterations=iterations, seed=args.seed,
+        batch_size=args.batch_size,
+        cache_path=_estimate_cache_path(args.cache) if args.cache else None,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every, resume=args.resume,
+        budget_mode=args.budget, max_nodes=max_nodes)
+
+    cache_parts = []
+    if result.cache_hits:
+        cache_parts.append(f"{result.cache_hits} sweep hits")
+    if result.cache_misses:
+        cache_parts.append(f"{result.cache_misses} misses")
+    if result.frontier_cache_hits:
+        cache_parts.append(f"{result.frontier_cache_hits} frontier "
+                           f"revalidation hits")
+    cache_note = f" (cache: {', '.join(cache_parts)})" if cache_parts else ""
+    print(f"{result.model}: explored {len(result.node_order)} dataflow nodes, "
+          f"{result.num_evaluations} evaluations in "
+          f"{result.wall_seconds:.2f}s{cache_note}")
+    if result.skipped:
+        print(f"  skipped nodes: {', '.join(result.skipped)}")
+    if not result.node_order:
+        print("  no explorable dataflow nodes (no affine loop nests); "
+              "no frontier to report")
+    if result.truncated:
+        print(f"  frontier cap dropped {result.truncated} composition points")
+    print(f"  model frontier ({len(result.frontier)} points, latency = sum of "
+          f"stage latencies, resources = sum over stages):")
+    for point in result.frontier:
+        print(f"    latency={point.latency:<14,} interval={point.interval:<12,} "
+              f"dsp={point.resources.dsp:<6} lut={point.resources.lut}")
+    best = result.best_point()
+    if best is not None:
+        utilization = platform.utilization(best.resources)
+        print(f"  selected: latency={best.latency:,} dsp={best.resources.dsp} "
+              f"({utilization['dsp'] * 100:.1f}%) "
+              f"memory={best.resources.memory_bits / 1e6:.1f}Mb")
+    with open(args.frontier_out, "w", encoding="utf-8") as handle:
+        handle.write(result.frontier_json())
+    print(f"wrote {args.frontier_out}")
+    return 0
+
+
 def run_dnn(args) -> int:
+    if args.dse:
+        return run_dnn_dse(args)
     platform = _platform(args.platform)
     baseline = dnn_baseline(args.model, platform=platform)
     result = compile_dnn(args.model, graph_level=args.graph_level,

@@ -36,9 +36,10 @@ class TestDesignSpace:
 
     def test_dimensions_cover_all_parameters(self):
         space, _ = self.space()
-        # LP, RVB, permutation, one tile dim per loop, II.
-        assert space.num_dimensions == 3 + 3 + 1
+        # LP, RVB, permutation, one tile dim per loop, II, cleanup pipeline.
+        assert space.num_dimensions == 3 + 3 + 1 + 1
         assert space.num_points > 100
+        assert "default" in space.pipeline_options
 
     def test_decode_produces_valid_point(self):
         space, _ = self.space()
@@ -81,7 +82,7 @@ class TestDesignSpace:
     def test_encode_vector_matches_dimensionality(self):
         space, _ = self.space()
         vector = space.encode_vector([0] * space.num_dimensions)
-        assert len(vector) == 2 + 3 + 3 + 1
+        assert len(vector) == 2 + 3 + 3 + 1 + 1
 
 
 class TestPareto:

@@ -130,6 +130,107 @@ class TestPipelineParsing:
         assert not [op for op in f.walk() if op.name == "arith.addf"]
 
 
+class TestPipelineSpecFuzz:
+    """Property-style round-trip fuzzing of the textual pipeline syntax.
+
+    Specs are generated from the real registry (names, declared options,
+    anchors), so the corpus tracks the transform library as it grows.  Every
+    generated spec must round-trip to a fixed point through parse/print, and
+    targeted corruptions of a valid spec must fail with an actionable
+    :class:`PassError` — never a raw crash or a silent acceptance.
+    """
+
+    ROUNDS = 60
+
+    @staticmethod
+    def _random_value(option, rng):
+        if option.type == "int":
+            return str(rng.choice([1, 2, 3, 4, 8, 16]))
+        if option.type == "bool":
+            return rng.choice(["true", "false", "1", "0"])
+        if option.type == "int-list":
+            return ",".join(str(rng.choice([1, 2, 4, 8]))
+                            for _ in range(rng.randint(1, 3)))
+        return rng.choice(["f", "stage0", "forward_node"])  # str
+
+    @classmethod
+    def _random_pass(cls, rng, registry):
+        name, pass_cls = rng.choice(registry)
+        rendered = []
+        for option in pass_cls.OPTIONS:
+            if rng.random() < 0.5:
+                rendered.append(f"{option.name}={cls._random_value(option, rng)}")
+        return f"{name}{{{','.join(rendered)}}}" if rendered else name
+
+    @classmethod
+    def _random_spec(cls, rng):
+        function_passes = [(name, cls_) for name, cls_ in
+                           sorted(registered_passes().items())
+                           if cls_.target_op == "func.func"]
+        any_passes = sorted(registered_passes().items())
+        elements = []
+        for _ in range(rng.randint(1, 4)):
+            shape = rng.random()
+            if shape < 0.2:
+                inner = ",".join(cls._random_pass(rng, function_passes)
+                                 for _ in range(rng.randint(1, 3)))
+                elements.append(f"func.func({inner})")
+            elif shape < 0.35:
+                inner = ",".join(cls._random_pass(rng, any_passes)
+                                 for _ in range(rng.randint(1, 2)))
+                elements.append(f"builtin.module({inner})")
+            else:
+                elements.append(cls._random_pass(rng, any_passes))
+        return ",".join(elements)
+
+    def test_generated_specs_reach_a_print_fixed_point(self):
+        import random
+
+        rng = random.Random(2022)
+        for _ in range(self.ROUNDS):
+            spec = self._random_spec(rng)
+            printed = build_pipeline(spec).to_spec()
+            # The canonical form is a fixed point of parse/print.
+            assert build_pipeline(printed).to_spec() == printed, spec
+            # The raw syntax round-trips below the registry too.
+            reparsed = str(parse_pipeline(str(parse_pipeline(spec))))
+            assert reparsed == str(parse_pipeline(spec)), spec
+
+    def test_corrupted_specs_raise_actionable_errors(self):
+        import random
+
+        rng = random.Random(7)
+        corruptions = [
+            lambda s: s.replace(s.split(",")[0].split("{")[0],
+                                "no-such-pass-xyz", 1),
+            lambda s: s + "{",
+            lambda s: s + "{}",
+            lambda s: "," + s,
+            lambda s: s + ",",
+            lambda s: s.replace(",", ",,", 1) if "," in s else s + ",,cse",
+            lambda s: f"cse({s})",
+            lambda s: f"func.func(builtin.module({s}))",
+        ]
+        for _ in range(self.ROUNDS):
+            spec = self._random_spec(rng)
+            corrupt = rng.choice(corruptions)(spec)
+            with pytest.raises(PassError) as excinfo:
+                build_pipeline(corrupt)
+            # Actionable: the error names the offense, never an empty shrug.
+            message = str(excinfo.value)
+            assert len(message) > 20, corrupt
+
+    def test_option_value_corruptions_name_the_option(self):
+        for bad, fragment in [
+            ("affine-loop-unroll{factor=banana}", "expects an integer"),
+            ("affine-loop-tile{sizes=4,no}", "list of integers"),
+            ("legalize-dataflow{insert-copy=perhaps}", "expects true/false"),
+            ("apply-design-point{unknown-knob=1}", "has no option"),
+        ]:
+            with pytest.raises(PassError, match=fragment):
+                build_pipeline(bad)
+
+
 class TestPassManagerInstrumentation:
     def test_timings_keyed_by_name_and_options(self):
         module, _ = build_simple_module()
