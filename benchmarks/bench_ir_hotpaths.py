@@ -20,6 +20,14 @@ Block representation:
   the seed's availability-set verifier copied the visible set once per
   nested block, i.e. quadratic on exactly this shape,
 
+* ``rewrite_storm``  — one worklist-driver canonicalize of an N-op constant
+  chain (every op folds, then everything is DCE'd): the constant-folding
+  storm the order-keyed deduplicating worklist keeps linear — each op is
+  visited O(1) times, pinned via the driver's ``visit_counts``,
+* ``pattern_dispatch`` — one worklist-driver run over N ops spread across
+  64 distinct op names against a 64-bucket pattern set: per-op dispatch is
+  one dict lookup, independent of the pattern count,
+
 and, as the asymptotic baseline, ``list_mid_insert`` — the same mid-block
 insertion against a plain Python list (the seed representation): O(n) per
 insert, visibly quadratic at these sizes.
@@ -29,10 +37,15 @@ Usage::
     python benchmarks/bench_ir_hotpaths.py                # full curve
     python benchmarks/bench_ir_hotpaths.py --smoke        # CI gate (~seconds)
     python benchmarks/bench_ir_hotpaths.py --json out.json
+    python benchmarks/bench_ir_hotpaths.py --gemm-dse 8 12 16  # end-to-end
 
 ``--smoke`` exits non-zero when any linked-list scenario scales worse than
 near-linear (per-op cost growing more than ``--max-growth`` across an 8x
-size sweep — a quadratic regression would grow ~8x).
+size sweep — a quadratic regression would grow ~8x).  ``--gemm-dse`` also
+times one full DSE evaluation of a *fully unrolled* gemm per listed size
+(clone + transform pipeline + QoR estimate, the paper's Fig. 7 block-size
+extreme) and records the wall-clock under ``"gemm_dse_seconds"`` in the
+``--json`` payload — the before/after ledger of the constant-factor work.
 """
 
 from __future__ import annotations
@@ -177,6 +190,64 @@ def scenario_verify_nested(size: int) -> float:
     return time.perf_counter() - started
 
 
+def scenario_rewrite_storm(size: int) -> float:
+    """Worklist canonicalize of a fully foldable N-op constant chain.
+
+    Every op folds to a constant and the whole chain is dead — the revisit
+    storm that made the pre-bucketed driver superlinear.  The deduplicating
+    program-ordered worklist visits each op a bounded number of times, so
+    per-op cost stays flat; the gate fails on a revisit-storm regression.
+    """
+    from repro.dialects import arith
+    from repro.ir.rewrite import GreedyRewriteDriver
+    from repro.ir.types import index
+    from repro.transforms.cleanup.canonicalize import canonicalization_patterns
+
+    root = Operation("bench.root", num_regions=1)
+    block = root.regions[0].add_block(Block())
+    one = arith.ConstantOp(1, index)
+    block.append(one)
+    previous = one.result()
+    for _ in range(size):
+        op = arith.AddIOp(previous, one.result())
+        block.append(op)
+        previous = op.result()
+    driver = GreedyRewriteDriver(canonicalization_patterns(),
+                                 max_iterations=64, strategy="worklist")
+    started = time.perf_counter()
+    driver.rewrite(root)
+    return time.perf_counter() - started
+
+
+def scenario_pattern_dispatch(size: int) -> float:
+    """One worklist run over N ops of 64 distinct names vs. 64+2 patterns.
+
+    Bucketed dispatch makes matching an op a single dict lookup; per-op
+    cost must not grow with the block (nor, implicitly, the pattern count).
+    """
+    from repro.ir.rewrite import GreedyRewriteDriver, RewritePattern
+
+    num_names = 64
+
+    class Never(RewritePattern):
+        def __init__(self, op_name):
+            self.op_name = op_name
+
+        def match_and_rewrite(self, op, rewriter) -> bool:
+            return False
+
+    patterns = [Never(f"bench.op{i}") for i in range(num_names)]
+    patterns += [Never(None), Never(None)]  # wildcards merged into every bucket
+    root = Operation("bench.root", num_regions=1)
+    block = root.regions[0].add_block(Block())
+    for i in range(size):
+        block.append(Operation(f"bench.op{i % num_names}"))
+    driver = GreedyRewriteDriver(patterns, strategy="worklist")
+    started = time.perf_counter()
+    driver.rewrite(root)
+    return time.perf_counter() - started
+
+
 def scenario_list_mid_insert(size: int) -> float:
     """The seed representation's mid-block insert: a plain list splice."""
     data = list(range(size))
@@ -184,6 +255,24 @@ def scenario_list_mid_insert(size: int) -> float:
     for i in range(size):
         data.insert(size // 2, i)
     return time.perf_counter() - started
+
+
+def measure_gemm_dse(sizes) -> dict:
+    """Wall-clock of one fully-unrolled gemm DSE evaluation per size."""
+    from repro.dse.apply import apply_design_point
+    from repro.dse.space import KernelDesignPoint
+    from repro.pipeline import compile_kernel
+
+    seconds = {}
+    for size in sizes:
+        module = compile_kernel("gemm", size)
+        point = KernelDesignPoint(True, True, (1, 2, 0), (size,) * 3, 1)
+        started = time.perf_counter()
+        design = apply_design_point(module, point)
+        seconds[size] = time.perf_counter() - started
+        print(f"gemm {size}^3 full-unroll evaluation: {seconds[size]:.2f}s "
+              f"(latency={design.qor.latency}, dsp={design.qor.dsp})")
+    return seconds
 
 
 SCENARIOS = {
@@ -195,13 +284,15 @@ SCENARIOS = {
     "move": scenario_move,
     "defined_above": scenario_defined_above,
     "verify_nested": scenario_verify_nested,
+    "rewrite_storm": scenario_rewrite_storm,
+    "pattern_dispatch": scenario_pattern_dispatch,
     "list_mid_insert": scenario_list_mid_insert,
 }
 
 #: Scenarios gated on near-linear scaling (the baseline is *expected* to be
 #: quadratic, so it is excluded).
 GATED = ("append", "mid_insert", "mid_remove", "splice", "ordering", "move",
-         "defined_above", "verify_nested")
+         "defined_above", "verify_nested", "rewrite_storm", "pattern_dispatch")
 
 
 def measure(sizes, repeats: int = 3) -> dict:
@@ -255,12 +346,17 @@ def main(argv=None) -> int:
                              "quadratic ~= the size ratio)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the raw measurements as JSON")
+    parser.add_argument("--gemm-dse", type=int, nargs="+", metavar="SIZE",
+                        help="also time one fully-unrolled gemm DSE "
+                             "evaluation per problem size (recorded under "
+                             "'gemm_dse_seconds' in the --json payload)")
     args = parser.parse_args(argv)
 
     sizes = tuple(args.sizes) if args.sizes \
         else (SMOKE_SIZES if args.smoke else FULL_SIZES)
     results = measure(sizes, repeats=args.repeats)
     print_report(results, sizes)
+    gemm_dse = measure_gemm_dse(args.gemm_dse) if args.gemm_dse else None
 
     if args.json:
         payload = {
@@ -272,6 +368,9 @@ def main(argv=None) -> int:
             "growth": {name: growth_factor(results, name, sizes)
                        for name in SCENARIOS},
         }
+        if gemm_dse is not None:
+            payload["gemm_dse_seconds"] = {str(size): seconds
+                                           for size, seconds in gemm_dse.items()}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")

@@ -31,6 +31,8 @@ class AffineForOp(Operation):
     followed by the upper-bound operands.
     """
 
+    __slots__ = ()
+
     def __init__(self, lower_map: AffineMap, upper_map: AffineMap, step: int = 1,
                  lb_operands: Sequence[Value] = (), ub_operands: Sequence[Value] = (),
                  attributes: Optional[dict] = None):
@@ -144,6 +146,8 @@ class AffineForOp(Operation):
 class AffineYieldOp(Operation):
     """Terminator yielding values out of an ``affine.if`` (or loop) region."""
 
+    __slots__ = ()
+
     def __init__(self, operands: Sequence[Value] = ()):
         super().__init__("affine.yield", operands=operands)
 
@@ -151,6 +155,8 @@ class AffineYieldOp(Operation):
 @register_operation("affine", "if")
 class AffineIfOp(Operation):
     """A conditional guarded by an integer-set condition over affine operands."""
+
+    __slots__ = ()
 
     def __init__(self, condition: IntegerSet, operands: Sequence[Value] = (),
                  with_else: bool = False, result_types: Sequence[Type] = ()):
@@ -183,6 +189,8 @@ class AffineIfOp(Operation):
 class AffineApplyOp(Operation):
     """Apply a single-result affine map to index operands."""
 
+    __slots__ = ()
+
     def __init__(self, map: AffineMap, operands: Sequence[Value]):
         if map.num_results != 1:
             raise ValueError("affine.apply requires a single-result map")
@@ -199,6 +207,8 @@ class AffineApplyOp(Operation):
 @register_operation("affine", "load")
 class AffineLoadOp(Operation):
     """Load through an affine access map: ``affine.load %m[map(%indices)]``."""
+
+    __slots__ = ()
 
     def __init__(self, memref: Value, indices: Sequence[Value],
                  map: Optional[AffineMap] = None):
@@ -229,6 +239,8 @@ class AffineLoadOp(Operation):
 @register_operation("affine", "store")
 class AffineStoreOp(Operation):
     """Store through an affine access map."""
+
+    __slots__ = ()
 
     def __init__(self, value: Value, memref: Value, indices: Sequence[Value],
                  map: Optional[AffineMap] = None):

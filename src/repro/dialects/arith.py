@@ -14,6 +14,8 @@ from repro.ir.value import Value
 class ConstantOp(Operation):
     """A compile-time constant of integer, index or float type."""
 
+    __slots__ = ()
+
     def __init__(self, value, type: Type):
         if isinstance(type, (IntegerType, IndexType)):
             value = int(value)
@@ -29,6 +31,8 @@ class ConstantOp(Operation):
 
 class _BinaryOp(Operation):
     """Common base of element-wise binary arithmetic operations."""
+
+    __slots__ = ()
 
     MNEMONIC = ""
 
@@ -49,51 +53,71 @@ class _BinaryOp(Operation):
 
 @register_operation("arith", "addf")
 class AddFOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "addf"
 
 
 @register_operation("arith", "subf")
 class SubFOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "subf"
 
 
 @register_operation("arith", "mulf")
 class MulFOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "mulf"
 
 
 @register_operation("arith", "divf")
 class DivFOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "divf"
 
 
 @register_operation("arith", "addi")
 class AddIOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "addi"
 
 
 @register_operation("arith", "subi")
 class SubIOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "subi"
 
 
 @register_operation("arith", "muli")
 class MulIOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "muli"
 
 
 @register_operation("arith", "divsi")
 class DivSIOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "divsi"
 
 
 @register_operation("arith", "remsi")
 class RemSIOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "remsi"
 
 
 @register_operation("arith", "maxf")
 class MaxFOp(_BinaryOp):
+
+    __slots__ = ()
     MNEMONIC = "maxf"
 
 
@@ -104,6 +128,8 @@ CMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "olt", "ole", "ogt", "
 @register_operation("arith", "cmpi")
 class CmpIOp(Operation):
     """Integer comparison producing an ``i1``."""
+
+    __slots__ = ()
 
     def __init__(self, predicate: str, lhs: Value, rhs: Value):
         if predicate not in CMP_PREDICATES:
@@ -120,6 +146,8 @@ class CmpIOp(Operation):
 class CmpFOp(Operation):
     """Float comparison producing an ``i1``."""
 
+    __slots__ = ()
+
     def __init__(self, predicate: str, lhs: Value, rhs: Value):
         if predicate not in CMP_PREDICATES:
             raise ValueError(f"unknown predicate {predicate!r}")
@@ -134,6 +162,8 @@ class CmpFOp(Operation):
 @register_operation("arith", "select")
 class SelectOp(Operation):
     """Select between two values based on an ``i1`` condition."""
+
+    __slots__ = ()
 
     def __init__(self, condition: Value, true_value: Value, false_value: Value):
         super().__init__("arith.select",
@@ -157,6 +187,8 @@ class SelectOp(Operation):
 class IndexCastOp(Operation):
     """Cast between ``index`` and integer types."""
 
+    __slots__ = ()
+
     def __init__(self, value: Value, result_type: Type):
         super().__init__("arith.index_cast", operands=[value], result_types=[result_type])
 
@@ -164,6 +196,8 @@ class IndexCastOp(Operation):
 @register_operation("arith", "sitofp")
 class SIToFPOp(Operation):
     """Convert a signed integer to floating point."""
+
+    __slots__ = ()
 
     def __init__(self, value: Value, result_type: Type = f32):
         super().__init__("arith.sitofp", operands=[value], result_types=[result_type])

@@ -15,6 +15,8 @@ from repro.ir.value import BlockArgument, Value
 class FuncOp(Operation):
     """A function definition owning a single-block body region."""
 
+    __slots__ = ()
+
     def __init__(self, sym_name: str, function_type: FunctionType,
                  attributes: Optional[dict] = None):
         attrs = dict(attributes or {})
@@ -72,6 +74,8 @@ class FuncOp(Operation):
 class ReturnOp(Operation):
     """Function terminator, optionally returning values."""
 
+    __slots__ = ()
+
     def __init__(self, operands: Sequence[Value] = ()):
         super().__init__("func.return", operands=operands)
 
@@ -79,6 +83,8 @@ class ReturnOp(Operation):
 @register_operation("func", "call")
 class CallOp(Operation):
     """A call to a function identified by symbol name."""
+
+    __slots__ = ()
 
     def __init__(self, callee: str, operands: Sequence[Value] = (),
                  result_types: Sequence[Type] = ()):

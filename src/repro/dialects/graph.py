@@ -30,6 +30,8 @@ def _tensor(value: Value) -> TensorType:
 class GraphOp(Operation):
     """Common base of graph-level tensor operations."""
 
+    __slots__ = ()
+
     def output_type(self) -> TensorType:
         return self.result().type
 

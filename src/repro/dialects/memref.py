@@ -14,6 +14,8 @@ from repro.ir.value import Value
 class AllocOp(Operation):
     """Allocate an on-chip buffer of the given memref type."""
 
+    __slots__ = ()
+
     def __init__(self, memref_type: MemRefType, name: str = ""):
         attrs = {"buffer_name": name} if name else {}
         super().__init__("memref.alloc", result_types=[memref_type], attributes=attrs)
@@ -27,6 +29,8 @@ class AllocOp(Operation):
 class DeallocOp(Operation):
     """Release a buffer (emitted for symmetry; has no effect on estimation)."""
 
+    __slots__ = ()
+
     def __init__(self, memref: Value):
         super().__init__("memref.dealloc", operands=[memref])
 
@@ -34,6 +38,8 @@ class DeallocOp(Operation):
 @register_operation("memref", "load")
 class LoadOp(Operation):
     """Load one element from a memref at dynamic indices."""
+
+    __slots__ = ()
 
     def __init__(self, memref: Value, indices: Sequence[Value]):
         memref_type = memref.type
@@ -56,6 +62,8 @@ class LoadOp(Operation):
 @register_operation("memref", "store")
 class StoreOp(Operation):
     """Store one element to a memref at dynamic indices."""
+
+    __slots__ = ()
 
     def __init__(self, value: Value, memref: Value, indices: Sequence[Value]):
         memref_type = memref.type
@@ -81,6 +89,8 @@ class StoreOp(Operation):
 @register_operation("memref", "copy")
 class CopyOp(Operation):
     """Copy the contents of one buffer into another (used by dataflow legalization)."""
+
+    __slots__ = ()
 
     def __init__(self, source: Value, target: Value):
         super().__init__("memref.copy", operands=[source, target])

@@ -20,6 +20,8 @@ from repro.ir.value import BlockArgument, Value
 class SCFForOp(Operation):
     """A counted loop ``scf.for %iv = %lb to %ub step %step``."""
 
+    __slots__ = ()
+
     def __init__(self, lower: Value, upper: Value, step: Value):
         super().__init__("scf.for", operands=[lower, upper, step], num_regions=1)
         self.region(0).add_block(Block([index]))
@@ -49,6 +51,8 @@ class SCFForOp(Operation):
 class SCFIfOp(Operation):
     """A conditional with an ``i1`` condition operand."""
 
+    __slots__ = ()
+
     def __init__(self, condition: Value, with_else: bool = False,
                  result_types: Sequence[Type] = ()):
         super().__init__("scf.if", operands=[condition], result_types=result_types,
@@ -73,6 +77,8 @@ class SCFIfOp(Operation):
 @register_operation("scf", "yield")
 class SCFYieldOp(Operation):
     """Terminator yielding values from an ``scf.if`` region."""
+
+    __slots__ = ()
 
     def __init__(self, operands: Sequence[Value] = ()):
         super().__init__("scf.yield", operands=operands)

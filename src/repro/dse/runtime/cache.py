@@ -35,6 +35,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     loaded: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -46,15 +47,29 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(hits=self.hits, misses=self.misses,
-                          stores=self.stores, loaded=self.loaded)
+                          stores=self.stores, loaded=self.loaded,
+                          evictions=self.evictions)
 
 
 class EstimateCache:
-    """In-process QoR memo with optional JSONL persistence."""
+    """In-process QoR memo with optional JSONL persistence.
 
-    def __init__(self, path: Optional[str] = None):
+    ``max_entries`` bounds the in-memory entry count with LRU eviction
+    (lookup hits refresh recency); None keeps the cache unbounded.  Evicted
+    entries count into ``stats.evictions``.  The bound also applies while
+    warming from a persisted file — the JSONL file itself is append-only and
+    is *not* rewritten on eviction, so a later, larger-bounded process can
+    still warm from everything ever stored.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.path = path
+        self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Insertion-ordered; least recently used first (hits re-insert).
         self._entries: dict[CacheKey, EvaluationRecord] = {}
         self._handle = None
         #: Guards entries, stats and file appends: one cache instance may be
@@ -82,11 +97,16 @@ class EstimateCache:
     def get(self, fingerprint: str,
             encoded: Sequence[int]) -> Optional[EvaluationRecord]:
         with self._lock:
-            record = self._entries.get((fingerprint, tuple(encoded)))
+            key = (fingerprint, tuple(encoded))
+            record = self._entries.get(key)
             if record is None:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+                if self.max_entries is not None:
+                    # Refresh recency: re-insert at the most-recent end.
+                    del self._entries[key]
+                    self._entries[key] = record
             return record
 
     def put(self, fingerprint: str, record: EvaluationRecord) -> None:
@@ -96,8 +116,17 @@ class EstimateCache:
                 return
             self._entries[key] = record
             self.stats.stores += 1
+            self._evict_over_bound()
             if self.path:
                 self._append(fingerprint, record)
+
+    def _evict_over_bound(self) -> None:
+        # Caller holds the lock.  Entries iterate least-recent first.
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            del self._entries[next(iter(self._entries))]
+            self.stats.evictions += 1
 
     # -- persistence ------------------------------------------------------------------------
 
@@ -115,8 +144,10 @@ class EstimateCache:
                     key = (data["fingerprint"], record.encoded)
                 except (KeyError, TypeError, ValueError):
                     continue  # tolerate truncated/corrupt/foreign lines
+                self._entries.pop(key, None)  # later lines are fresher: refresh
                 self._entries[key] = record
                 self.stats.loaded += 1
+                self._evict_over_bound()
 
     def _append(self, fingerprint: str, record: EvaluationRecord) -> None:
         # One lazily opened append handle for the cache's lifetime (caller

@@ -113,6 +113,9 @@ class Block:
     use a block argument for the induction variable.
     """
 
+    __slots__ = ("parent", "arguments", "_first", "_last", "_num_ops",
+                 "_order_valid", "_view")
+
     def __init__(self, arg_types: Sequence["Type"] = ()):
         self.parent: Optional["Region"] = None
         self.arguments: list[BlockArgument] = []
@@ -339,15 +342,13 @@ class Block:
     # persists its operations as a flat list and relinks them on load.
 
     def __getstate__(self) -> dict:
-        state = self.__dict__.copy()
-        for key in ("_first", "_last", "_num_ops", "_order_valid", "_view"):
-            state.pop(key, None)
-        state["_op_list"] = list(self.operations)
-        return state
+        return {"parent": self.parent, "arguments": self.arguments,
+                "_op_list": list(self.operations)}
 
     def __setstate__(self, state: dict) -> None:
         ops = state.pop("_op_list")
-        self.__dict__.update(state)
+        for key, value in state.items():
+            setattr(self, key, value)
         self._first = self._last = None
         self._num_ops = 0
         self._order_valid = True

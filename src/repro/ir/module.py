@@ -11,6 +11,8 @@ from repro.ir.operation import Operation
 class ModuleOp(Operation):
     """A container for functions (and other top-level operations)."""
 
+    __slots__ = ()
+
     OP_NAME = "builtin.module"
 
     def __init__(self, name: str = ""):

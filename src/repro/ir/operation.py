@@ -5,14 +5,31 @@ an attribute dictionary, and an ordered list of regions.  Dialect-specific
 operation classes subclass :class:`Operation` and keep all of their state in
 the base fields, which lets :meth:`Operation.clone` reproduce any operation
 without knowing its concrete class.
+
+Two constant-factor decisions shape this module, both aimed at the DSE hot
+loop (one evaluation of a fully-unrolled kernel materializes hundreds of
+thousands of operations):
+
+* every class carries ``__slots__`` (subclasses declare ``__slots__ = ()``
+  and keep their state in the base fields), cutting per-op memory by the
+  cost of an instance ``__dict__``;
+* operands are stored as the :class:`~repro.ir.value.Use` objects
+  themselves, so dropping an operand's use is an O(1) dict deletion on the
+  value instead of a scan of its (possibly huge) use list;
+* attribute dictionaries are interned across clones: when every attribute
+  value is one clone would share anyway (no lists/dicts/clonables), the
+  clone references the *same* dict, copy-on-write — mutate only through
+  :meth:`set_attr` / :meth:`remove_attr`, never ``op.attributes[k] = v``.
 """
 
 from __future__ import annotations
 
+import sys
+from types import MappingProxyType
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
 from repro.ir.region import Region
-from repro.ir.value import OpResult, Value
+from repro.ir.value import OpResult, Use, Value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ir.block import Block
@@ -40,16 +57,31 @@ SIDE_EFFECT_OPS = {
     "graph.output",
 }
 
+_intern = sys.intern
+
+#: Slots persisted by pickling; the intrusive block links are stripped (see
+#: :meth:`Operation.__getstate__`).
+_PICKLE_SLOTS = ("name", "_attributes", "_attrs_shared", "parent",
+                 "_operands", "results", "regions")
+
 
 class Operation:
     """A generic operation."""
+
+    __slots__ = ("name", "_attributes", "_attrs_shared", "parent",
+                 "_prev", "_next", "_order", "_operands", "results", "regions")
 
     def __init__(self, name: str, operands: Sequence[Value] = (),
                  result_types: Sequence["Type"] = (),
                  attributes: Optional[dict[str, Any]] = None,
                  num_regions: int = 0):
-        self.name = name
-        self.attributes: dict[str, Any] = dict(attributes or {})
+        # Interned names make the rewrite driver's per-name dict dispatch a
+        # pointer-hash lookup and deduplicate dynamically composed names.
+        self.name = _intern(name)
+        self._attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        #: True while ``_attributes`` may be referenced by another operation
+        #: (clone interning); mutations copy first.
+        self._attrs_shared = False
         self.parent: Optional["Block"] = None
         #: Intrusive block-list links and order key, owned by the parent
         #: Block (see repro.ir.block): _prev/_next chain the ops of a block
@@ -58,7 +90,10 @@ class Operation:
         self._prev: Optional["Operation"] = None
         self._next: Optional["Operation"] = None
         self._order = 0
-        self._operands: list[Value] = []
+        #: The operand uses themselves, in operand order; ``use.value`` is
+        #: the operand.  Holding the Use (not the Value) makes dropping it
+        #: O(1) on the value's use dict.
+        self._operands: list[Use] = []
         self.results: list[OpResult] = []
         self.regions: list[Region] = []
         for operand in operands:
@@ -72,27 +107,24 @@ class Operation:
 
     @property
     def operands(self) -> tuple[Value, ...]:
-        return tuple(self._operands)
+        return tuple(use.value for use in self._operands)
 
     @property
     def num_operands(self) -> int:
         return len(self._operands)
 
     def operand(self, index: int) -> Value:
-        return self._operands[index]
+        return self._operands[index].value
 
     def append_operand(self, value: Value) -> None:
         if not isinstance(value, Value):
             raise TypeError(f"operand of {self.name} must be a Value, got {value!r}")
-        index = len(self._operands)
-        self._operands.append(value)
-        value.add_use(self, index)
+        self._operands.append(value.add_use(self, len(self._operands)))
 
     def set_operand(self, index: int, value: Value) -> None:
         old = self._operands[index]
-        old.remove_use(self, index)
-        self._operands[index] = value
-        value.add_use(self, index)
+        old.value.drop_use(old)
+        self._operands[index] = value.add_use(self, index)
 
     def set_operands(self, values: Sequence[Value]) -> None:
         self.drop_operand_uses()
@@ -101,26 +133,24 @@ class Operation:
             self.append_operand(value)
 
     def erase_operand(self, index: int) -> None:
-        self._operands[index].remove_use(self, index)
+        use = self._operands[index]
+        use.value.drop_use(use)
         del self._operands[index]
-        # Re-index the remaining uses.
+        # Re-index the remaining uses in place (their registration order on
+        # the values is untouched).
         for i in range(index, len(self._operands)):
-            value = self._operands[i]
-            for use in value.uses:
-                if use.owner is self and use.index == i + 1:
-                    use.index = i
-                    break
+            self._operands[i].index = i
 
     def drop_operand_uses(self) -> None:
-        for index, value in enumerate(self._operands):
+        for use in self._operands:
             try:
-                value.remove_use(self, index)
-            except ValueError:
-                pass
+                use.value.drop_use(use)
+            except KeyError:
+                pass  # already dropped (e.g. erase after remove)
 
     def replaces_uses_of(self, old: Value, new: Value) -> None:
-        for i, operand in enumerate(self._operands):
-            if operand is old:
+        for i, use in enumerate(self._operands):
+            if use.value is old:
                 self.set_operand(i, new)
 
     # -- results ---------------------------------------------------------------------
@@ -253,19 +283,39 @@ class Operation:
     # -- traversal ---------------------------------------------------------------------------
 
     def walk(self) -> Iterator["Operation"]:
-        """Pre-order traversal of this operation and everything nested inside."""
-        yield self
-        for region in self.regions:
-            for block in region.blocks:
-                for op in list(block.operations):
-                    yield from op.walk()
+        """Pre-order traversal of this operation and everything nested inside.
+
+        Iterative (an explicit stack, not one generator frame per nesting
+        level): the traversal is a hot path of the rewrite driver, the
+        verifier and every ``run_on_module``.  Children are snapshotted when
+        their parent is yielded, so erasing or moving already-yielded ops is
+        safe; for heavier mutation take a ``list(...)`` first.
+        """
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            op = pop()
+            yield op
+            if op.regions:
+                children = [nested for region in op.regions
+                            for block in region.blocks
+                            for nested in block.operations]
+                children.reverse()
+                stack.extend(children)
 
     def walk_post_order(self) -> Iterator["Operation"]:
-        for region in self.regions:
-            for block in region.blocks:
-                for op in list(block.operations):
-                    yield from op.walk_post_order()
-        yield self
+        # Reversed pre-order with children pushed left-to-right == post-order.
+        ordered = []
+        append = ordered.append
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            op = pop()
+            append(op)
+            for region in op.regions:
+                for block in region.blocks:
+                    stack.extend(block.operations)
+        return reversed(ordered)
 
     def ops_of_name(self, name: str) -> list["Operation"]:
         return [op for op in self.walk() if op.name == name]
@@ -286,11 +336,23 @@ class Operation:
         Operation.__init__(
             new_op,
             self.name,
-            operands=[value_map.get(operand, operand) for operand in self._operands],
+            operands=[value_map.get(use.value, use.value)
+                      for use in self._operands],
             result_types=[result.type for result in self.results],
-            attributes=_clone_attributes(self.attributes),
+            attributes=None,
             num_regions=0,
         )
+        attrs = self._attributes
+        if attrs:
+            if self._attrs_shared or _attrs_shareable(attrs):
+                # Intern the dict: mass cloning (loop_unroll) re-references
+                # one attribute dict instead of copying it per clone.
+                # set_attr/remove_attr copy-on-write, so sharing is safe.
+                self._attrs_shared = True
+                new_op._attributes = attrs
+                new_op._attrs_shared = True
+            else:
+                new_op._attributes = _clone_attributes(attrs)
         for old_result, new_result in zip(self.results, new_op.results):
             value_map[old_result] = new_result
         for region in self.regions:
@@ -309,17 +371,34 @@ class Operation:
 
     # -- attribute helpers -------------------------------------------------------------------------
 
+    @property
+    def attributes(self):
+        """The attribute mapping, as a read-only view.
+
+        Always a proxy — the backing dict may be interned across clones (or
+        become interned by a later ``clone()``), so a stray
+        ``op.attributes[k] = v`` raises instead of silently editing every
+        sharing clone.  Mutate via :meth:`set_attr` / :meth:`remove_attr`.
+        """
+        return MappingProxyType(self._attributes)
+
+    def _own_attributes(self) -> dict[str, Any]:
+        if self._attrs_shared:
+            self._attributes = dict(self._attributes)
+            self._attrs_shared = False
+        return self._attributes
+
     def get_attr(self, key: str, default: Any = None) -> Any:
-        return self.attributes.get(key, default)
+        return self._attributes.get(key, default)
 
     def set_attr(self, key: str, value: Any) -> None:
-        self.attributes[key] = value
+        self._own_attributes()[key] = value
 
     def remove_attr(self, key: str) -> None:
-        self.attributes.pop(key, None)
+        self._own_attributes().pop(key, None)
 
     def has_attr(self, key: str) -> bool:
-        return key in self.attributes
+        return key in self._attributes
 
     # -- pickling ----------------------------------------------------------------------------------
 
@@ -327,17 +406,18 @@ class Operation:
         # Strip the intrusive links: pickling would otherwise recurse one
         # stack frame per _next hop (O(block length) deep).  The parent Block
         # persists its op order and relinks on load (Block.__setstate__).
-        state = self.__dict__.copy()
-        for key in ("_prev", "_next", "_order"):
-            state.pop(key, None)
-        return state
+        return {slot: getattr(self, slot) for slot in _PICKLE_SLOTS}
 
     def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
+        state.pop("_order", None)  # legacy states carried link fields
+        state.pop("_prev", None)
+        state.pop("_next", None)
+        for key, value in state.items():
+            setattr(self, key, value)
         # In cyclic graphs pickle may apply the parent Block's state (which
         # relinks this op) before this op's own state — only default the
         # links when the block has not installed them yet.
-        if "_prev" not in self.__dict__:
+        if not hasattr(self, "_prev"):
             self._prev = None
             self._next = None
             self._order = 0
@@ -347,6 +427,23 @@ class Operation:
     def __repr__(self) -> str:
         results = ", ".join(str(r.type) for r in self.results)
         return f"<{self.name} -> ({results})>"
+
+
+def _attrs_shareable(attributes: dict[str, Any]) -> bool:
+    """True when :func:`_clone_attributes` would share every value anyway.
+
+    Lists and dicts are copied per clone, and values exposing ``clone()``
+    (the mutable hlscpp directives) are cloned — an attribute dict holding
+    any of those cannot be interned.  Everything else (ints, strings,
+    affine maps/sets, types) is shared by clones today, so sharing the dict
+    itself only deduplicates the container.
+    """
+    for value in attributes.values():
+        if isinstance(value, (list, dict)):
+            return False
+        if hasattr(value, "clone") and not isinstance(value, type):
+            return False
+    return True
 
 
 def _clone_attributes(attributes: dict[str, Any]) -> dict[str, Any]:

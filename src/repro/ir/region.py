@@ -12,6 +12,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Region:
     """A region contains a control-flow graph of blocks and belongs to an operation."""
 
+    __slots__ = ("parent", "blocks")
+
     def __init__(self, parent: "Operation" = None):
         self.parent: "Operation" = parent
         self.blocks: list["Block"] = []

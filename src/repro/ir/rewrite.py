@@ -4,24 +4,42 @@ Canonicalization-style passes register :class:`RewritePattern` objects; the
 :class:`GreedyRewriteDriver` applies them until a fixed point is reached.
 Two strategies are available:
 
-* ``"worklist"`` (the default) seeds a worklist with every op under the root
-  once and afterwards only revisits operations whose operands, users or
-  position actually changed — the hot-path friendly driver the cleanup
-  passes run once per DSE evaluation.
+* ``"worklist"`` (the default) seeds a worklist with every *matchable* op
+  under the root once and afterwards only revisits operations whose
+  operands, users or position actually changed — the hot-path friendly
+  driver the cleanup passes run once per DSE evaluation.  The worklist is
+  *deduplicating* and *program-ordered*: the seed pass is a plain pre-order
+  list (no per-op cost beyond the walk), while revisits enter a heap keyed
+  by the op's position (block order keys along the ancestor chain, from
+  PR 3's intrusive links) and interleave with the seeds in program order.
+  An op enqueued N times during a constant-folding storm is visited once,
+  after every operation that precedes it — by the time it pops, its
+  operands have already been folded; erasure-driven revisits of a value's
+  definer are deferred to the next drain generation, so a many-user
+  constant is visited once per generation, not once per erased user.
 * ``"sweep"`` is the legacy full-module fixpoint: repeatedly walk *all* ops
   until one sweep makes no change.  It is kept for A/B benchmarking
   (``bench_fig7_scalability.py --pass-timing``) and as an oracle in the
   equivalence tests — both strategies converge to the same IR.
 
+Pattern dispatch is *bucketed*: at construction the driver groups its
+patterns into ``dict[op name -> tuple of patterns]`` (patterns with
+``op_name = None`` are merged into every bucket, benefit order preserved),
+so matching an op is a single dict lookup instead of a scan over the whole
+pattern list.  Per-bucket hit/miss counts feed ``--print-pass-timing``.
+
 Linear per-block analyses (CSE, store forwarding, ...) plug in as
 :class:`BlockScanPattern` objects; the driver runs each scan exactly once
 per block in walk order, matching the single-scan semantics those passes
-always had.
+always had.  Scans declare the op names they dispatch on (``op_names``) and
+use the same bucket idea internally (per-name/per-buffer dict dispatch, see
+``transforms/cleanup/``).
 """
 
 from __future__ import annotations
 
 import contextlib
+import heapq
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.ir.builder import Builder, InsertionPoint
@@ -64,14 +82,25 @@ class PatternStatsCollector:
     the end of each ``rewrite()`` — the CLI's ``--print-pass-timing`` wraps
     whole flows in one collector to print a pattern table next to the pass
     timing table.
+
+    ``bucket_stats`` aggregates the same counts per *dispatch bucket* (op
+    name): how often ops of each name were offered to their bucket and how
+    often one of its patterns applied.
     """
 
     def __init__(self):
         #: Pattern class name -> [hits, misses].
         self.stats: dict[str, list[int]] = {}
+        #: Dispatch bucket (op name) -> [hits, misses].
+        self.bucket_stats: dict[str, list[int]] = {}
 
     def add(self, pattern_name: str, hits: int, misses: int) -> None:
         entry = self.stats.setdefault(pattern_name, [0, 0])
+        entry[0] += hits
+        entry[1] += misses
+
+    def add_bucket(self, op_name: str, hits: int, misses: int) -> None:
+        entry = self.bucket_stats.setdefault(op_name, [0, 0])
         entry[0] += hits
         entry[1] += misses
 
@@ -86,6 +115,13 @@ class PatternStatsCollector:
             lines.append(f"  {hits:>8}  {misses:>8}  {name}")
         lines.append(f"  {self.total_hits():>8}  "
                      f"{sum(m for _, m in self.stats.values()):>8}  Total")
+        if self.bucket_stats:
+            lines.append("===-- Pattern dispatch buckets (per op name) --===")
+            lines.append(f"  {'hits':>8}  {'misses':>8}  bucket")
+            for name in sorted(self.bucket_stats,
+                               key=lambda n: (-sum(self.bucket_stats[n]), n)):
+                hits, misses = self.bucket_stats[name]
+                lines.append(f"  {hits:>8}  {misses:>8}  {name}")
         return "\n".join(lines)
 
 
@@ -166,9 +202,9 @@ class PatternRewriter(Builder):
             return
         if op.regions:
             for nested in op.walk():
-                self._driver.enqueue_defining_ops(nested.operands)
+                self._driver.defer_operand_definers(nested)
         else:
-            self._driver.enqueue_defining_ops(op.operands)
+            self._driver.defer_operand_definers(op)
 
     def _mark_erased(self, op: "Operation") -> None:
         # Mark the whole subtree: descendants of an erased region op keep
@@ -222,7 +258,14 @@ class BlockScanPattern:
     The driver calls :meth:`scan_block` exactly once per block, in the same
     ``root.walk()`` order the standalone cleanup passes always used.
     Implementations return the number of rewrites applied.
+
+    :attr:`op_names` declares the op names the scan dispatches on (None for
+    "any"): subclasses point it at the very frozenset their scan loop tests
+    membership against — the scan-internal analogue of the driver's
+    per-name buckets, and the declarative surface the tests pin.
     """
+
+    op_names: Optional[frozenset] = None
 
     def scan_block(self, block: "Block", rewriter: PatternRewriter) -> int:
         raise NotImplementedError
@@ -250,23 +293,48 @@ class GreedyRewriteDriver:
         self.num_block_rewrites = 0
         #: Pattern class name -> [hits, misses] accumulated over rewrite() calls.
         self.pattern_stats: dict[str, list[int]] = {}
+        #: Dispatch bucket (op name) -> [hits, misses] accumulated likewise.
+        self.bucket_stats: dict[str, list[int]] = {}
+        #: Per-op visit counts of the last worklist run (op -> pops that
+        #: reached pattern matching); pins revisit storms in tests.
+        self.visit_counts: dict["Operation", int] = {}
         self._run_stats: dict[str, list[int]] = {}
+        self._run_bucket_stats: dict[str, list[int]] = {}
         self._stats_entries: dict[int, list[int]] = {}
-        self._worklist: list[Operation] = []
+        #: The deduplicating worklist: a heap of (program-order key, seq, op)
+        #: plus the id-set of pending ops (ids only of ops the heap or the
+        #: deferred list strongly reference, so freed-id reuse cannot alias
+        #: a pending entry).  ``_deferred`` holds erasure-driven definer
+        #: revisits until the heap drains (see :meth:`defer_operand_definers`).
+        self._heap: list = []
         self._pending: set[int] = set()
+        self._deferred: list = []
+        self._seq = 0
+        #: Per-run cache of block-level order-key prefixes.
+        self._block_prefix: dict = {}
         self._root: Optional[Operation] = None
-        #: Pattern lists per concrete op name (generic patterns merged in,
-        #: benefit order preserved), built lazily per name encountered.
-        self._pattern_cache: dict[str, list[RewritePattern]] = {}
+        # -- bucketed dispatch, built once at construction ---------------------------------
+        #: Patterns with op_name None, benefit-ordered (the bucket of any op
+        #: name no pattern singled out).
+        self._generic: tuple[RewritePattern, ...] = tuple(
+            p for p in self.op_patterns if p.op_name is None)
+        #: op name -> benefit-ordered patterns (generic patterns merged in).
+        named = {p.op_name for p in self.op_patterns if p.op_name is not None}
+        self._buckets: dict[str, tuple[RewritePattern, ...]] = {
+            name: tuple(p for p in self.op_patterns
+                        if p.op_name is None or p.op_name == name)
+            for name in named}
 
     # -- worklist management ---------------------------------------------------------------
 
     def enqueue(self, op: "Operation") -> None:
-        # _pending holds ids only of ops the worklist strongly references
-        # (discarded at pop), so freed-id reuse cannot alias a pending entry.
-        if id(op) not in self._pending:
-            self._pending.add(id(op))
-            self._worklist.append(op)
+        if id(op) in self._pending:
+            return
+        if not (op.name in self._buckets or self._generic):
+            return  # no pattern could ever match: keep it out of the queue
+        self._pending.add(id(op))
+        self._seq += 1
+        heapq.heappush(self._heap, (self._order_key(op), self._seq, op))
 
     def enqueue_tree(self, op: "Operation") -> None:
         for nested in op.walk():
@@ -276,10 +344,61 @@ class GreedyRewriteDriver:
         for user in value.users:
             self.enqueue(user)
 
-    def enqueue_defining_ops(self, values: Sequence[Value]) -> None:
-        for value in values:
+    def defer_operand_definers(self, op: "Operation") -> None:
+        """Defer the definers of ``op``'s operands to the next drain generation.
+
+        Erasing an op may leave its operands' definers dead, so they must be
+        revisited — but *immediately* re-enqueueing them is the revisit
+        storm: a value with N users (a shared constant, a memref) sits
+        earliest in program order, so it would pop and miss once per erased
+        user.  Deferred definers only enter the heap when the current
+        generation drains, deduplicating the whole storm into one visit.
+        """
+        pending = self._pending
+        deferred = self._deferred
+        buckets = self._buckets
+        generic = self._generic
+        for use in op._operands:
+            value = use.value
             if isinstance(value, OpResult):
-                self.enqueue(value.owner)
+                definer = value.operation
+                if id(definer) not in pending \
+                        and (definer.name in buckets or generic):
+                    pending.add(id(definer))
+                    deferred.append(definer)
+
+    def _order_key(self, op: "Operation") -> tuple:
+        """The op's program-order position under the run root.
+
+        ``key(op) = key(parent op) + (region index, block index, op order
+        key)``, so an ancestor's key is a strict prefix of its descendants'
+        and tuple comparison is pre-order program order.  Block-level
+        prefixes are cached per run (every op of a block shares one); keys
+        are captured at enqueue time — an op moved while pending keeps its
+        old position in the queue (deterministic, and revisits re-key it).
+        """
+        block = op.parent
+        if block is None:
+            return ()  # detached: sorts first, skipped at processing
+        if not block._order_valid:
+            block._renumber()
+        prefix = self._block_prefix.get(block)
+        if prefix is None:
+            prefix = self._compute_block_prefix(block)
+            self._block_prefix[block] = prefix
+        return prefix + (op._order,)
+
+    def _compute_block_prefix(self, block: "Block") -> tuple:
+        region = block.parent
+        parent_op = region.parent if region is not None else None
+        if parent_op is None or parent_op is self._root \
+                or parent_op.parent is None:
+            return ()
+        region_index = 0 if len(parent_op.regions) == 1 \
+            else parent_op.regions.index(region)
+        block_index = 0 if len(region.blocks) == 1 \
+            else region.blocks.index(block)
+        return self._order_key(parent_op) + (region_index, block_index)
 
     # -- execution -------------------------------------------------------------------------
 
@@ -292,6 +411,7 @@ class GreedyRewriteDriver:
         """
         self._root = root
         self._run_stats = {}
+        self._run_bucket_stats = {}
         # Per-instance stat entries resolved once (id lookup in the hot loop
         # instead of type().__name__ hashing per attempt).
         self._stats_entries = {
@@ -311,55 +431,102 @@ class GreedyRewriteDriver:
             entry[1] += misses
             for collector in _ACTIVE_STATS_COLLECTORS:
                 collector.add(name, hits, misses)
+        for name, (hits, misses) in self._run_bucket_stats.items():
+            entry = self.bucket_stats.setdefault(name, [0, 0])
+            entry[0] += hits
+            entry[1] += misses
+            for collector in _ACTIVE_STATS_COLLECTORS:
+                collector.add_bucket(name, hits, misses)
         return changed
 
     def _count(self, pattern, matched: bool) -> None:
         self._stats_entries[id(pattern)][0 if matched else 1] += 1
 
-    def _matching_patterns(self, op: "Operation") -> list[RewritePattern]:
-        patterns = self._pattern_cache.get(op.name)
-        if patterns is None:
-            patterns = [pattern for pattern in self.op_patterns
-                        if pattern.op_name is None or pattern.op_name == op.name]
-            self._pattern_cache[op.name] = patterns
-        return patterns
+    def _bucket_entry(self, op_name: str) -> list[int]:
+        entry = self._run_bucket_stats.get(op_name)
+        if entry is None:
+            entry = self._run_bucket_stats[op_name] = [0, 0]
+        return entry
+
+    def _matching_patterns(self, op: "Operation") -> tuple[RewritePattern, ...]:
+        """The op's dispatch bucket: one dict lookup, built at construction."""
+        return self._buckets.get(op.name, self._generic)
 
     # -- worklist strategy -----------------------------------------------------------------
 
     def _run_worklist(self, root: "Operation") -> bool:
         rewriter = PatternRewriter(driver=self)
-        self._worklist = []
+        self._heap = []
         self._pending = set()
-        for op in root.walk_post_order():
-            if op is not root:
-                self.enqueue(op)
+        self._deferred = []
+        self._seq = 0
+        self._block_prefix = {}
+        self.visit_counts = {}
+        buckets = self._buckets
+        generic = self._generic
+        # The seed pass: every matchable op once, in program (pre-)order —
+        # a plain list advanced by index, no keys and no heap involved.
+        # Only *revisits* pay for the priority structure.
+        seeds = [op for op in root.walk()
+                 if op is not root and (op.name in buckets or generic)]
+        pending = self._pending = {id(op) for op in seeds}
         # Non-convergence guard: a healthy run applies at most a few rewrites
         # per op; max_iterations bounds the rewrites-per-op ratio like the
         # sweep count bounded full walks.
-        budget = max(1, self.max_iterations) * max(1, len(self._worklist))
+        budget = max(1, self.max_iterations) * max(1, len(seeds))
         rewrites = 0
         changed = False
+        heap = self._heap
+        deferred = self._deferred
+        visits = self.visit_counts
+        pop = heapq.heappop
+        push = heapq.heappush
         index = 0
-        # Erased region ops have their whole subtree marked erased by the
-        # rewriter, so attachment is the O(1) check below — no ancestor walks.
-        while index < len(self._worklist):
-            op = self._worklist[index]
-            index += 1
-            self._pending.discard(id(op))
-            if index > 4096 and index * 2 > len(self._worklist):
-                # Compact the processed prefix so memory stays bounded.
-                del self._worklist[:index]
-                index = 0
+        num_seeds = len(seeds)
+        next_seed_key = None  # computed only while revisits are queued
+        while True:
+            if heap:
+                if index < num_seeds:
+                    if next_seed_key is None:
+                        next_seed_key = self._order_key(seeds[index])
+                    if heap[0][0] <= next_seed_key:
+                        op = pop(heap)[2]
+                    else:
+                        op = seeds[index]
+                        index += 1
+                        next_seed_key = None
+                else:
+                    op = pop(heap)[2]
+            elif index < num_seeds:
+                op = seeds[index]
+                index += 1
+                next_seed_key = None
+            elif deferred:
+                # Next generation: the deferred (erasure-driven) revisits,
+                # re-keyed at their current positions, again program-ordered.
+                for revisit in deferred:
+                    self._seq += 1
+                    push(heap, (self._order_key(revisit), self._seq, revisit))
+                del deferred[:]
+                continue
+            else:
+                break
+            pending.discard(id(op))
+            # Erased region ops have their whole subtree marked erased by the
+            # rewriter, so attachment is the O(1) check — no ancestor walks.
             if op.parent is None or rewriter.was_erased(op):
                 continue
-            patterns = self._matching_patterns(op)
+            patterns = buckets.get(op.name, generic)
             if not patterns:
                 continue
+            visits[op] = visits.get(op, 0) + 1
+            bucket_entry = self._bucket_entry(op.name)
             rewriter.insertion_point = InsertionPoint.before(op)
             for pattern in patterns:
                 rewriter.changed = False
                 if pattern.match_and_rewrite(op, rewriter) or rewriter.changed:
                     self._count(pattern, True)
+                    bucket_entry[0] += 1
                     rewrites += 1
                     changed = True
                     if rewrites > budget:
@@ -375,7 +542,13 @@ class GreedyRewriteDriver:
                 self._count(pattern, False)
                 if rewriter.was_erased(op):
                     break
+            else:
+                bucket_entry[1] += 1
         return changed
+
+    def max_visits(self) -> int:
+        """The most times any single op was visited in the last worklist run."""
+        return max(self.visit_counts.values(), default=0)
 
     # -- legacy sweep strategy ---------------------------------------------------------------
 
@@ -399,15 +572,22 @@ class GreedyRewriteDriver:
                 continue
             if op.parent is None:
                 continue
-            for pattern in self._matching_patterns(op):
+            patterns = self._matching_patterns(op)
+            if not patterns:
+                continue
+            bucket_entry = self._bucket_entry(op.name)
+            for pattern in patterns:
                 rewriter.insertion_point = InsertionPoint.before(op)
                 if pattern.match_and_rewrite(op, rewriter):
                     self._count(pattern, True)
+                    bucket_entry[0] += 1
                     rewriter.notify_changed()
                     break
                 self._count(pattern, False)
                 if rewriter.was_erased(op):
                     break
+            else:
+                bucket_entry[1] += 1
 
     # -- block scans -------------------------------------------------------------------------
 

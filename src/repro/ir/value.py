@@ -3,6 +3,23 @@
 A :class:`Value` is produced either as a block argument or as the result of
 an operation.  Every value keeps a use list so transforms can perform
 replace-all-uses-with and dead-code elimination efficiently.
+
+The use list is stored as an insertion-ordered dict keyed by the identity of
+each :class:`Use`, which makes the operations the rewrite driver hammers
+O(1) *without* changing the observable order of ``value.uses``:
+
+* registering a use (``Operation.append_operand``) appends to the dict,
+* dropping a use (``erase``/``set_operand``/``drop_all_references``) deletes
+  its key — the seed representation scanned a plain list per removal, which
+  made erasing ops that touch a many-use value (a memref feeding thousands
+  of unrolled accesses) quadratic in the use count,
+* ``num_uses``/``has_uses`` read ``len()`` of the dict.
+
+``value.uses`` stays the public read surface: it returns the uses in
+registration order (a fresh snapshot list, safe to iterate while mutating).
+Every class here carries ``__slots__`` — per-op memory is a first-order cost
+for fully-unrolled kernels, where one DSE evaluation materializes hundreds
+of thousands of values and uses.
 """
 
 from __future__ import annotations
@@ -18,60 +35,86 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 class Use:
     """One use of a value: operand ``index`` of operation ``owner``."""
 
-    __slots__ = ("owner", "index")
+    __slots__ = ("value", "owner", "index")
 
-    def __init__(self, owner: "Operation", index: int):
+    def __init__(self, value: "Value", owner: "Operation", index: int):
+        self.value = value
         self.owner = owner
         self.index = index
 
     def __repr__(self) -> str:
         return f"Use({self.owner.name}, operand {self.index})"
 
+    # Uses are plain (value, owner, index) triples under pickle; the owning
+    # value's dict is rebuilt (fresh ids) by Value.__setstate__.
+
+    def __getstate__(self):
+        return (self.value, self.owner, self.index)
+
+    def __setstate__(self, state) -> None:
+        self.value, self.owner, self.index = state
+
 
 class Value:
     """Base class of SSA values."""
 
+    __slots__ = ("type", "_uses")
+
     def __init__(self, type: "Type"):
         self.type = type
-        self.uses: list[Use] = []
+        #: id(Use) -> Use, in registration order (dicts preserve insertion
+        #: order, and deleting a key keeps the order of the rest).
+        self._uses: dict[int, Use] = {}
 
     # -- use-list management ----------------------------------------------------
 
-    def add_use(self, owner: "Operation", index: int) -> None:
-        self.uses.append(Use(owner, index))
+    @property
+    def uses(self) -> list[Use]:
+        """The uses of this value, in registration order (fresh snapshot)."""
+        return list(self._uses.values())
+
+    def add_use(self, owner: "Operation", index: int) -> Use:
+        use = Use(self, owner, index)
+        self._uses[id(use)] = use
+        return use
 
     def remove_use(self, owner: "Operation", index: int) -> None:
-        for i, use in enumerate(self.uses):
+        """Drop the use at operand ``index`` of ``owner`` (O(uses) scan).
+
+        Kept for compatibility; internal callers hold the :class:`Use` and
+        drop it in O(1) via :meth:`drop_use`.
+        """
+        for key, use in self._uses.items():
             if use.owner is owner and use.index == index:
-                del self.uses[i]
+                del self._uses[key]
                 return
         raise ValueError("use not found")
 
+    def drop_use(self, use: Use) -> None:
+        """Unregister ``use`` (O(1); it must belong to this value)."""
+        del self._uses[id(use)]
+
     @property
     def users(self) -> list["Operation"]:
-        """Operations that use this value (may contain duplicates removed)."""
-        seen: list[Operation] = []
-        for use in self.uses:
-            if use.owner not in seen:
-                seen.append(use.owner)
-        return seen
+        """Operations that use this value (duplicates removed, first-use order)."""
+        return list(dict.fromkeys(use.owner for use in self._uses.values()))
 
     def has_uses(self) -> bool:
-        return bool(self.uses)
+        return bool(self._uses)
 
     def num_uses(self) -> int:
-        return len(self.uses)
+        return len(self._uses)
 
     def replace_all_uses_with(self, other: "Value") -> None:
         """Rewrite every use of this value to use ``other`` instead."""
         if other is self:
             return
-        for use in list(self.uses):
+        for use in list(self._uses.values()):
             use.owner.set_operand(use.index, other)
 
     def replace_uses_where(self, other: "Value", predicate) -> None:
         """Replace uses whose owning operation satisfies ``predicate``."""
-        for use in list(self.uses):
+        for use in list(self._uses.values()):
             if predicate(use.owner):
                 use.owner.set_operand(use.index, other)
 
@@ -82,11 +125,45 @@ class Value:
         raise NotImplementedError
 
     def iter_uses(self) -> Iterator[Use]:
-        return iter(list(self.uses))
+        return iter(list(self._uses.values()))
+
+    # -- pickling -----------------------------------------------------------------
+    #
+    # The use dict is keyed by object ids, which do not survive pickling; it
+    # is persisted as the ordered use list and re-keyed on load, preserving
+    # registration order exactly (worker processes must observe the same use
+    # order as the coordinator for bit-identical evaluation).
+
+    def __getstate__(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in _state_slots(type(self))
+                 if slot != "_uses" and hasattr(self, slot)}
+        state["_use_list"] = list(self._uses.values())
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        uses = state.pop("_use_list", ())
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._uses = {id(use): use for use in uses}
+
+
+def _state_slots(cls) -> tuple[str, ...]:
+    """Every ``__slots__`` entry of ``cls`` and its bases (cached per class)."""
+    cached = _SLOT_CACHE.get(cls)
+    if cached is None:
+        cached = tuple(slot for klass in reversed(cls.__mro__)
+                       for slot in getattr(klass, "__slots__", ()))
+        _SLOT_CACHE[cls] = cached
+    return cached
+
+
+_SLOT_CACHE: dict[type, tuple[str, ...]] = {}
 
 
 class BlockArgument(Value):
     """A value defined as an argument of a block (e.g. a loop induction variable)."""
+
+    __slots__ = ("block", "index")
 
     def __init__(self, type: "Type", block: "Block", index: int):
         super().__init__(type)
@@ -103,6 +180,8 @@ class BlockArgument(Value):
 
 class OpResult(Value):
     """A value produced as the ``index``-th result of an operation."""
+
+    __slots__ = ("operation", "index")
 
     def __init__(self, type: "Type", operation: "Operation", index: int):
         super().__init__(type)

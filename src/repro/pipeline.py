@@ -91,19 +91,21 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                    seed: int = 2022, batch_size: int = 8,
                    cache: "Optional[EstimateCache]" = None,
                    cache_path: Optional[str] = None,
+                   cache_max_entries: Optional[int] = None,
                    checkpoint_path: Optional[str] = None,
                    checkpoint_every: int = 32,
                    resume: bool = False,
                    func_name: Optional[str] = None) -> "ParallelDSEResult":
     """Run the parallel DSE runtime on one kernel.
 
-    ``cache_path`` creates (or warms from) a persistent JSONL estimate cache;
-    ``checkpoint_path`` + ``resume`` continue an interrupted exploration.
+    ``cache_path`` creates (or warms from) a persistent JSONL estimate cache
+    (``cache_max_entries`` bounds it with LRU eviction); ``checkpoint_path``
+    + ``resume`` continue an interrupted exploration.
     """
     from repro.dse.runtime import EstimateCache, ParallelExplorer
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
     explorer = ParallelExplorer(
         platform, num_samples=num_samples, max_iterations=max_iterations,
         seed=seed, jobs=jobs, batch_size=batch_size, cache=cache,
@@ -117,6 +119,7 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                            batch_size: int = 8,
                            cache: "Optional[EstimateCache]" = None,
                            cache_path: Optional[str] = None,
+                           cache_max_entries: Optional[int] = None,
                            checkpoint_dir: Optional[str] = None,
                            checkpoint_every: int = 32,
                            resume: bool = False,
@@ -126,7 +129,7 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
     from repro.dse.runtime import EstimateCache, MultiKernelScheduler
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
     scheduler = MultiKernelScheduler(
         platform, jobs=jobs, num_samples=num_samples,
         max_iterations=max_iterations, seed=seed, batch_size=batch_size,
@@ -162,6 +165,7 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                 seed: int = 2022, batch_size: int = 4,
                 cache: "Optional[EstimateCache]" = None,
                 cache_path: Optional[str] = None,
+                cache_max_entries: Optional[int] = None,
                 checkpoint_dir: Optional[str] = None,
                 checkpoint_every: int = 16,
                 resume: bool = False,
@@ -178,7 +182,7 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
     from repro.dse.runtime import EstimateCache, ModelScheduler, NodeBudgetPolicy
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
     scheduler = ModelScheduler(
         platform, jobs=jobs, seed=seed, batch_size=batch_size,
         budget=NodeBudgetPolicy(num_samples=num_samples,

@@ -161,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(part of the trajectory, independent of --jobs)")
     dse_parser.add_argument("--cache", metavar="PATH",
                             help="persistent QoR estimate cache (JSONL)")
+    dse_parser.add_argument("--cache-max-entries", type=int, metavar="N",
+                            help="bound the in-memory estimate cache to N "
+                                 "entries with LRU eviction (default: "
+                                 "unbounded)")
     dse_parser.add_argument("--checkpoint", metavar="PATH",
                             help="checkpoint file (single kernel) or directory "
                                  "(--all-functions)")
@@ -210,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="persistent QoR estimate cache (a JSONL "
                                  "file, or a directory receiving "
                                  "estimates.jsonl)")
+    dnn_parser.add_argument("--cache-max-entries", type=int, metavar="N",
+                            help="bound the in-memory estimate cache to N "
+                                 "entries with LRU eviction (default: "
+                                 "unbounded)")
     dnn_parser.add_argument("--checkpoint", metavar="DIR",
                             help="checkpoint directory (one snapshot file "
                                  "per dataflow node)")
@@ -268,6 +276,7 @@ def run_dse(args) -> int:
     common = dict(jobs=args.jobs, num_samples=args.samples,
                   max_iterations=args.iterations, seed=args.seed,
                   batch_size=args.batch_size, cache_path=args.cache,
+                  cache_max_entries=args.cache_max_entries,
                   checkpoint_every=args.checkpoint_every, resume=args.resume)
 
     if args.all_functions:
@@ -361,6 +370,7 @@ def run_dnn_dse(args) -> int:
         num_samples=samples, max_iterations=iterations, seed=args.seed,
         batch_size=args.batch_size,
         cache_path=_estimate_cache_path(args.cache) if args.cache else None,
+        cache_max_entries=args.cache_max_entries,
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every, resume=args.resume,
         budget_mode=args.budget, max_nodes=max_nodes)

@@ -18,9 +18,15 @@ from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewri
 #: Additional pure operations outside the arith dialect.
 _EXTRA_PURE = {"affine.apply"}
 
+#: Every op name the scan considers, resolved once (the scan's dispatch
+#: bucket — one frozenset membership test per op instead of two).
+_CSE_NAMES = frozenset(PURE_OPS) | frozenset(_EXTRA_PURE)
+
 
 class CSEScanPattern(BlockScanPattern):
     """Linear per-block common-subexpression elimination."""
+
+    op_names = _CSE_NAMES
 
     def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
         return _cse_block(block)
@@ -47,7 +53,7 @@ def _cse_block(block: Block) -> int:
     for op in list(block.operations):
         if op.parent is not block:
             continue
-        if op.name not in PURE_OPS and op.name not in _EXTRA_PURE:
+        if op.name not in _CSE_NAMES:
             continue
         if op.regions or op.num_results != 1:
             continue

@@ -16,13 +16,13 @@ from repro.ir.operation import Operation
 from repro.ir.pass_manager import FunctionPass
 from repro.ir.pass_registry import register_pass
 from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewriter
-from repro.transforms.cleanup.store_forward import access_key
-
-_ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
+from repro.transforms.cleanup.store_forward import ACCESS_OPS, access_key
 
 
 class MemrefAccessScanPattern(BlockScanPattern):
     """Linear per-block load folding + dead-store removal."""
+
+    op_names = ACCESS_OPS
 
     def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
         return _fold_loads(block) + _remove_dead_stores(block)
@@ -44,59 +44,68 @@ class SimplifyMemrefAccessPass(FunctionPass):
 
 
 def _touched_memrefs(op: Operation) -> set[int]:
-    return {id(access_memref(inner)) for inner in op.walk() if inner.name in _ACCESS_OPS}
+    return {id(access_memref(inner)) for inner in op.walk() if inner.name in ACCESS_OPS}
 
 
 def _fold_loads(block: Block) -> int:
     removed = 0
-    available: dict[tuple, Operation] = {}
+    # Available loads per exact address, bucketed by buffer: a store (or a
+    # region op touching the buffer) invalidates its bucket with one O(1)
+    # pop instead of rebuilding the whole map per write — the seed rebuild
+    # was quadratic on exactly the unrolled load/store streams this pass
+    # exists to clean up.
+    available: dict[int, dict[tuple, Operation]] = {}
     for op in list(block.operations):
         if op.parent is not block:
             continue
-        if op.name not in _ACCESS_OPS:
+        if op.name not in ACCESS_OPS:
             if op.regions:
-                touched = _touched_memrefs(op)
-                available = {key: load for key, load in available.items()
-                             if key[0] not in touched}
+                for memref_id in _touched_memrefs(op):
+                    available.pop(memref_id, None)
             continue
+        memref_id = id(access_memref(op))
         if access_is_write(op):
-            memref_id = id(access_memref(op))
-            available = {key: load for key, load in available.items()
-                         if key[0] != memref_id}
+            available.pop(memref_id, None)
             continue
         key = access_key(op)
-        earlier = available.get(key)
+        loads = available.get(memref_id)
+        if loads is None:
+            loads = available[memref_id] = {}
+        earlier = loads.get(key)
         if earlier is not None:
             op.result().replace_all_uses_with(earlier.result())
             op.erase()
             removed += 1
         else:
-            available[key] = op
+            loads[key] = op
     return removed
 
 
 def _remove_dead_stores(block: Block) -> int:
     removed = 0
-    pending: dict[tuple, Operation] = {}
+    # Pending (not-yet-observable) stores per exact address, bucketed by
+    # buffer — same O(1) invalidation story as _fold_loads.
+    pending: dict[int, dict[tuple, Operation]] = {}
     for op in list(block.operations):
         if op.parent is not block:
             continue
-        if op.name not in _ACCESS_OPS:
+        if op.name not in ACCESS_OPS:
             if op.regions:
-                touched = _touched_memrefs(op)
-                pending = {key: store for key, store in pending.items()
-                           if key[0] not in touched}
+                for memref_id in _touched_memrefs(op):
+                    pending.pop(memref_id, None)
             continue
         memref_id = id(access_memref(op))
         if access_is_write(op):
             key = access_key(op)
-            earlier = pending.get(key)
+            stores = pending.get(memref_id)
+            if stores is None:
+                stores = pending[memref_id] = {}
+            earlier = stores.get(key)
             if earlier is not None:
                 earlier.erase()
                 removed += 1
-            pending[key] = op
+            stores[key] = op
         else:
             # A load of the buffer makes every pending store to it observable.
-            pending = {key: store for key, store in pending.items()
-                       if key[0] != memref_id}
+            pending.pop(memref_id, None)
     return removed

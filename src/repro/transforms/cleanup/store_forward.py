@@ -16,11 +16,16 @@ from repro.ir.pass_manager import FunctionPass
 from repro.ir.pass_registry import register_pass
 from repro.ir.rewrite import BlockScanPattern, GreedyRewriteDriver, PatternRewriter
 
-_ACCESS_OPS = {"affine.load", "affine.store", "memref.load", "memref.store"}
+#: The memory-access op names the block scans dispatch on (shared with
+#: ``simplify-memref-access``).
+ACCESS_OPS = frozenset({"affine.load", "affine.store",
+                        "memref.load", "memref.store"})
 
 
 class StoreForwardScanPattern(BlockScanPattern):
     """Linear per-block store-to-load forwarding."""
+
+    op_names = ACCESS_OPS
 
     def scan_block(self, block: Block, rewriter: PatternRewriter) -> int:
         return _forward_in_block(block)
@@ -51,29 +56,27 @@ def access_key(op: Operation) -> tuple:
 
 def _forward_in_block(block: Block) -> int:
     forwarded = 0
-    # Last store per exact address, invalidated by any store to the same memref
-    # whose address we cannot prove equal.
-    last_store: dict[tuple, Operation] = {}
+    # Last store per exact address, bucketed by buffer so a store's
+    # may-alias invalidation is one O(1) bucket replacement instead of a
+    # rebuild of the whole map (quadratic on unrolled store streams).
+    last_store: dict[int, dict[tuple, Operation]] = {}
     for op in list(block.operations):
-        if op.parent is not block or op.name not in _ACCESS_OPS:
+        if op.parent is not block or op.name not in ACCESS_OPS:
             # Region-holding ops (loops, ifs) may touch memory: be conservative.
-            if op.regions and any(inner.name in _ACCESS_OPS for inner in op.walk()
-                                  if inner is not op):
-                touched = {id(access_memref(inner)) for inner in op.walk()
-                           if inner.name in _ACCESS_OPS}
-                last_store = {key: store for key, store in last_store.items()
-                              if key[0] not in touched}
+            if op.regions:
+                for inner in op.walk():
+                    if inner.name in ACCESS_OPS:
+                        last_store.pop(id(access_memref(inner)), None)
             continue
         if access_is_write(op):
             key = access_key(op)
-            memref_id = id(access_memref(op))
-            # A store may alias any other address of the same buffer.
-            last_store = {existing: store for existing, store in last_store.items()
-                          if existing[0] != memref_id or existing == key}
-            last_store[key] = op
+            # A store may alias any other address of the same buffer: only
+            # this exact address survives, now defined by this store.
+            last_store[id(access_memref(op))] = {key: op}
         else:
             key = access_key(op)
-            store = last_store.get(key)
+            stores = last_store.get(id(access_memref(op)))
+            store = stores.get(key) if stores else None
             if store is not None:
                 stored_value = store.operand(0)
                 op.result().replace_all_uses_with(stored_value)

@@ -1,0 +1,348 @@
+"""The rewrite-engine overhaul: bucketed dispatch, the order-keyed
+deduplicating worklist, slotted/interned IR objects, and the LRU-bounded
+estimate cache.
+
+The A/B harness at the bottom pins the contract the worklist driver lives
+under: byte-identical IR with the legacy sweep oracle across the golden
+kernel corpus, with a bounded number of visits per op even through a
+constant-folding storm.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.dialects import arith
+from repro.dse.apply import apply_design_point
+from repro.dse.space import KernelDesignPoint
+from repro.emit.hlscpp_emitter import emit_hlscpp
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.printer import Printer
+from repro.ir.rewrite import (GreedyRewriteDriver, PatternRewriter,
+                              RewritePattern, collect_pattern_stats,
+                              set_rewrite_strategy)
+from repro.ir.types import index
+from repro.ir.value import OpResult
+from repro.pipeline import compile_kernel
+from repro.transforms.cleanup.canonicalize import canonicalization_patterns
+
+
+class _Never(RewritePattern):
+    def __init__(self, op_name=None, benefit=1):
+        self.op_name = op_name
+        self.benefit = benefit
+
+    def match_and_rewrite(self, op, rewriter) -> bool:
+        return False
+
+
+def _chain_module(length: int, root_name: str = "bench.root"):
+    """One block: a unit constant and ``length`` chained ``arith.addi`` ops."""
+    root = Operation(root_name, num_regions=1)
+    block = root.regions[0].add_block(Block())
+    one = arith.ConstantOp(1, index)
+    block.append(one)
+    previous = one.result()
+    for _ in range(length):
+        op = arith.AddIOp(previous, one.result())
+        block.append(op)
+        previous = op.result()
+    return root, block
+
+
+class TestBucketedDispatch:
+    def test_buckets_built_at_construction(self):
+        named = [_Never("a.x", benefit=1), _Never("a.y", benefit=5)]
+        generic = [_Never(None, benefit=3)]
+        driver = GreedyRewriteDriver(named + generic)
+        assert set(driver._buckets) == {"a.x", "a.y"}
+        # Wildcards merge into every bucket; benefit order is preserved.
+        assert [p.benefit for p in driver._buckets["a.x"]] == [3, 1]
+        assert [p.benefit for p in driver._buckets["a.y"]] == [5, 3]
+        assert driver._generic == (generic[0],)
+
+    def test_unknown_name_dispatches_to_wildcards_only(self):
+        wildcard = _Never(None)
+        driver = GreedyRewriteDriver([_Never("a.x"), wildcard])
+        op = Operation("b.unknown")
+        assert driver._matching_patterns(op) == (wildcard,)
+
+    def test_bucket_stats_reported_per_op_name(self):
+        root, _ = _chain_module(4)
+        with collect_pattern_stats() as collector:
+            driver = GreedyRewriteDriver(canonicalization_patterns())
+            driver.rewrite(root)
+        assert "arith.addi" in driver.bucket_stats
+        assert driver.bucket_stats["arith.addi"][0] >= 4  # the folds
+        assert collector.bucket_stats == driver.bucket_stats
+        report = collector.report()
+        assert "Pattern dispatch buckets" in report
+        assert "arith.addi" in report
+
+
+class TestDeduplicatingWorklist:
+    def test_repeated_enqueue_visits_once(self):
+        visits = []
+
+        class Count(RewritePattern):
+            op_name = "bench.target"
+
+            def match_and_rewrite(self, op, rewriter) -> bool:
+                visits.append(op)
+                return False
+
+        root = Operation("bench.root", num_regions=1)
+        block = root.regions[0].add_block(Block())
+        target = Operation("bench.target")
+        block.append(target)
+        driver = GreedyRewriteDriver([Count()], strategy="worklist")
+        driver._root = root
+        for _ in range(50):
+            driver.enqueue(target)
+        assert len(driver._heap) == 1  # deduplicated while pending
+        driver.rewrite(root)
+        assert len(visits) == 1
+        assert driver.max_visits() == 1
+
+    def test_processing_follows_program_order(self):
+        order = []
+
+        class Record(RewritePattern):
+            def match_and_rewrite(self, op, rewriter) -> bool:
+                order.append(op.name)
+                return False
+
+        root = Operation("bench.root", num_regions=1)
+        block = root.regions[0].add_block(Block())
+        for i in range(8):
+            block.append(Operation(f"bench.op{i}"))
+        driver = GreedyRewriteDriver([Record()], strategy="worklist")
+        driver.rewrite(root)
+        assert order == [f"bench.op{i}" for i in range(8)]
+
+    def test_constant_folding_storm_visits_are_bounded(self):
+        """The regression the order-keyed worklist exists for: after a mass
+        constant fold, no op may be revisited more than a small constant
+        number of times (the seed driver's revisit count grew with the
+        number of users re-enqueued behind it)."""
+        length = 300
+        root, _ = _chain_module(length)
+        driver = GreedyRewriteDriver(canonicalization_patterns(),
+                                     max_iterations=64, strategy="worklist")
+        driver.rewrite(root)
+        # Every op folds and everything is DCE'd...
+        assert sum(len(b) for b in
+                   (blk for op in root.walk() for r in op.regions
+                    for blk in r.blocks)) == 0
+        # ...with each op processed at most k times (fold + DCE revisit).
+        assert driver.max_visits() <= 3
+        # Total pattern attempts stay linear in the op count.
+        attempts = sum(h + m for h, m in driver.pattern_stats.values())
+        assert attempts <= 12 * length
+
+    def test_non_convergence_budget_still_enforced(self):
+        class AlwaysChanges(RewritePattern):
+            def match_and_rewrite(self, op, rewriter) -> bool:
+                rewriter.notify_changed()
+                return True
+
+        root, _ = _chain_module(2)
+        driver = GreedyRewriteDriver([AlwaysChanges()], max_iterations=4)
+        with pytest.raises(RuntimeError, match="did not converge"):
+            driver.rewrite(root)
+
+
+class TestSlottedInternedIR:
+    def test_ir_objects_have_no_instance_dict(self):
+        module = compile_kernel("gemm", 4)
+        for op in module.walk():
+            assert not hasattr(op, "__dict__"), op.name
+            for result in op.results:
+                assert not hasattr(result, "__dict__")
+            for region in op.regions:
+                assert not hasattr(region, "__dict__")
+                for block in region.blocks:
+                    assert not hasattr(block, "__dict__")
+                    for argument in block.arguments:
+                        assert not hasattr(argument, "__dict__")
+
+    def test_clone_interns_shareable_attribute_dicts(self):
+        module = compile_kernel("gemm", 4)
+        load = next(op for op in module.walk() if op.name == "affine.load")
+        clone = load.clone(dict.fromkeys([]))
+        assert clone._attributes is load._attributes  # interned, not copied
+        # While shared, the public mapping is read-only: a stray direct
+        # mutation raises instead of silently editing every sharing clone.
+        with pytest.raises(TypeError):
+            clone.attributes["marker"] = 1
+        # Copy-on-write: mutating either side un-shares first.
+        clone.set_attr("marker", 1)
+        assert clone._attributes is not load._attributes
+        assert not load.has_attr("marker")
+        load.set_attr("other", 2)
+        assert not clone.has_attr("other")
+
+    def test_clone_does_not_share_mutable_attribute_values(self):
+        from repro.dialects.hlscpp import (LOOP_DIRECTIVE_ATTR, LoopDirective)
+
+        op = Operation("bench.op")
+        op.set_attr(LOOP_DIRECTIVE_ATTR, LoopDirective(pipeline=True))
+        clone = op.clone()
+        assert clone.attributes is not op.attributes
+        directive = clone.get_attr(LOOP_DIRECTIVE_ATTR)
+        assert directive is not op.get_attr(LOOP_DIRECTIVE_ATTR)
+        directive.achieved_ii = 7  # in-place mutation must stay private
+        assert op.get_attr(LOOP_DIRECTIVE_ATTR).achieved_ii is None
+
+    def test_operation_names_are_interned(self):
+        a = Operation("bench." + "x" * 3)
+        b = Operation("bench." + "x" * 3)
+        assert a.name is b.name
+
+    def test_use_list_drops_are_order_preserving(self):
+        one = arith.ConstantOp(1, index)
+        users = [arith.AddIOp(one.result(), one.result()) for _ in range(5)]
+        # Each user registered two uses, in creation order.
+        owners = [use.owner for use in one.result().uses]
+        assert owners == [u for user in users for u in (user, user)]
+        users[2].drop_all_references()
+        owners = [use.owner for use in one.result().uses]
+        assert owners == [u for user in users for u in (user, user)
+                          if u is not users[2]]
+        assert one.result().num_uses() == 8
+        assert users[0] in one.result().users
+
+    def test_pickle_preserves_use_registration_order(self):
+        module = compile_kernel("gemm", 4)
+        restored = pickle.loads(pickle.dumps(module))
+
+        def use_orders(mod):
+            return [[(use.owner.name, use.index) for use in result.uses]
+                    for op in mod.walk() for result in op.results]
+
+        assert use_orders(module) == use_orders(restored)
+        printed = lambda mod: Printer(stable_ids=True).print(mod)
+        assert printed(module) == printed(restored)
+
+    def test_replace_uses_still_works_through_use_objects(self):
+        one = arith.ConstantOp(1, index)
+        two = arith.ConstantOp(2, index)
+        add = arith.AddIOp(one.result(), one.result())
+        one.result().replace_all_uses_with(two.result())
+        assert not one.result().has_uses()
+        assert add.operands == (two.result(), two.result())
+        assert isinstance(add.operand(0), OpResult)
+
+
+GOLDEN_CORPUS = {
+    "gemm8_tiled": ("gemm", 8, KernelDesignPoint(True, True, (1, 2, 0), (2, 1, 2), 1)),
+    "gemm8_plain": ("gemm", 8, KernelDesignPoint(True, True, (0, 1, 2), (1, 1, 1), 1)),
+    "gemm8_unrolled": ("gemm", 8, KernelDesignPoint(True, True, (1, 2, 0), (8, 8, 8), 1)),
+    "syrk8_tiled": ("syrk", 8, KernelDesignPoint(True, True, (0, 1, 2), (2, 2, 1), 1)),
+    "bicg8_plain": ("bicg", 8, KernelDesignPoint(True, True, (0, 1), (1, 1), 1)),
+}
+
+
+class TestWorklistSweepAB:
+    """The A/B harness: both strategies must produce byte-identical IR."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_CORPUS))
+    def test_worklist_and_sweep_byte_identical(self, key):
+        kernel, size, point = GOLDEN_CORPUS[key]
+        outputs = {}
+        for strategy in ("sweep", "worklist"):
+            previous = set_rewrite_strategy(strategy)
+            try:
+                module = compile_kernel(kernel, size)
+                design = apply_design_point(module, point)
+                outputs[strategy] = (
+                    Printer(stable_ids=True).print(design.module),
+                    emit_hlscpp(design.module),
+                    design.qor.latency, design.qor.dsp, design.qor.lut)
+            finally:
+                set_rewrite_strategy(previous)
+        assert outputs["sweep"] == outputs["worklist"]
+
+
+class TestEstimateCacheLRU:
+    def _record(self, encoded):
+        from repro.dse.runtime.records import EvaluationRecord
+        from repro.estimation.estimator import QoRResult, ResourceUsage
+
+        return EvaluationRecord(
+            encoded=tuple(encoded),
+            point=KernelDesignPoint(True, True, (0, 1, 2), (1, 1, 1), 1),
+            qor=QoRResult(latency=1, interval=1,
+                          resources=ResourceUsage()),
+            achieved_ii=1)
+
+    def test_eviction_is_lru_and_counted(self):
+        from repro.dse.runtime import EstimateCache
+
+        cache = EstimateCache(max_entries=2)
+        cache.put("fp", self._record((1,)))
+        cache.put("fp", self._record((2,)))
+        assert cache.get("fp", (1,)) is not None  # refreshes (1,)
+        cache.put("fp", self._record((3,)))       # evicts (2,), the LRU
+        assert cache.get("fp", (2,)) is None
+        assert cache.get("fp", (1,)) is not None
+        assert cache.get("fp", (3,)) is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_unbounded_by_default(self):
+        from repro.dse.runtime import EstimateCache
+
+        cache = EstimateCache()
+        for i in range(100):
+            cache.put("fp", self._record((i,)))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_bound_applies_when_warming_from_file(self, tmp_path):
+        from repro.dse.runtime import EstimateCache
+
+        path = str(tmp_path / "estimates.jsonl")
+        full = EstimateCache(path)
+        for i in range(10):
+            full.put("fp", self._record((i,)))
+        full.close()
+
+        bounded = EstimateCache(path, max_entries=3)
+        assert len(bounded) == 3
+        # The newest lines win; the file itself keeps every entry.
+        assert bounded.get("fp", (9,)) is not None
+        assert bounded.get("fp", (0,)) is None
+        assert bounded.stats.evictions == 7
+        revived = EstimateCache(path)
+        assert len(revived) == 10
+
+    def test_invalid_bound_rejected(self):
+        from repro.dse.runtime import EstimateCache
+
+        with pytest.raises(ValueError):
+            EstimateCache(max_entries=0)
+
+    def test_cli_exposes_cache_max_entries(self):
+        from repro.tools.driver import build_parser
+
+        args = build_parser().parse_args(
+            ["dse", "--kernel", "gemm", "--cache-max-entries", "128"])
+        assert args.cache_max_entries == 128
+        args = build_parser().parse_args(["dnn", "--dse"])
+        assert args.cache_max_entries is None
+
+
+class TestBlockScanBuckets:
+    def test_cleanup_scans_declare_their_dispatch_names(self):
+        from repro.transforms.cleanup.cse import CSEScanPattern
+        from repro.transforms.cleanup.simplify_memref_access import \
+            MemrefAccessScanPattern
+        from repro.transforms.cleanup.store_forward import StoreForwardScanPattern
+
+        assert "affine.apply" in CSEScanPattern.op_names
+        assert "affine.load" in StoreForwardScanPattern.op_names
+        assert "memref.store" in MemrefAccessScanPattern.op_names
