@@ -20,6 +20,7 @@ import os
 import threading
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.dse.runtime.records import EvaluationRecord
 from repro.estimation.estimator import QOR_MODEL_VERSION
 
@@ -101,8 +102,10 @@ class EstimateCache:
             record = self._entries.get(key)
             if record is None:
                 self.stats.misses += 1
+                obs.counter("cache.misses")
             else:
                 self.stats.hits += 1
+                obs.counter("cache.hits")
                 if self.max_entries is not None:
                     # Refresh recency: re-insert at the most-recent end.
                     del self._entries[key]
@@ -116,6 +119,7 @@ class EstimateCache:
                 return
             self._entries[key] = record
             self.stats.stores += 1
+            obs.counter("cache.stores")
             self._evict_over_bound()
             if self.path:
                 self._append(fingerprint, record)
@@ -127,6 +131,7 @@ class EstimateCache:
         while len(self._entries) > self.max_entries:
             del self._entries[next(iter(self._entries))]
             self.stats.evictions += 1
+            obs.counter("cache.evictions")
 
     # -- persistence ------------------------------------------------------------------------
 
@@ -147,6 +152,7 @@ class EstimateCache:
                 self._entries.pop(key, None)  # later lines are fresher: refresh
                 self._entries[key] = record
                 self.stats.loaded += 1
+                obs.counter("cache.loaded")
                 self._evict_over_bound()
 
     def _append(self, fingerprint: str, record: EvaluationRecord) -> None:

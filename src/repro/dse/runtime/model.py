@@ -40,6 +40,7 @@ import math
 import time
 from typing import Optional, Union
 
+from repro import obs
 from repro.dse.pareto import ParetoPoint, pareto_frontier
 from repro.dse.runtime.cache import EstimateCache
 from repro.dse.runtime.parallel import ParallelDSEResult
@@ -314,37 +315,52 @@ class ModelScheduler:
             model_name = model.get_attr("sym_name") or "model"
             module = model.clone()
 
-        prepare_dnn_stages(module, graph_level)
-        top = module.functions()[0]
-        stage_funcs = [func_op for func_op in module.functions()
-                       if func_op is not top]
-        if not stage_funcs:
-            # graph_level 0 leaves a single monolithic function.
-            stage_funcs = [top]
-        flops = {func_op.get_attr("sym_name"): function_flops(func_op)
-                 for func_op in stage_funcs}
-        lower_graph_to_loops(module)
+        obs_on = obs.active() is not None
+        model_span = obs.NULL_SPAN if not obs_on else obs.span(
+            "dse.model", model=model_name, graph_level=graph_level,
+            jobs=self.jobs, seed=self.seed)
+        with model_span:
+            with obs.span("dse.stage_graph", graph_level=graph_level):
+                prepare_dnn_stages(module, graph_level)
+                top = module.functions()[0]
+                stage_funcs = [func_op for func_op in module.functions()
+                               if func_op is not top]
+                if not stage_funcs:
+                    # graph_level 0 leaves a single monolithic function.
+                    stage_funcs = [top]
+                flops = {func_op.get_attr("sym_name"): function_flops(func_op)
+                         for func_op in stage_funcs}
+                lower_graph_to_loops(module)
 
-        tasks, node_order, skipped = self._node_tasks(stage_funcs, flops,
-                                                      max_nodes)
-        known_before = self.cache.known_keys() if self.cache is not None \
-            else frozenset()
-        scheduler = MultiKernelScheduler(
-            platform=self.platform, jobs=self.jobs, seed=self.seed,
-            batch_size=self.batch_size, cache=self.cache,
-            checkpoint_dir=self.checkpoint_dir,
-            checkpoint_every=self.checkpoint_every, mp_context=self.mp_context)
-        node_results = scheduler.explore_kernels(tasks, resume=resume)
+            tasks, node_order, skipped = self._node_tasks(stage_funcs, flops,
+                                                          max_nodes)
+            model_span.set(nodes=len(node_order))
+            known_before = self.cache.known_keys() if self.cache is not None \
+                else frozenset()
+            scheduler = MultiKernelScheduler(
+                platform=self.platform, jobs=self.jobs, seed=self.seed,
+                batch_size=self.batch_size, cache=self.cache,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                mp_context=self.mp_context)
+            node_results = scheduler.explore_kernels(tasks, resume=resume)
 
-        frontier, truncated = compose_model_frontier(
-            node_order, node_results, frontier_cap=self.frontier_cap)
-        return ModelDSEResult(
-            model=model_name, platform=self.platform, graph_level=graph_level,
-            seed=self.seed, node_order=node_order, skipped=skipped,
-            node_results=node_results, frontier=frontier, truncated=truncated,
-            frontier_cache_hits=self._revalidate_frontier(node_results,
-                                                          known_before),
-            wall_seconds=time.perf_counter() - started)
+            with obs.span("dse.compose", nodes=len(node_order)):
+                frontier, truncated = compose_model_frontier(
+                    node_order, node_results, frontier_cap=self.frontier_cap)
+            result = ModelDSEResult(
+                model=model_name, platform=self.platform,
+                graph_level=graph_level,
+                seed=self.seed, node_order=node_order, skipped=skipped,
+                node_results=node_results, frontier=frontier,
+                truncated=truncated,
+                frontier_cache_hits=self._revalidate_frontier(node_results,
+                                                              known_before),
+                wall_seconds=time.perf_counter() - started)
+        if obs_on:
+            obs.gauge("dse.jobs", self.jobs)
+            obs.gauge("dse.wall_seconds", result.wall_seconds)
+        return result
 
     # -- internals --------------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ import dataclasses
 import time
 from typing import Optional
 
+from repro import obs
 from repro.dse.apply import AppliedDesign, apply_design_point
 from repro.dse.engine import ExplorationPolicy
 from repro.dse.pareto import ParetoPoint
@@ -40,6 +41,28 @@ from repro.dse.runtime.worker import KernelContext, create_backend
 from repro.dse.space import KernelDesignSpace
 from repro.estimation.platform import Platform, XC7Z020
 from repro.ir.module import ModuleOp
+
+
+def frontier_hypervolume(frontier: list[ParetoPoint]) -> float:
+    """Deterministic 2D hypervolume of a (latency, area) Pareto frontier.
+
+    The reference point is the frontier's own worst corner (max latency, max
+    area), so the value is a pure function of the frontier — no external
+    bounds to configure, deterministic across runs and worker counts.  A
+    frontier of fewer than two points has zero dominated area by this
+    definition; growth of the value over iterations tracks how much of the
+    trade-off curve the exploration has uncovered.
+    """
+    if len(frontier) < 2:
+        return 0.0
+    ref_latency = max(point.latency for point in frontier)
+    ref_area = max(point.area for point in frontier)
+    # Standard 2D staircase sweep: ascending latency, descending area.
+    ordered = sorted(frontier, key=lambda p: (p.latency, p.area))
+    volume = 0.0
+    for point, nxt in zip(ordered, ordered[1:]):
+        volume += (nxt.latency - point.latency) * (ref_area - point.area)
+    return volume
 
 
 def _kernel_fingerprint(space: KernelDesignSpace, func_op) -> str:
@@ -90,6 +113,10 @@ class ParallelDSEResult:
     module: ModuleOp
     func_name: Optional[str]
     platform: Platform
+    #: Refinement iterations completed over the kernel's whole trajectory
+    #: (across resumes).  Reporting-only: deliberately absent from any
+    #: exported JSON so artifacts stay byte-identical run to run.
+    iterations_done: int = 0
 
     @property
     def best_point(self):
@@ -194,28 +221,51 @@ class ParallelExplorer:
         run_hits = 0
         run_misses = 0
 
+        obs_on = obs.active() is not None
+
         def evaluate_batch(batch: list[tuple[int, ...]]) -> None:
             nonlocal evaluated_this_run, processed_this_run, since_checkpoint
             nonlocal run_hits, run_misses
-            missing: list[tuple[int, ...]] = []
-            for encoded in batch:
-                record = (self.cache.get(fingerprint, encoded)
-                          if self.cache is not None else None)
-                if record is not None:
-                    state.records[encoded] = record
-                else:
-                    missing.append(encoded)
-            if missing:
-                for record in get_backend().evaluate(context_key, missing):
-                    state.records[record.encoded] = record
-                    if self.cache is not None:
-                        self.cache.put(fingerprint, record)
+            batch_span = obs.NULL_SPAN if not obs_on else obs.span(
+                "dse.batch", kernel=context_key, points=len(batch))
+            with batch_span:
+                missing: list[tuple[int, ...]] = []
+                for encoded in batch:
+                    record = (self.cache.get(fingerprint, encoded)
+                              if self.cache is not None else None)
+                    if record is not None:
+                        state.records[encoded] = record
+                    else:
+                        missing.append(encoded)
+                batch_span.set(cached=len(batch) - len(missing))
+                if missing:
+                    for record in get_backend().evaluate(context_key, missing):
+                        state.records[record.encoded] = record
+                        if self.cache is not None:
+                            self.cache.put(fingerprint, record)
             if self.cache is not None:
                 run_hits += len(batch) - len(missing)
                 run_misses += len(missing)
             evaluated_this_run += len(missing)
             processed_this_run += len(batch)
             since_checkpoint += len(batch)
+            if obs_on:
+                obs.counter("dse.points", len(batch))
+                obs.counter("dse.evaluations", len(missing))
+                obs.observe("dse.batch.points", len(batch))
+
+        def record_frontier(frontier: list[ParetoPoint]) -> None:
+            """Per-iteration convergence series: frontier size + hypervolume.
+
+            Keyed by the trajectory step (``iterations_done``), not by time,
+            so the series is identical across ``--jobs``.
+            """
+            if obs_on:
+                obs.series(f"dse.frontier.size.{context_key}",
+                           state.iterations_done, len(frontier))
+                obs.series(f"dse.frontier.hv.{context_key}",
+                           state.iterations_done,
+                           frontier_hypervolume(frontier))
 
         def maybe_checkpoint(rng, force: bool = False) -> None:
             nonlocal since_checkpoint
@@ -231,36 +281,53 @@ class ParallelExplorer:
             return (self.max_evaluations is None
                     or processed_this_run < self.max_evaluations)
 
+        explore_span = obs.NULL_SPAN if not obs_on else obs.span(
+            "dse.explore", kernel=context_key, jobs=self.jobs,
+            batch_size=self.batch_size, seed=self.seed)
         try:
-            rng = state.make_rng()
+            with obs.track(f"dse:{context_key}"), explore_span:
+                rng = state.make_rng()
 
-            # Step 1: initial sampling (skipped entirely when resuming past it).
-            if not state.samples_done:
-                batch = ExplorationPolicy.initial_batch(space, rng, self.num_samples)
-                evaluate_batch([e for e in batch if e not in state.records])
-                state.samples_done = True
-                maybe_checkpoint(rng)
+                # Step 1: initial sampling (skipped entirely when resuming
+                # past it).
+                if not state.samples_done:
+                    batch = ExplorationPolicy.initial_batch(
+                        space, rng, self.num_samples)
+                    evaluate_batch([e for e in batch
+                                    if e not in state.records])
+                    state.samples_done = True
+                    maybe_checkpoint(rng)
 
-            frontier = ExplorationPolicy.frontier_of(state.records)
-
-            # Steps 2-4: batched frontier evolution.
-            while (state.iterations_done < self.max_iterations and frontier
-                   and budget_left()):
-                remaining = self.max_iterations - state.iterations_done
-                batch = ExplorationPolicy.propose_batch(
-                    frontier, space, state.records, rng,
-                    batch_size=min(self.batch_size, remaining))
-                if not batch:
-                    break
-                evaluate_batch(batch)
-                state.iterations_done += len(batch)
                 frontier = ExplorationPolicy.frontier_of(state.records)
-                maybe_checkpoint(rng)
+                record_frontier(frontier)
 
-            maybe_checkpoint(rng, force=True)
+                # Steps 2-4: batched frontier evolution.
+                while (state.iterations_done < self.max_iterations and frontier
+                       and budget_left()):
+                    remaining = self.max_iterations - state.iterations_done
+                    batch = ExplorationPolicy.propose_batch(
+                        frontier, space, state.records, rng,
+                        batch_size=min(self.batch_size, remaining))
+                    if not batch:
+                        break
+                    evaluate_batch(batch)
+                    state.iterations_done += len(batch)
+                    frontier = ExplorationPolicy.frontier_of(state.records)
+                    record_frontier(frontier)
+                    maybe_checkpoint(rng)
 
-            # Step 5: finalization.
-            best = ExplorationPolicy.finalize(frontier, state.records, self.platform)
+                maybe_checkpoint(rng, force=True)
+
+                # Step 5: finalization.
+                best = ExplorationPolicy.finalize(frontier, state.records,
+                                                  self.platform)
+                if obs_on:
+                    obs.gauge(f"dse.node.{context_key}.iterations_done",
+                              state.iterations_done)
+                    obs.gauge(f"dse.node.{context_key}.iterations_budget",
+                              self.max_iterations)
+                    obs.gauge(f"dse.node.{context_key}.samples_budget",
+                              self.num_samples)
         finally:
             if created_backend is not None:
                 created_backend.close()
@@ -279,4 +346,5 @@ class ParallelExplorer:
             module=module,
             func_name=func_name,
             platform=self.platform,
+            iterations_done=state.iterations_done,
         )

@@ -27,6 +27,7 @@ import dataclasses
 import os
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.dse.runtime.cache import EstimateCache
 from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
 from repro.dse.runtime.worker import KernelContext, create_backend
@@ -116,25 +117,32 @@ class MultiKernelScheduler:
             for task in tasks
         }
         backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)
+        schedule_span = obs.NULL_SPAN if obs.active() is None else obs.span(
+            "dse.schedule", kernels=len(tasks), jobs=self.jobs)
         try:
-            if self.jobs <= 1 or len(tasks) == 1:
-                return {task.key: self._explore_one(task, backend, resume)
-                        for task in tasks}
-            # Spawn the pool's workers from the main thread, before any
-            # coordinator threads exist: forking from a multi-threaded
-            # process risks inheriting locks held by other threads.
-            if hasattr(backend, "warm_up"):
-                backend.warm_up()
-            # One coordinator thread per kernel; they are I/O-bound (waiting
-            # on pool futures), so threads are enough to keep the pool busy.
-            with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=len(tasks)) as coordinators:
-                futures = {
-                    task.key: coordinators.submit(self._explore_one, task,
-                                                  backend, resume)
-                    for task in tasks
-                }
-                return {key: future.result() for key, future in futures.items()}
+            with schedule_span:
+                if self.jobs <= 1 or len(tasks) == 1:
+                    return {task.key: self._explore_one(task, backend, resume)
+                            for task in tasks}
+                # Spawn the pool's workers from the main thread, before any
+                # coordinator threads exist: forking from a multi-threaded
+                # process risks inheriting locks held by other threads.
+                # Deliberately unspanned: the warm-up only exists for jobs>1,
+                # and the trace skeleton must be identical across --jobs.
+                if hasattr(backend, "warm_up"):
+                    backend.warm_up()
+                # One coordinator thread per kernel; they are I/O-bound
+                # (waiting on pool futures), so threads are enough to keep
+                # the pool busy.
+                with concurrent.futures.ThreadPoolExecutor(
+                        max_workers=len(tasks)) as coordinators:
+                    futures = {
+                        task.key: coordinators.submit(self._explore_one, task,
+                                                      backend, resume)
+                        for task in tasks
+                    }
+                    return {key: future.result()
+                            for key, future in futures.items()}
         finally:
             backend.close()
 

@@ -24,6 +24,7 @@ import pickle
 import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.dse.apply import apply_design_point
 from repro.dse.runtime.records import EvaluationRecord
 from repro.dse.space import KernelDesignSpace
@@ -86,6 +87,18 @@ def _evaluate_task(key: str, encoded: tuple[int, ...]) -> EvaluationRecord:
     return evaluate_encoded(_WORKER_CONTEXTS[key], encoded)
 
 
+def _evaluate_task_traced(key: str, encoded: tuple[int, ...]):
+    """Traced variant: evaluate under a local obs session, ship telemetry.
+
+    The coordinator picks this task when its own observability session is
+    active; the choice is made coordinator-side so worker initialisation
+    needs no tracing flag.  Returns ``(record, TaskTelemetry)``.
+    """
+    return obs.capture_task(
+        evaluate_encoded, _WORKER_CONTEXTS[key], encoded,
+        span_args={"kernel": key})
+
+
 def _warm_up_task(hold_seconds: float) -> None:
     """Warm-up task: occupies one worker long enough that the executor must
     spawn another for the next pending warm-up task."""
@@ -106,7 +119,19 @@ class SerialBackend:
     def evaluate(self, key: str,
                  batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
         context = self._contexts[key]
-        return [evaluate_encoded(context, encoded) for encoded in batch]
+        if obs.active() is None:
+            return [evaluate_encoded(context, encoded) for encoded in batch]
+        # Traced path: capture each evaluation into a throwaway local session
+        # (exactly like a worker process would) and absorb it immediately —
+        # the serial timeline is already submission order.
+        records = []
+        for encoded in batch:
+            record, telemetry = obs.capture_task(
+                evaluate_encoded, context, encoded,
+                span_args={"kernel": key})
+            obs.absorb_task(f"worker:{key}", telemetry)
+            records.append(record)
+        return records
 
     def close(self) -> None:
         pass
@@ -133,11 +158,24 @@ class ProcessPoolBackend:
 
     def evaluate(self, key: str,
                  batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
-        futures = [self._executor.submit(_evaluate_task, key, tuple(encoded))
+        if obs.active() is None:
+            futures = [self._executor.submit(_evaluate_task, key,
+                                             tuple(encoded))
+                       for encoded in batch]
+            # Collect in submission order: the result list is deterministic
+            # even though completion order is not.
+            return [future.result() for future in futures]
+        futures = [self._executor.submit(_evaluate_task_traced, key,
+                                         tuple(encoded))
                    for encoded in batch]
-        # Collect in submission order: the result list is deterministic even
-        # though completion order is not.
-        return [future.result() for future in futures]
+        # Absorbing in submission order keeps the merged trace deterministic
+        # regardless of which worker ran what, or in what order.
+        records = []
+        for future in futures:
+            record, telemetry = future.result()
+            obs.absorb_task(f"worker:{key}", telemetry)
+            records.append(record)
+        return records
 
     def warm_up(self) -> None:
         """Spawn every worker process now.

@@ -23,6 +23,7 @@ import dataclasses
 import math
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.affine.analysis import linearize
 from repro.dialects.affine_ops import (
     AffineForOp,
@@ -132,10 +133,14 @@ class QoREstimator:
         return self._run(func_op, module)
 
     def _run(self, func_op: Operation, module: Optional[ModuleOp]) -> QoRResult:
+        estimate_span = obs.NULL_SPAN if obs.active() is None else obs.span(
+            "estimate", func=func_op.get_attr("sym_name", ""))
         self._module = module
         self._function_cache = {}
         try:
-            return self._estimate_function(func_op)
+            with estimate_span:
+                obs.counter("estimate.calls")
+                return self._estimate_function(func_op)
         finally:
             self._module = None
             self._function_cache = {}

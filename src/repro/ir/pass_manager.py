@@ -21,7 +21,9 @@ import tempfile
 import time
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
+from repro import obs
 from repro.ir.verifier import VerificationError, verify
+from repro.obs.report import format_timing_report
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ir.operation import Operation
@@ -256,14 +258,8 @@ def collect_pass_timings():
         _ACTIVE_COLLECTORS.remove(collector)
 
 
-def format_timing_report(timings: dict[str, float]) -> str:
-    """A ``-pass-timing`` style report, slowest pass first."""
-    lines = ["===-- Pass execution timing report --==="]
-    for name, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
-        lines.append(f"  {seconds * 1000.0:10.3f} ms  {name}")
-    total = sum(timings.values())
-    lines.append(f"  {total * 1000.0:10.3f} ms  Total")
-    return "\n".join(lines)
+# Report rendering lives in the observability layer now;
+# ``format_timing_report`` is re-exported above for compatibility.
 
 
 # -- IR snapshot dumps --------------------------------------------------------------------
@@ -407,10 +403,17 @@ class PassManager:
 
     def _run_pass(self, pass_: Pass, op: "Operation", anchored: bool) -> None:
         started = time.perf_counter()
-        if anchored and pass_.target_op is not None and pass_.target_op == op.name:
-            pass_.run(op)
-        else:
-            pass_.run_on_module(op)
+        # Span names/args are only materialized when a session is active —
+        # the disabled path must not even pay for the f-string.
+        pass_span = obs.NULL_SPAN if obs.active() is None else obs.span(
+            f"pass.{pass_.name or type(pass_).__name__}",
+            pipeline=pass_.display_name, anchor=op.name)
+        with pass_span:
+            if anchored and pass_.target_op is not None \
+                    and pass_.target_op == op.name:
+                pass_.run(op)
+            else:
+                pass_.run_on_module(op)
         elapsed = time.perf_counter() - started
         self._record(pass_.display_name, elapsed)
         if _ACTIVE_DUMPERS:
@@ -425,6 +428,7 @@ class PassManager:
         self.timings[display_name] = self.timings.get(display_name, 0.0) + seconds
         for collector in _ACTIVE_COLLECTORS:
             collector.add(display_name, seconds)
+        obs.add_pass_seconds(display_name, seconds)
 
     def _verify_after(self, pass_: Pass, op: "Operation") -> None:
         try:

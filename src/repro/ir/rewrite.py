@@ -42,6 +42,7 @@ import contextlib
 import heapq
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from repro import obs
 from repro.ir.builder import Builder, InsertionPoint
 from repro.ir.value import OpResult, Value
 
@@ -108,21 +109,9 @@ class PatternStatsCollector:
         return sum(hits for hits, _ in self.stats.values())
 
     def report(self) -> str:
-        lines = ["===-- Rewrite pattern statistics --==="]
-        lines.append(f"  {'hits':>8}  {'misses':>8}  pattern")
-        for name in sorted(self.stats, key=lambda n: (-self.stats[n][0], n)):
-            hits, misses = self.stats[name]
-            lines.append(f"  {hits:>8}  {misses:>8}  {name}")
-        lines.append(f"  {self.total_hits():>8}  "
-                     f"{sum(m for _, m in self.stats.values()):>8}  Total")
-        if self.bucket_stats:
-            lines.append("===-- Pattern dispatch buckets (per op name) --===")
-            lines.append(f"  {'hits':>8}  {'misses':>8}  bucket")
-            for name in sorted(self.bucket_stats,
-                               key=lambda n: (-sum(self.bucket_stats[n]), n)):
-                hits, misses = self.bucket_stats[name]
-                lines.append(f"  {hits:>8}  {misses:>8}  {name}")
-        return "\n".join(lines)
+        from repro.obs.report import format_pattern_stats
+
+        return format_pattern_stats(self.stats, self.bucket_stats)
 
 
 #: Collectors currently receiving stats from every GreedyRewriteDriver run.
@@ -437,6 +426,9 @@ class GreedyRewriteDriver:
             entry[1] += misses
             for collector in _ACTIVE_STATS_COLLECTORS:
                 collector.add_bucket(name, hits, misses)
+        # One registry merge per rewrite() run (no per-attempt overhead).
+        if obs.active() is not None:
+            obs.add_pattern_stats(self._run_stats, self._run_bucket_stats)
         return changed
 
     def _count(self, pattern, matched: bool) -> None:

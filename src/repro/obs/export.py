@@ -1,0 +1,237 @@
+"""Exporters: Chrome trace-event JSON and the metrics JSON document.
+
+The trace export follows the Chrome trace-event format (the JSON flavor
+Perfetto and ``chrome://tracing`` load): one complete ``"ph": "X"`` event
+per finished span with microsecond ``ts``/``dur``, plus ``"M"`` metadata
+events naming the process and one thread row per logical track.
+
+Determinism: ``pid``/``tid`` are assigned from the *sorted* track names and
+events are emitted track by track in recorded order, so two runs that
+traced the same logical work produce the same event sequence — only the
+``ts``/``dur``/``wall``/``pid-payload`` numbers differ.  That is the
+"deterministic modulo timestamps" contract the tests pin across
+``--jobs 1/2/4``.
+
+:func:`validate_chrome_trace` is the import-side check (used by tests and
+the CI smoke job): structural validity plus proper span nesting per thread
+row — on one row, two spans either nest or are disjoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+#: pid of every event (single logical process; workers are merged tracks).
+TRACE_PID = 1
+
+
+class _SpanNode:
+    """One span with its children, rebuilt from close order + depth."""
+
+    __slots__ = ("span", "children", "ts", "dur")
+
+    def __init__(self, span: Span, children: list):
+        self.span = span
+        self.children = children
+
+
+def _build_span_forest(spans: list[Span]) -> list[_SpanNode]:
+    """Rebuild the span tree of one track.
+
+    Tracks record spans in close order (children before parents) with their
+    track-local nesting depth, so a span at depth ``d`` adopts every
+    unclaimed span at depth ``d + 1`` — those can only have closed while it
+    was open.
+    """
+    pending: dict[int, list[_SpanNode]] = {}
+    roots: list[_SpanNode] = []
+    for span in spans:
+        node = _SpanNode(span, pending.pop(span.depth + 1, []))
+        if span.depth == 0:
+            roots.append(node)
+        else:
+            pending.setdefault(span.depth, []).append(node)
+    # Orphans (spans still open at export time never closed their parents):
+    # surface them as roots rather than silently dropping them.
+    for depth in sorted(pending):
+        roots.extend(pending[depth])
+    return roots
+
+
+def _layout(node: _SpanNode, t_min: int) -> int:
+    """Assign integer microsecond ``ts``/``dur`` preserving proper nesting.
+
+    Independent rounding of float times can make a child's integer interval
+    leak out of its parent's (or siblings graze each other) by a
+    microsecond; laying out the reconstructed tree instead guarantees the
+    exported trace nests by construction while staying within a microsecond
+    of the measured times.
+    """
+    ts = max(int(math.floor(node.span.start * 1e6)), t_min)
+    cursor = ts
+    for child in node.children:
+        cursor = _layout(child, cursor)
+    end = max(int(math.ceil((node.span.start + node.span.duration) * 1e6)),
+              cursor, ts + 1)
+    node.ts = ts
+    node.dur = end - ts
+    return end
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's finished spans as a Chrome trace-event list."""
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": "repro-hls"},
+    }]
+    tracks = tracer.tracks()
+    tids = {name: index + 1 for index, name in enumerate(sorted(tracks))}
+    for name, tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                       "tid": tid, "args": {"name": name}})
+    for name in sorted(tracks):
+        tid = tids[name]
+        cursor = 0
+        for root in _build_span_forest(tracks[name]):
+            cursor = _layout(root, cursor)
+            _emit_preorder(root, tid, events)
+    return events
+
+
+def _emit_preorder(node: _SpanNode, tid: int, events: list[dict]) -> None:
+    events.append(_span_event(node, tid))
+    for child in node.children:
+        _emit_preorder(child, tid, events)
+
+
+def _span_event(node: _SpanNode, tid: int) -> dict:
+    span = node.span
+    event = {
+        "ph": "X",
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ts": node.ts,
+        "dur": node.dur,
+        "pid": TRACE_PID,
+        "tid": tid,
+    }
+    if span.args:
+        event["args"] = span.args
+    return event
+
+
+def chrome_trace_document(tracer: Tracer) -> dict:
+    return {"traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_document(tracer), handle, indent=1)
+        handle.write("\n")
+
+
+# -- metrics ------------------------------------------------------------------------------
+
+
+def metrics_document(registry: MetricsRegistry,
+                     extra: Optional[Mapping] = None) -> dict:
+    """The metrics JSON document (sorted on write → byte-stable)."""
+    document = registry.to_json_dict()
+    if extra:
+        document.update(extra)
+    return document
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry,
+                       extra: Optional[Mapping] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_document(registry, extra), handle,
+                  sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+# -- validation ---------------------------------------------------------------------------
+
+
+def validate_chrome_trace(document) -> list[str]:
+    """Structural + nesting problems of a Chrome trace document.
+
+    Returns an empty list for a valid trace.  Checks: the ``traceEvents``
+    envelope, per-event required fields, non-negative integer ``ts``/
+    ``dur``, and — per ``(pid, tid)`` row — that complete spans properly
+    nest (any two either disjoint or one containing the other).
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return ["not a trace document: missing 'traceEvents'"]
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    rows: dict[tuple, list[tuple[int, int, str]]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"event #{index}: unsupported phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"event #{index}: missing name")
+        if phase != "X":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"event #{index} ({event.get('name')}): "
+                            f"bad ts {ts!r}")
+            continue
+        if not isinstance(dur, int) or dur < 0:
+            problems.append(f"event #{index} ({event.get('name')}): "
+                            f"bad dur {dur!r}")
+            continue
+        rows.setdefault((event.get("pid"), event.get("tid")), []).append(
+            (ts, dur, event.get("name", "")))
+    for (pid, tid), spans in rows.items():
+        problems.extend(
+            f"row pid={pid} tid={tid}: {problem}"
+            for problem in _nesting_problems(spans))
+    return problems
+
+
+def _nesting_problems(spans: list[tuple[int, int, str]]) -> list[str]:
+    """Overlap-without-containment violations on one thread row."""
+    problems = []
+    # Sort by start ascending, longest-first on ties: parents precede
+    # children, so a simple open-span stack detects partial overlap.
+    ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack: list[tuple[int, int, str]] = []
+    for ts, dur, name in ordered:
+        end = ts + dur
+        while stack and stack[-1][0] + stack[-1][1] <= ts:
+            stack.pop()
+        if stack:
+            parent_ts, parent_dur, parent_name = stack[-1]
+            if end > parent_ts + parent_dur:
+                problems.append(
+                    f"span '{name}' [{ts}, {end}) partially overlaps "
+                    f"'{parent_name}' [{parent_ts}, {parent_ts + parent_dur})")
+                continue
+        stack.append((ts, dur, name))
+    return problems
+
+
+def load_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_metrics(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,198 @@
+"""Human-readable rendering of timings, pattern stats and run metrics.
+
+This module owns every textual report the instrumentation produces: the
+MLIR ``-pass-timing`` style table, the rewrite-pattern hit/miss table (both
+previously assembled ad-hoc inside ``pass_manager.py`` / ``rewrite.py``)
+and the end-of-run summary the driver prints after ``dse`` / ``dnn --dse``.
+:func:`render_metrics_report` renders the same sections from a metrics JSON
+document, so ``tools/driver.py report <metrics.json>`` reproduces the
+end-of-run summary offline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+
+# -- pass timings -------------------------------------------------------------------------
+
+
+def format_timing_report(timings: Mapping[str, float]) -> str:
+    """A ``-pass-timing`` style report, slowest pass first.
+
+    Equal times order by pass name, so the report is fully deterministic
+    (dict insertion order never decides the table).
+    """
+    lines = ["===-- Pass execution timing report --==="]
+    for name, seconds in sorted(timings.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {seconds * 1000.0:10.3f} ms  {name}")
+    total = sum(timings.values())
+    lines.append(f"  {total * 1000.0:10.3f} ms  Total")
+    return "\n".join(lines)
+
+
+# -- rewrite pattern stats ----------------------------------------------------------------
+
+
+def format_pattern_stats(stats: Mapping[str, Iterable[int]],
+                         bucket_stats: Mapping[str, Iterable[int]] = ()) -> str:
+    """The rewrite-pattern hit/miss table (plus dispatch buckets if any)."""
+    stats = {name: tuple(counts) for name, counts in stats.items()}
+    lines = ["===-- Rewrite pattern statistics --==="]
+    lines.append(f"  {'hits':>8}  {'misses':>8}  pattern")
+    for name in sorted(stats, key=lambda n: (-stats[n][0], n)):
+        hits, misses = stats[name]
+        lines.append(f"  {hits:>8}  {misses:>8}  {name}")
+    lines.append(f"  {sum(h for h, _ in stats.values()):>8}  "
+                 f"{sum(m for _, m in stats.values()):>8}  Total")
+    bucket_stats = {name: tuple(counts)
+                    for name, counts in dict(bucket_stats).items()}
+    if bucket_stats:
+        lines.append("===-- Pattern dispatch buckets (per op name) --===")
+        lines.append(f"  {'hits':>8}  {'misses':>8}  bucket")
+        for name in sorted(bucket_stats,
+                           key=lambda n: (-sum(bucket_stats[n]), n)):
+            hits, misses = bucket_stats[name]
+            lines.append(f"  {hits:>8}  {misses:>8}  {name}")
+    return "\n".join(lines)
+
+
+# -- metrics-document sections ------------------------------------------------------------
+
+
+def _grouped_hit_miss(counters: Mapping[str, float],
+                      prefix: str) -> dict[str, tuple[int, int]]:
+    """``prefix.<name>.hits/misses`` counters as ``{name: (hits, misses)}``."""
+    grouped: dict[str, list[int]] = {}
+    for name, value in counters.items():
+        if not name.startswith(prefix + "."):
+            continue
+        stem, _, kind = name.rpartition(".")
+        if kind not in ("hits", "misses"):
+            continue
+        entry = grouped.setdefault(stem[len(prefix) + 1:], [0, 0])
+        entry[0 if kind == "hits" else 1] += int(value)
+    return {name: (hits, misses) for name, (hits, misses) in grouped.items()}
+
+
+def pass_timings_of(counters: Mapping[str, float]) -> dict[str, float]:
+    """The ``pass.seconds.*`` counters as a plain timings dict."""
+    prefix = "pass.seconds."
+    return {name[len(prefix):]: value for name, value in counters.items()
+            if name.startswith(prefix)}
+
+
+def pattern_stats_of(counters: Mapping[str, float]
+                     ) -> tuple[dict[str, tuple[int, int]],
+                                dict[str, tuple[int, int]]]:
+    """The ``pattern.*``/``bucket.*`` counters as (stats, bucket_stats)."""
+    return (_grouped_hit_miss(counters, "pattern"),
+            _grouped_hit_miss(counters, "bucket"))
+
+
+def render_metrics_report(metrics: Mapping) -> str:
+    """The end-of-run summary of one metrics document (see ``--metrics-out``).
+
+    Sections render only when their metrics are present, so the same
+    function serves a bare ``compile --print-pass-timing`` run and a full
+    ``dnn --dse`` sweep.
+    """
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    series = metrics.get("series", {})
+    sections: list[str] = []
+
+    timings = pass_timings_of(counters)
+    if timings:
+        sections.append(format_timing_report(timings))
+
+    patterns, buckets = pattern_stats_of(counters)
+    if patterns:
+        sections.append(format_pattern_stats(patterns, buckets))
+
+    cache = cache_summary_lines(counters)
+    if cache:
+        sections.append("\n".join(["===-- Estimate cache --==="] + cache))
+
+    dse = dse_summary_lines(counters, gauges, series)
+    if dse:
+        sections.append("\n".join(["===-- DSE run summary --==="] + dse))
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n".join(sections)
+
+
+def cache_summary_lines(counters: Mapping[str, float]) -> list[str]:
+    """Hit-rate / eviction lines of the estimate cache (empty if unused)."""
+    hits = int(counters.get("cache.hits", 0))
+    misses = int(counters.get("cache.misses", 0))
+    lookups = hits + misses
+    if not lookups and not counters.get("cache.stores"):
+        return []
+    lines = []
+    rate = hits / lookups if lookups else 0.0
+    lines.append(f"  lookups={lookups} hits={hits} misses={misses} "
+                 f"hit rate={rate * 100.0:.1f}%")
+    stores = int(counters.get("cache.stores", 0))
+    loaded = int(counters.get("cache.loaded", 0))
+    evictions = int(counters.get("cache.evictions", 0))
+    lines.append(f"  stores={stores} warm-loaded={loaded} evictions={evictions}")
+    return lines
+
+
+def dse_summary_lines(counters: Mapping[str, float],
+                      gauges: Mapping[str, float],
+                      series: Mapping[str, list]) -> list[str]:
+    """Evaluation throughput, worker utilization and budget consumption."""
+    evaluations = int(counters.get("dse.evaluations", 0))
+    points = int(counters.get("dse.points", 0))
+    if not points:
+        return []
+    lines = [f"  design points processed={points} evaluated={evaluations} "
+             f"(rest cache-served)"]
+    wall = gauges.get("dse.wall_seconds")
+    if wall:
+        lines.append(f"  evaluations/sec={evaluations / wall:.2f} "
+                     f"(wall {wall:.2f}s)")
+        jobs = int(gauges.get("dse.jobs", 1))
+        busy = counters.get("dse.worker.busy_seconds", 0.0)
+        if busy:
+            utilization = busy / (wall * max(1, jobs))
+            lines.append(f"  worker utilization={utilization * 100.0:.1f}% "
+                         f"({jobs} worker(s), {busy:.2f}s busy)")
+    for name, value in sorted(gauges.items()):
+        if name.startswith("dse.node.") and name.endswith(".iterations_done"):
+            node = name[len("dse.node."):-len(".iterations_done")]
+            granted = gauges.get(f"dse.node.{node}.iterations_budget", 0)
+            samples = gauges.get(f"dse.node.{node}.samples_budget", 0)
+            lines.append(f"  node {node}: iterations {int(value)}/{int(granted)}"
+                         f" (samples budget {int(samples)})")
+    for name in sorted(series):
+        if name.startswith("dse.frontier.size."):
+            node = name[len("dse.frontier.size."):]
+            points_series = series[name]
+            if points_series:
+                final = points_series[-1]
+                lines.append(f"  frontier[{node}]: {int(final[1])} points "
+                             f"after {int(final[0])} iterations "
+                             f"({len(points_series)} snapshots)")
+    return lines
+
+
+def render_run_summary(metrics: Mapping,
+                       title: Optional[str] = None) -> str:
+    """The cache + DSE sections only (what ``dse``/``dnn`` print at exit)."""
+    counters = metrics.get("counters", {})
+    sections = []
+    cache = cache_summary_lines(counters)
+    if cache:
+        sections.append("\n".join(["===-- Estimate cache --==="] + cache))
+    dse = dse_summary_lines(counters, metrics.get("gauges", {}),
+                            metrics.get("series", {}))
+    if dse:
+        sections.append("\n".join(["===-- DSE run summary --==="] + dse))
+    body = "\n".join(sections)
+    if title and body:
+        return f"{title}\n{body}"
+    return body

@@ -1,0 +1,211 @@
+"""Hierarchical spans and the process-local tracer.
+
+A *span* is one named, timed interval with arbitrary JSON-able arguments.
+Spans nest: the tracer keeps one open-span stack per thread, so an enclosing
+``with span(...)`` frame is the parent of every span opened inside it, and a
+span closes even when the traced code raises (the exception is recorded as
+the ``error`` argument and re-raised).
+
+Finished spans land on a logical **track** — a named timeline that maps to
+one Chrome-trace thread row.  Tracks are semantic, not physical: a DSE
+kernel's coordinator work goes to ``dse:<kernel>`` and its worker-side
+evaluations to ``worker:<kernel>`` regardless of which OS thread or worker
+process did the work, which is what keeps trace output deterministic
+(modulo timestamps) across ``--jobs``.
+
+Worker processes do not share the coordinator's tracer.  They record into a
+throwaway local session per evaluation (:func:`capture_task`), return the
+result as a picklable :class:`TaskTelemetry`, and the coordinator merges it
+with :meth:`Tracer.absorb` — appending span groups in submission order onto
+a per-track logical-time cursor, so merge order never depends on pool
+scheduling.  The worker's real wall-clock start lives only in the span
+arguments (``wall``), never in the merge key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from typing import Any, Optional
+
+#: The default logical track of a thread that never selected one.
+MAIN_TRACK = "main"
+
+
+@dataclasses.dataclass
+class Span:
+    """One finished span on a logical track (times in seconds)."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    args: dict
+
+    def to_tuple(self) -> tuple:
+        """Picklable plain-data form, for :class:`TaskTelemetry`."""
+        return (self.name, self.start, self.duration, self.depth, self.args)
+
+
+@dataclasses.dataclass
+class TaskTelemetry:
+    """Spans + metric deltas of one worker-side evaluation (picklable)."""
+
+    #: ``Span.to_tuple()`` rows, child-before-parent (close order).
+    spans: list
+    #: Counter name -> delta, folded into the coordinator registry.
+    counters: dict
+    #: Total wall-clock of the task (advances the track cursor on absorb).
+    duration: float
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_depth", "_track")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **args) -> "_ActiveSpan":
+        """Attach (or override) span arguments mid-flight."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        state = self._tracer._thread_state()
+        self._track = state.track
+        # Depth is track-local: a thread that switches tracks mid-span must
+        # open the new track's spans at depth 0 (the Chrome-trace exporter
+        # rebuilds each track's nesting tree from close order + depth).
+        self._depth = sum(1 for open_span in state.stack
+                          if open_span._track == self._track)
+        state.stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        state = self._tracer._thread_state()
+        state.stack.pop()
+        if exc is not None:
+            self.args["error"] = f"{type(exc).__name__}: {exc}"
+        self._tracer._record(self._track, Span(
+            name=self.name, start=self._start - self._tracer.t0,
+            duration=duration, depth=self._depth, args=self.args))
+        return False  # never swallow the exception
+
+
+class _NullSpan:
+    """The zero-overhead span of a disabled tracer: a shared, inert object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> "_NullSpan":
+        return self
+
+
+#: The one null span every disabled ``span()`` call returns (no allocation).
+NULL_SPAN = _NullSpan()
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        self.stack: list = []
+        self.track: str = MAIN_TRACK
+
+
+class Tracer:
+    """Records spans onto logical tracks; merges worker telemetry."""
+
+    def __init__(self):
+        self.t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        #: track name -> finished spans, in close order (children first).
+        self._tracks: dict[str, list[Span]] = {}
+        #: Logical-time cursor per track absorbed worker groups append at.
+        self._cursors: dict[str, float] = {}
+        self._state = _ThreadState()
+
+    # -- recording --------------------------------------------------------------------------
+
+    def span(self, name: str, **args) -> _ActiveSpan:
+        return _ActiveSpan(self, name, args)
+
+    def use_track(self, track: str) -> "_TrackScope":
+        """Route this thread's spans to ``track`` inside the ``with`` block."""
+        return _TrackScope(self, track)
+
+    def _thread_state(self) -> _ThreadState:
+        return self._state
+
+    def _record(self, track: str, span: Span) -> None:
+        with self._lock:
+            self._tracks.setdefault(track, []).append(span)
+
+    # -- worker-telemetry merge -------------------------------------------------------------
+
+    def absorb(self, track: str, telemetry: TaskTelemetry) -> None:
+        """Append one task's span group at the track's logical-time cursor.
+
+        Called in submission order by the coordinator, so the merged
+        timeline is deterministic for any worker count: group *order* comes
+        from the coordinator's deterministic dispatch sequence and the
+        in-group span times are the worker's own relative clock.
+        """
+        with self._lock:
+            cursor = self._cursors.get(track, 0.0)
+            spans = self._tracks.setdefault(track, [])
+            for name, start, duration, depth, args in telemetry.spans:
+                spans.append(Span(name=name, start=cursor + start,
+                                  duration=duration, depth=depth, args=args))
+            self._cursors[track] = cursor + max(0.0, telemetry.duration)
+
+    # -- reading ----------------------------------------------------------------------------
+
+    def tracks(self) -> dict[str, list[Span]]:
+        """Snapshot of every track's finished spans (close order)."""
+        with self._lock:
+            return {name: list(spans) for name, spans in self._tracks.items()}
+
+    def num_spans(self) -> int:
+        with self._lock:
+            return sum(len(spans) for spans in self._tracks.values())
+
+
+class _TrackScope:
+    __slots__ = ("_tracer", "_track", "_previous")
+
+    def __init__(self, tracer: Tracer, track: str):
+        self._tracer = tracer
+        self._track = track
+
+    def __enter__(self):
+        state = self._tracer._thread_state()
+        self._previous = state.track
+        state.track = self._track
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._thread_state().track = self._previous
+        return False
+
+
+def task_root_args(**extra: Any) -> dict:
+    """Standard payload of a worker task's root span.
+
+    ``pid`` and ``wall`` identify where and when the work physically ran;
+    they are payload only — the merged trace's timeline and ordering never
+    depend on them (the determinism contract).
+    """
+    return {"pid": os.getpid(), "wall": time.time(), **extra}

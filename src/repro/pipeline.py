@@ -27,6 +27,7 @@ import math
 import time
 from typing import Optional
 
+from repro import obs
 from repro.dse.apply import AppliedDesign, apply_design_point, estimate_baseline
 from repro.dse.space import KernelDesignPoint
 from repro.emit.hlscpp_emitter import emit_hlscpp
@@ -225,36 +226,44 @@ def compile_dnn(model_name: str, graph_level: int = 0, loop_level: int = 0,
     * ``directive_level`` enables loop pipelining and array partitioning (D).
     """
     started = time.perf_counter()
-    module = model_module.clone() if model_module is not None else build_model(model_name)
-    flops = model_flops(module)
-    top = module.functions()[0]
+    compile_span = obs.NULL_SPAN if obs.active() is None else obs.span(
+        "compile.dnn", model=model_name, graph_level=graph_level,
+        loop_level=loop_level, directive_level=directive_level)
+    with compile_span:
+        module = model_module.clone() if model_module is not None else build_model(model_name)
+        flops = model_flops(module)
+        top = module.functions()[0]
 
-    num_stages = prepare_dnn_stages(module, graph_level)
+        with obs.span("compile.stage_graph", graph_level=graph_level):
+            num_stages = prepare_dnn_stages(module, graph_level)
 
-    # Per-stage work estimate (used to balance unroll factors across stages).
-    stage_flops = {
-        func_op.get_attr("sym_name"): function_flops(func_op)
-        for func_op in module.functions()
-    }
-    lower_graph_to_loops(module)
+            # Per-stage work estimate (used to balance unroll factors across
+            # stages).
+            stage_flops = {
+                func_op.get_attr("sym_name"): function_flops(func_op)
+                for func_op in module.functions()
+            }
+            lower_graph_to_loops(module)
 
-    if directive_level or loop_level > 0:
-        unroll_factor = 2 ** loop_level if loop_level > 0 else 1
-        heaviest = max(stage_flops.values()) if stage_flops else 1
-        for func_op in module.functions():
-            if func_op is top and graph_level > 0:
-                continue  # the dataflow top only contains calls
-            function_factor = unroll_factor
-            if graph_level > 0 and heaviest > 0:
-                # Balance the dataflow: lighter stages need proportionally less
-                # parallelism to keep up with the heaviest stage, which saves
-                # DSPs without increasing the dataflow interval.
-                share = stage_flops.get(func_op.get_attr("sym_name"), heaviest) / heaviest
-                function_factor = max(1, _round_power_of_two(unroll_factor * share))
-            _optimize_lowered_function(func_op, function_factor)
+        if directive_level or loop_level > 0:
+            with obs.span("compile.loop_opt", loop_level=loop_level):
+                unroll_factor = 2 ** loop_level if loop_level > 0 else 1
+                heaviest = max(stage_flops.values()) if stage_flops else 1
+                for func_op in module.functions():
+                    if func_op is top and graph_level > 0:
+                        continue  # the dataflow top only contains calls
+                    function_factor = unroll_factor
+                    if graph_level > 0 and heaviest > 0:
+                        # Balance the dataflow: lighter stages need
+                        # proportionally less parallelism to keep up with the
+                        # heaviest stage, which saves DSPs without increasing
+                        # the dataflow interval.
+                        share = stage_flops.get(func_op.get_attr("sym_name"), heaviest) / heaviest
+                        function_factor = max(1, _round_power_of_two(unroll_factor * share))
+                    _optimize_lowered_function(func_op, function_factor)
 
-    estimator = QoREstimator(platform)
-    qor = estimator.estimate_module(module)
+        estimator = QoREstimator(platform)
+        qor = estimator.estimate_module(module)
     runtime = time.perf_counter() - started
     return DNNCompilationResult(module=module, qor=qor, flops=flops,
                                 runtime_seconds=runtime, num_dataflow_stages=num_stages)

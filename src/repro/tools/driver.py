@@ -45,8 +45,10 @@ import argparse
 import contextlib
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.dse import DesignSpaceExplorer
 from repro.dse.apply import apply_design_point, estimate_baseline
 from repro.dse.space import KernelDesignPoint
@@ -54,9 +56,16 @@ from repro.emit import emit_hlscpp
 from repro.estimation import PLATFORMS, XC7Z020
 from repro.estimation.platform import Platform
 from repro.ir import print_op, verify
-from repro.ir.pass_manager import PassError, collect_pass_timings, dump_ir_after
-from repro.ir.rewrite import collect_pattern_stats
+from repro.ir.pass_manager import PassError, dump_ir_after
 from repro.kernels import KERNEL_NAMES
+from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.report import (
+    format_pattern_stats,
+    format_timing_report,
+    pass_timings_of,
+    pattern_stats_of,
+    render_run_summary,
+)
 from repro.pipeline import compile_c, compile_dnn, compile_kernel, dnn_baseline
 
 
@@ -117,6 +126,14 @@ def _add_instrumentation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dump-ir-dir", metavar="DIR", default="ir-dumps",
                         help="directory receiving --dump-ir-after snapshots "
                              "(default: ir-dumps)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run's "
+                             "hierarchical spans (load in Perfetto or "
+                             "chrome://tracing)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the run's metrics (pass timings, pattern "
+                             "stats, cache stats, DSE series) as JSON; render "
+                             "later with the 'report' sub-command")
 
 
 def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
@@ -239,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered passes and self-check the registry")
     list_parser.add_argument("--verbose", action="store_true",
                              help="also print option types, defaults and help")
+
+    report_parser = commands.add_parser(
+        "report", help="render a --metrics-out JSON document as a human "
+                       "report (optionally validating a --trace-out trace)")
+    report_parser.add_argument("metrics",
+                               help="metrics JSON written by --metrics-out")
+    report_parser.add_argument("--trace", metavar="PATH",
+                               help="also validate a Chrome trace written by "
+                                    "--trace-out (exit 1 when invalid)")
     return parser
 
 
@@ -265,12 +291,20 @@ def run_estimate(args) -> int:
     return 0
 
 
+def _note_dse_wall(started: float, jobs: int) -> None:
+    """Record the run-level gauges the end-of-run summary reads."""
+    if obs.active() is not None:
+        obs.gauge("dse.wall_seconds", time.perf_counter() - started)
+        obs.gauge("dse.jobs", max(1, int(jobs)))
+
+
 def run_dse(args) -> int:
     from repro.pipeline import explore_kernel, explore_module_kernels
 
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH (otherwise the "
                          "exploration would silently restart from scratch)")
+    started = time.perf_counter()
     module = _load_module(args)
     platform = _platform(args.platform)
     common = dict(jobs=args.jobs, num_samples=args.samples,
@@ -289,6 +323,7 @@ def run_dse(args) -> int:
         if not results:
             raise SystemExit("no explorable functions: the module contains "
                              "no affine loop nests")
+        _note_dse_wall(started, args.jobs)
         for name in sorted(results):
             _print_dse_result(f"{name}: ", results[name],
                               estimate_baseline(module, platform, func_name=name))
@@ -301,6 +336,7 @@ def run_dse(args) -> int:
     baseline = estimate_baseline(module, platform)
     result = explore_kernel(module, platform, checkpoint_path=args.checkpoint,
                             **common)
+    _note_dse_wall(started, args.jobs)
     _print_dse_result("", result, baseline)
     return 0
 
@@ -481,6 +517,28 @@ def run_list_passes(args) -> int:
     return 1 if failures else 0
 
 
+def run_report(args) -> int:
+    """Render a metrics document; optionally validate a trace file."""
+    from repro.obs.export import load_metrics, load_trace, validate_chrome_trace
+    from repro.obs.report import render_metrics_report
+
+    print(render_metrics_report(load_metrics(args.metrics)))
+    if args.trace:
+        document = load_trace(args.trace)
+        problems = validate_chrome_trace(document)
+        if problems:
+            for problem in problems:
+                print(f"trace problem: {problem}", file=sys.stderr)
+            return 1
+        events = document.get("traceEvents", [])
+        spans = sum(1 for event in events if event.get("ph") == "X")
+        tracks = sum(1 for event in events
+                     if event.get("ph") == "M"
+                     and event.get("name") == "thread_name")
+        print(f"trace OK: {spans} spans on {tracks} track(s)")
+    return 0
+
+
 _COMMANDS = {
     "compile": run_compile,
     "estimate": run_estimate,
@@ -488,6 +546,7 @@ _COMMANDS = {
     "emit": run_emit,
     "dnn": run_dnn,
     "list-passes": run_list_passes,
+    "report": run_report,
 }
 
 
@@ -510,18 +569,48 @@ def _resolve_dump_passes(names: Sequence[str]) -> list[str]:
     return resolved
 
 
+def _finish_session(session: "obs.ObsSession", args, timing: bool,
+                    is_dse_run: bool) -> None:
+    """Render/export one finished observability session (driver epilogue)."""
+    counters = dict(session.metrics.counters)
+    if timing:
+        print(format_timing_report(pass_timings_of(counters)))
+        patterns, buckets = pattern_stats_of(counters)
+        if patterns:
+            print(format_pattern_stats(patterns, buckets))
+    if is_dse_run:
+        summary = render_run_summary(session.metrics.to_json_dict())
+        if summary:
+            print(summary)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        write_chrome_trace(trace_out, session.tracer)
+        print(f"wrote {trace_out} ({session.tracer.num_spans()} spans)",
+              file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        write_metrics_json(metrics_out, session.metrics)
+        print(f"wrote {metrics_out}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
     dump_passes = getattr(args, "dump_ir_after", None)
     timing = getattr(args, "print_pass_timing", False)
-    if not dump_passes and not timing:
+    is_dse_run = args.command == "dse" or (args.command == "dnn"
+                                           and getattr(args, "dse", False))
+    # DSE runs always get a session (the end-of-run summary reads it); other
+    # commands only pay for one when instrumentation output was requested.
+    want_obs = bool(timing or getattr(args, "trace_out", None)
+                    or getattr(args, "metrics_out", None) or is_dse_run)
+    if not dump_passes and not want_obs:
         return handler(args)
 
+    session = None
     with contextlib.ExitStack() as stack:
-        if timing:
-            collector = stack.enter_context(collect_pass_timings())
-            stats = stack.enter_context(collect_pattern_stats())
+        if want_obs:
+            session = stack.enter_context(obs.session())
         if dump_passes:
             try:
                 resolved = _resolve_dump_passes(dump_passes)
@@ -529,11 +618,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 raise SystemExit(str(error)) from error
             dumper = stack.enter_context(
                 dump_ir_after(args.dump_ir_dir, resolved))
-        status = handler(args)
-    if timing:
-        print(collector.report())
-        if stats.stats:
-            print(stats.report())
+        with obs.span(f"cli.{args.command}"):
+            status = handler(args)
+    if session is not None:
+        _finish_session(session, args, timing, is_dse_run)
     if dump_passes:
         print(f"wrote {dumper.counter} IR snapshot(s) to {args.dump_ir_dir}",
               file=sys.stderr)
