@@ -46,6 +46,10 @@ times one full DSE evaluation of a *fully unrolled* gemm per listed size
 (clone + transform pipeline + QoR estimate, the paper's Fig. 7 block-size
 extreme) and records the wall-clock under ``"gemm_dse_seconds"`` in the
 ``--json`` payload — the before/after ledger of the constant-factor work.
+``--prefix-reuse`` (implied by ``--smoke``) A/Bs incremental evaluation —
+a fixed sweep of suffix-varying design points evaluated from scratch vs
+through a prefix-snapshot cache — and the smoke gate fails when the cache
+never hits or stops paying for itself (``--min-prefix-speedup``).
 """
 
 from __future__ import annotations
@@ -257,6 +261,67 @@ def scenario_list_mid_insert(size: int) -> float:
     return time.perf_counter() - started
 
 
+def measure_prefix_reuse(size: int = 8, repeats: int = 3) -> dict:
+    """A/B of incremental evaluation: one prefix, many suffix-varying points.
+
+    Evaluates a fixed sweep of design points that all share the
+    ``perfectize=True, rvb=True`` prefix — first from scratch (the
+    ``--no-incremental`` path), then through a :class:`PrefixSnapshotCache`
+    (one prefix build, then checkout clones), with the precomputed IR-digest
+    hint the DSE runtime ships in its kernel contexts.  The sweep leans on
+    *light* suffixes (small tiles), where the shared prefix is a meaningful
+    share of each evaluation — exactly the points a frontier-evolution sweep
+    evaluates by the hundreds.  Best-of-``repeats`` wall-clock per mode; the
+    smoke gate fails when the cache stops paying for itself or stops
+    hitting.
+    """
+    from repro.dse.apply import apply_design_point
+    from repro.dse.incremental import PrefixSnapshotCache
+    from repro.dse.space import KernelDesignPoint, ir_digest
+    from repro.pipeline import compile_kernel
+
+    module = compile_kernel("gemm", size)
+    digest = ir_digest(module.functions()[0])
+    points = [KernelDesignPoint(True, True, perm, tiles, ii)
+              for perm in ((0, 1, 2), (1, 2, 0), (2, 0, 1))
+              for tiles in ((1, 1, 1), (2, 1, 1))
+              for ii in (1, 2, 4)]
+
+    def from_scratch():
+        for point in points:
+            apply_design_point(module, point)
+
+    hits = misses = 0
+
+    def incremental_run():
+        nonlocal hits, misses
+        snapshots = PrefixSnapshotCache()
+        for point in points:
+            apply_design_point(module, point, snapshots=snapshots,
+                               digest=digest)
+        hits, misses = snapshots.hits, snapshots.misses
+
+    # Interleave the two modes and keep the best of each: on a noisy box,
+    # back-to-back pairs see the same machine state, so drift hits both
+    # sides instead of skewing the ratio.
+    baseline = incremental = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        from_scratch()
+        baseline = min(baseline, time.perf_counter() - started)
+        started = time.perf_counter()
+        incremental_run()
+        incremental = min(incremental, time.perf_counter() - started)
+    speedup = baseline / incremental if incremental > 0 else float("inf")
+    print(f"prefix_reuse: {len(points)} gemm-{size} evaluations, "
+          f"from-scratch {baseline * 1000:.1f}ms vs incremental "
+          f"{incremental * 1000:.1f}ms ({speedup:.2f}x; {hits} snapshot "
+          f"hits, {misses} misses)")
+    return {"points": len(points), "baseline_seconds": baseline,
+            "incremental_seconds": incremental, "speedup": speedup,
+            "hits": hits, "misses": misses}
+
+
 def measure_gemm_dse(sizes) -> dict:
     """Wall-clock of one fully-unrolled gemm DSE evaluation per size."""
     from repro.dse.apply import apply_design_point
@@ -350,6 +415,16 @@ def main(argv=None) -> int:
                         help="also time one fully-unrolled gemm DSE "
                              "evaluation per problem size (recorded under "
                              "'gemm_dse_seconds' in the --json payload)")
+    parser.add_argument("--prefix-reuse", action="store_true",
+                        help="also A/B incremental evaluation (prefix-snapshot "
+                             "caching vs from-scratch) over a fixed gemm "
+                             "sweep; implied by --smoke, where it gates on "
+                             "--min-prefix-speedup")
+    parser.add_argument("--min-prefix-speedup", type=float, default=1.05,
+                        help="smoke gate: minimum from-scratch/incremental "
+                             "wall-clock ratio of the prefix_reuse sweep "
+                             "(default 1.05; the cache must at least pay "
+                             "for itself)")
     args = parser.parse_args(argv)
 
     sizes = tuple(args.sizes) if args.sizes \
@@ -357,6 +432,8 @@ def main(argv=None) -> int:
     results = measure(sizes, repeats=args.repeats)
     print_report(results, sizes)
     gemm_dse = measure_gemm_dse(args.gemm_dse) if args.gemm_dse else None
+    prefix_reuse = measure_prefix_reuse() \
+        if args.prefix_reuse or args.smoke else None
 
     if args.json:
         payload = {
@@ -371,6 +448,8 @@ def main(argv=None) -> int:
         if gemm_dse is not None:
             payload["gemm_dse_seconds"] = {str(size): seconds
                                            for size, seconds in gemm_dse.items()}
+        if prefix_reuse is not None:
+            payload["prefix_reuse"] = prefix_reuse
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
@@ -390,13 +469,22 @@ def main(argv=None) -> int:
                                 f"a {sizes[-1] // sizes[0]}x size sweep "
                                 f"(limit {limit:.1f}x; quadratic baseline "
                                 f"grew {baseline_growth:.1f}x)")
+        if prefix_reuse is not None:
+            if prefix_reuse["hits"] == 0:
+                failures.append("prefix_reuse: snapshot cache never hit "
+                                "(every evaluation rebuilt the prefix)")
+            elif prefix_reuse["speedup"] < args.min_prefix_speedup:
+                failures.append(
+                    f"prefix_reuse: incremental evaluation only "
+                    f"{prefix_reuse['speedup']:.2f}x faster than from-scratch "
+                    f"(gate {args.min_prefix_speedup:.2f}x)")
         if failures:
             print("hot-path scaling regression:", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print(f"smoke gate passed: all gated scenarios scale near-linearly "
-              f"(growth <= {limit:.1f}x)")
+              f"(growth <= {limit:.1f}x) and incremental evaluation pays off")
     return 0
 
 

@@ -171,13 +171,16 @@ class AffineExpr:
     def __eq__(self, other) -> bool:
         if not isinstance(other, AffineExpr):
             return NotImplemented
-        return self._key() == other._key()
+        return self._k == other._k
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        return self._h
 
     def _key(self):
-        raise NotImplementedError
+        # Structural identity, precomputed at construction (expressions are
+        # immutable): equality and hashing are hot in access analyses, so
+        # they must not rebuild the key tuple recursively per comparison.
+        return self._k
 
     def __repr__(self) -> str:
         return f"AffineExpr({self})"
@@ -192,9 +195,8 @@ class AffineDimExpr(AffineExpr):
         if position < 0:
             raise ValueError("dim position must be non-negative")
         self.position = position
-
-    def _key(self):
-        return (self.kind, self.position)
+        self._k = (self.kind, position)
+        self._h = hash(self._k)
 
     def __str__(self) -> str:
         return f"d{self.position}"
@@ -209,9 +211,8 @@ class AffineSymbolExpr(AffineExpr):
         if position < 0:
             raise ValueError("symbol position must be non-negative")
         self.position = position
-
-    def _key(self):
-        return (self.kind, self.position)
+        self._k = (self.kind, position)
+        self._h = hash(self._k)
 
     def __str__(self) -> str:
         return f"s{self.position}"
@@ -224,9 +225,8 @@ class AffineConstantExpr(AffineExpr):
 
     def __init__(self, value: int):
         self.value = int(value)
-
-    def _key(self):
-        return (self.kind, self.value)
+        self._k = (self.kind, self.value)
+        self._h = hash(self._k)
 
     def __str__(self) -> str:
         return str(self.value)
@@ -248,9 +248,8 @@ class AffineBinaryExpr(AffineExpr):
         self.kind = kind
         self.lhs = lhs
         self.rhs = rhs
-
-    def _key(self):
-        return (self.kind, self.lhs._key(), self.rhs._key())
+        self._k = (kind, lhs._k, rhs._k)
+        self._h = hash(self._k)
 
     def __str__(self) -> str:
         return f"({self.lhs} {_BINARY_SYMBOL[self.kind]} {self.rhs})"
@@ -269,9 +268,17 @@ def symbol(position: int) -> AffineSymbolExpr:
     return AffineSymbolExpr(position)
 
 
+#: Interned constants: unrolled access analyses materialize the same small
+#: integers millions of times; expressions are immutable, so sharing is safe.
+_CONSTANT_CACHE: dict[int, AffineConstantExpr] = {}
+
+
 def constant(value: int) -> AffineConstantExpr:
-    """Shorthand for :meth:`AffineExpr.get_constant`."""
-    return AffineConstantExpr(value)
+    """Shorthand for :meth:`AffineExpr.get_constant` (interned)."""
+    cached = _CONSTANT_CACHE.get(value)
+    if cached is None:
+        cached = _CONSTANT_CACHE[value] = AffineConstantExpr(int(value))
+    return cached
 
 
 # -- internal simplification helpers ------------------------------------------

@@ -154,13 +154,19 @@ class AffineMap:
         return hash((self.num_dims, self.num_symbols, self.results))
 
     def __str__(self) -> str:
+        # Cached: maps are immutable and str() is called per memory access by
+        # the cleanup passes' access keys, not just for printing.
+        cached = self.__dict__.get("_str")
+        if cached is not None:
+            return cached
         dims = ", ".join(f"d{i}" for i in range(self.num_dims))
         syms = ", ".join(f"s{i}" for i in range(self.num_symbols))
         head = f"({dims})"
         if syms:
             head += f"[{syms}]"
         body = ", ".join(str(expr) for expr in self.results)
-        return f"affine_map<{head} -> ({body})>"
+        self._str = rendered = f"affine_map<{head} -> ({body})>"
+        return rendered
 
     def __repr__(self) -> str:
         return str(self)

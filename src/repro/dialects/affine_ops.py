@@ -338,6 +338,26 @@ def value_to_affine_expr(value: Value, dim_map: dict[Value, int]) -> Optional[Af
 def access_expressions(op: Operation, dim_map: dict[Value, int]) -> Optional[list[AffineExpr]]:
     """Per-dimension index expressions of an access in terms of ``dim_map`` dims."""
     indices = access_indices(op)
+    if op.name in ("affine.load", "affine.store"):
+        access_map: AffineMap = op.get_attr("map")
+        # All-constant fast path (the shape of every access in a fully
+        # unrolled pipelined body): evaluate the map numerically rather than
+        # substituting constant exprs into each result and re-folding the
+        # tree.  The construction-time fold rules collapse an all-constant
+        # substitution to the same AffineConstantExpr, so the output is
+        # identical.
+        if access_map.num_symbols == 0:
+            values: Optional[list[int]] = []
+            for operand in indices:
+                if (isinstance(operand, OpResult)
+                        and operand.owner.name == "arith.constant"
+                        and operand not in dim_map):
+                    values.append(int(operand.owner.get_attr("value")))
+                else:
+                    values = None
+                    break
+            if values is not None and len(values) == access_map.num_dims:
+                return [const_expr(value) for value in access_map.evaluate(values)]
     operand_exprs = []
     for operand in indices:
         expr = value_to_affine_expr(operand, dim_map)

@@ -74,6 +74,43 @@ def cleanup_pipeline_names() -> tuple[str, ...]:
     return tuple(sorted(CLEANUP_PIPELINES))
 
 
+def register_cleanup_pipeline(name: str, spec: str) -> None:
+    """Register (or replace) a named cleanup pipeline at runtime.
+
+    The CLI surface of :data:`CLEANUP_PIPELINES` (``--register-pipeline
+    name=spec``).  ``spec`` is validated against the pass registry before
+    anything changes — an unknown pass or malformed spec raises
+    :class:`~repro.ir.pass_manager.PassError` with the registry's actionable
+    message.  Registration invalidates the cached pipeline signatures, so
+    cache/checkpoint fingerprints always reflect the live registry.
+    """
+    from repro.ir.pass_manager import PassError
+
+    if not name or any(ch in name for ch in "=,(){} "):
+        raise PassError(f"invalid cleanup pipeline name {name!r}: names must "
+                        "be non-empty and contain no '=', ',', braces, "
+                        "parentheses or spaces")
+    pipeline_signature(spec)  # validates every pass + option in the spec
+    CLEANUP_PIPELINES[name] = spec
+    cleanup_pipeline_signature.cache_clear()
+    kernel_pipeline_signature.cache_clear()
+
+
+def install_cleanup_pipelines(pipelines: dict[str, str]) -> None:
+    """Adopt a coordinator's cleanup-pipeline registry wholesale.
+
+    Worker-process side of ``--register-pipeline``: the evaluation backends
+    ship the coordinator's :data:`CLEANUP_PIPELINES` in the worker
+    initializer payload, and this installs it — otherwise a worker's
+    :func:`kernel_pipeline_signature` would disagree with the coordinator's
+    and every evaluation would fail the version-skew guard.
+    """
+    CLEANUP_PIPELINES.clear()
+    CLEANUP_PIPELINES.update(pipelines)
+    cleanup_pipeline_signature.cache_clear()
+    kernel_pipeline_signature.cache_clear()
+
+
 def cleanup_pipeline_spec(name: str) -> str:
     """The raw textual spec of a named cleanup pipeline."""
     try:
@@ -115,15 +152,47 @@ def design_point_pass(point: KernelDesignPoint) -> "ApplyDesignPointPass":
         ii=point.target_ii)
 
 
+def design_point_prefix_pass(point: KernelDesignPoint) -> "DesignPointPrefixPass":
+    """The configured ``design-point-prefix`` pass (the snapshot-cached part)."""
+    from repro.transforms import DesignPointPrefixPass
+
+    return DesignPointPrefixPass(perfectize=point.loop_perfectization,
+                                 rvb=point.remove_variable_bound)
+
+
+def design_point_suffix_pass(point: KernelDesignPoint) -> "DesignPointSuffixPass":
+    """The configured ``design-point-suffix`` pass (the per-point part)."""
+    from repro.transforms import DesignPointSuffixPass
+
+    tiles = tuple(point.tile_sizes) \
+        if any(size > 1 for size in point.tile_sizes) else ()
+    return DesignPointSuffixPass(perm=tuple(point.perm_map), tiles=tiles,
+                                 ii=point.target_ii)
+
+
 def design_point_options(point: KernelDesignPoint) -> str:
     """The ``apply-design-point`` option string encoding ``point``."""
     options = design_point_pass(point).option_string()
     return f"{{{options}}}" if options else ""
 
 
+def _pass_spec(pass_) -> str:
+    """``name{options}`` textual form of a configured pass instance."""
+    return pass_.display_name
+
+
 def _kernel_tail_spec(point: Optional[KernelDesignPoint]) -> str:
-    """Everything after the initial canonicalization of one evaluation."""
-    middle = "apply-design-point" + (design_point_options(point) if point else "")
+    """Everything after the initial canonicalization of one evaluation.
+
+    Spelled as the prefix/suffix pass pair — the split the incremental
+    evaluator caches around — so the printed spec, the signature and the
+    actual evaluation path all describe the same pipeline.
+    """
+    if point is not None:
+        middle = (f"{_pass_spec(design_point_prefix_pass(point))},"
+                  f"{_pass_spec(design_point_suffix_pass(point))}")
+    else:
+        middle = "design-point-prefix,design-point-suffix"
     cleanup = cleanup_pipeline_spec(point.pipeline if point else DEFAULT_CLEANUP)
     return f"{middle},{cleanup},array-partition"
 
@@ -158,7 +227,11 @@ def kernel_pipeline_signature() -> str:
     Since the cleanup pipeline is a per-point design choice, the fingerprint
     must cover the whole registry: a coordinator and a worker (or a cached
     estimate and a new sweep) agree exactly when the template *and* every
-    pipeline a point could select print identically.
+    pipeline a point could select print identically.  The template spells
+    the prefix/suffix split of the evaluation explicitly, so the signature
+    also covers how incremental evaluation partitions the pipeline.  It does
+    *not* depend on whether incremental evaluation is enabled — both modes
+    produce identical records, so they must share fingerprints.
     """
     named = ";".join(f"{name}={cleanup_pipeline_signature(name)}"
                      for name in cleanup_pipeline_names())
@@ -166,7 +239,10 @@ def kernel_pipeline_signature() -> str:
 
 
 def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
-                           func_name: Optional[str] = None) -> tuple[ModuleOp, Operation]:
+                           func_name: Optional[str] = None,
+                           snapshots: "Optional[PrefixSnapshotCache]" = None,
+                           digest: Optional[str] = None
+                           ) -> tuple[ModuleOp, Operation]:
     """Clone ``module`` and run the design-point pipeline of ``point``.
 
     Returns the transformed clone and its kernel function.  Transform steps
@@ -174,24 +250,38 @@ def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
     non-perfect band) are skipped rather than failing — the estimator will
     simply see the weaker design, which is how unprofitable points lose in
     the exploration.
-    """
-    cloned = module.clone()
-    func_op = cloned.lookup(func_name) if func_name else cloned.functions()[0]
-    if func_op is None:
-        raise ValueError(f"function {func_name!r} not found in the module")
 
-    build_pipeline_cached("canonicalize").run(func_op)
-    if _outer_loop(func_op) is None:
-        # Nothing to transform or partition: mirror the bare canonicalization
-        # the estimator sees for loop-less functions.
-        return cloned, func_op
+    With ``snapshots`` (a :class:`repro.dse.incremental.PrefixSnapshotCache`)
+    the shared evaluation prefix — canonicalize + the design point's boolean
+    structural knobs — is served from a cached snapshot clone instead of
+    being re-run; the output is byte-identical either way.  ``digest``
+    optionally passes a precomputed :func:`~repro.dse.space.ir_digest` of
+    the kernel to the snapshot cache.
+    """
+    if snapshots is not None:
+        cloned, func_op = snapshots.checkout(module, point,
+                                             func_name=func_name, digest=digest)
+        if _outer_loop(func_op) is None:
+            return cloned, func_op
+    else:
+        cloned = module.clone()
+        func_op = cloned.lookup(func_name) if func_name else cloned.functions()[0]
+        if func_op is None:
+            raise ValueError(f"function {func_name!r} not found in the module")
+
+        build_pipeline_cached("canonicalize").run(func_op)
+        if _outer_loop(func_op) is None:
+            # Nothing to transform or partition: mirror the bare
+            # canonicalization the estimator sees for loop-less functions.
+            return cloned, func_op
+        PassManager([design_point_prefix_pass(point)]).run(func_op)
 
     # Same sequence as _kernel_tail_spec(point), but the point-specific pass
     # is constructed directly: parsing a distinct spec per design point
     # would thrash the pipeline cache on large sweeps.  The cleanup tail is
     # the point's chosen named pipeline — only a handful exist, so the
     # cached builder still parses each exactly once.
-    PassManager([design_point_pass(point)]).run(func_op)
+    PassManager([design_point_suffix_pass(point)]).run(func_op)
     cleanup = cleanup_pipeline_spec(point.pipeline)
     build_pipeline_cached(f"{cleanup},array-partition").run(func_op)
     return cloned, func_op
@@ -199,9 +289,17 @@ def optimize_kernel_module(module: ModuleOp, point: KernelDesignPoint,
 
 def apply_design_point(module: ModuleOp, point: KernelDesignPoint,
                        platform: Platform = XC7Z020,
-                       func_name: Optional[str] = None) -> AppliedDesign:
-    """Apply ``point`` to a clone of ``module`` and estimate the result."""
-    optimized, func_op = optimize_kernel_module(module, point, func_name)
+                       func_name: Optional[str] = None,
+                       snapshots: "Optional[PrefixSnapshotCache]" = None,
+                       digest: Optional[str] = None) -> AppliedDesign:
+    """Apply ``point`` to a clone of ``module`` and estimate the result.
+
+    ``snapshots``/``digest`` enable incremental evaluation — see
+    :func:`optimize_kernel_module`.
+    """
+    optimized, func_op = optimize_kernel_module(module, point, func_name,
+                                                snapshots=snapshots,
+                                                digest=digest)
     estimator = QoREstimator(platform)
     qor = estimator.estimate_function(func_op, module=optimized)
     achieved_ii = _achieved_ii(func_op)

@@ -1,0 +1,145 @@
+"""Incremental evaluation: prefix-shared pipelines with IR snapshot caching.
+
+Every kernel evaluation runs the same leading passes — canonicalization plus
+the two boolean structural knobs (loop perfectization, variable-bound
+removal) — before anything point-specific happens (permutation, tiling,
+pipelining, the cleanup tail, array partitioning).  Those knobs admit only
+four combinations, so a worker that evaluates hundreds of points re-runs a
+byte-identical prefix almost every time.
+
+:class:`PrefixSnapshotCache` memoizes the *post-prefix* module per
+``(kernel IR digest, function name, prefix key)`` and serves each evaluation
+a fresh **clone** of the snapshot, which is much cheaper than re-running the
+prefix.  Each worker process (and the serial backend) owns its own cache —
+snapshots are plain IR objects and never cross process boundaries.
+
+Correctness:
+
+* The snapshot is built by exactly the passes the non-incremental path runs
+  (the same registry pass objects, in the same order), and every checkout
+  clones it, so downstream transforms can never leak state between
+  evaluations.  ``--no-incremental`` disables checkouts for A/B comparison;
+  frontier artifacts are byte-identical either way, at any ``--jobs``.
+* The cache key embeds :func:`repro.dse.space.ir_digest` of the source
+  kernel: structurally different IR can never share a snapshot, even within
+  one process.
+
+Observability: each checkout emits one constant-shape ``dse.prefix`` span
+(cache-warmth only appears in span *args*, never in the trace skeleton) and
+the ``dse.prefix.{hits,misses,clones}`` counters.  Snapshot *builds* run
+with the session suspended — they happen only on a miss, so their spans
+would make the trace depend on execution details — and their pass timings
+are re-injected afterwards under a distinct ``prefix.<key>/`` scope, keeping
+``--print-pass-timing`` free of shared-vs-per-point double counting.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional
+
+from repro import obs
+from repro.dse.space import KernelDesignPoint, ir_digest
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import (
+    PassManager,
+    collect_pass_timings,
+    pass_timing_scope,
+)
+from repro.ir.pass_registry import build_pipeline_cached
+
+
+class PrefixSnapshotCache:
+    """Per-worker memo of post-prefix kernel IR, keyed by prefix identity.
+
+    ``max_entries`` bounds the snapshot count with LRU eviction; the default
+    is small because a single kernel has at most four prefixes and a worker
+    typically interleaves only a handful of kernels.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.clones = 0
+        self.evictions = 0
+        #: key -> snapshot module; least recently used first.
+        self._snapshots: "collections.OrderedDict[tuple, ModuleOp]" = \
+            collections.OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def checkout(self, module: ModuleOp, point: KernelDesignPoint,
+                 func_name: Optional[str] = None,
+                 digest: Optional[str] = None) -> tuple[ModuleOp, Operation]:
+        """A fresh post-prefix clone of ``module`` for evaluating ``point``.
+
+        ``digest`` is the caller's :func:`~repro.dse.space.ir_digest` of the
+        kernel function when it already has one (the DSE runtime ships it in
+        the kernel context); without a hint the digest is recomputed per
+        checkout, so in-place mutation of ``module`` safely invalidates.
+
+        Returns ``(cloned module, kernel function inside the clone)`` —
+        exactly what running canonicalize + the design-point prefix on a
+        clone of ``module`` would produce.
+        """
+        if not digest:
+            digest = ir_digest(_lookup(module, func_name))
+        prefix = point.prefix_key()
+        key = (digest, func_name, prefix)
+        snapshot = self._snapshots.get(key)
+        cached = snapshot is not None
+        span = obs.NULL_SPAN if obs.active() is None else obs.span(
+            "dse.prefix", key=prefix, cached=cached)
+        with span:
+            if cached:
+                self.hits += 1
+                obs.counter("dse.prefix.hits")
+                self._snapshots.move_to_end(key)
+            else:
+                self.misses += 1
+                obs.counter("dse.prefix.misses")
+                snapshot = self._build(module, point, func_name, prefix)
+                self._snapshots[key] = snapshot
+                while len(self._snapshots) > self.max_entries:
+                    self._snapshots.popitem(last=False)
+                    self.evictions += 1
+            cloned = snapshot.clone()
+            self.clones += 1
+            obs.counter("dse.prefix.clones")
+        return cloned, _lookup(cloned, func_name)
+
+    # -- internals --------------------------------------------------------------------------
+
+    @staticmethod
+    def _build(module: ModuleOp, point: KernelDesignPoint,
+               func_name: Optional[str], prefix: str) -> ModuleOp:
+        """Run the shared prefix once: clone, canonicalize, perfectize/rvb.
+
+        Built with the session suspended (a miss is an execution detail, not
+        part of the trajectory); the measured pass seconds are re-injected
+        under the ``prefix.<key>/`` timing scope afterwards so timing tables
+        attribute shared work separately from per-evaluation work.
+        """
+        from repro.dse.apply import design_point_prefix_pass
+
+        snapshot = module.clone()
+        func_op = _lookup(snapshot, func_name)
+        with obs.suspended(), collect_pass_timings() as collector, \
+                pass_timing_scope(f"prefix.{prefix}"):
+            build_pipeline_cached("canonicalize").run(func_op)
+            PassManager([design_point_prefix_pass(point)]).run(func_op)
+        for name, seconds in collector.timings.items():
+            obs.add_pass_seconds(name, seconds)
+        return snapshot
+
+
+def _lookup(module: ModuleOp, func_name: Optional[str]) -> Operation:
+    func_op = module.lookup(func_name) if func_name else module.functions()[0]
+    if func_op is None:
+        raise ValueError(f"function {func_name!r} not found in the module")
+    return func_op

@@ -37,6 +37,9 @@ class CacheStats:
     stores: int = 0
     loaded: int = 0
     evictions: int = 0
+    #: Dead JSONL lines dropped by load-time compaction (superseded
+    #: duplicates, stale-model entries, corrupt lines, byte-bound evictees).
+    compacted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,7 +52,7 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return CacheStats(hits=self.hits, misses=self.misses,
                           stores=self.stores, loaded=self.loaded,
-                          evictions=self.evictions)
+                          evictions=self.evictions, compacted=self.compacted)
 
 
 class EstimateCache:
@@ -59,19 +62,36 @@ class EstimateCache:
     (lookup hits refresh recency); None keeps the cache unbounded.  Evicted
     entries count into ``stats.evictions``.  The bound also applies while
     warming from a persisted file — the JSONL file itself is append-only and
-    is *not* rewritten on eviction, so a later, larger-bounded process can
-    still warm from everything ever stored.
+    is *not* rewritten on entry-count eviction, so a later, larger-bounded
+    process can still warm from everything ever stored.
+
+    ``max_bytes`` bounds the cache by *serialized size* instead (each entry
+    is charged its JSONL line length).  Unlike the entry-count bound it is a
+    real storage budget, so it does rewrite the file: loading compacts the
+    JSONL — dead lines (superseded duplicates, stale-model entries, corrupt
+    lines, byte-bound evictees) are dropped and the file is atomically
+    replaced by its live suffix, keeping it near the configured budget
+    instead of growing forever.  Compaction also runs without ``max_bytes``
+    whenever a load finds dead lines; dropped lines count into
+    ``stats.compacted``.
     """
 
     def __init__(self, path: Optional[str] = None,
-                 max_entries: Optional[int] = None):
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.path = path
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         #: Insertion-ordered; least recently used first (hits re-insert).
         self._entries: dict[CacheKey, EvaluationRecord] = {}
+        #: Serialized line bytes per entry (maintained iff max_bytes is set).
+        self._sizes: dict[CacheKey, int] = {}
+        self._total_bytes = 0
         self._handle = None
         #: Guards entries, stats and file appends: one cache instance may be
         #: shared by the per-kernel coordinator threads of a scheduler.
@@ -106,7 +126,7 @@ class EstimateCache:
             else:
                 self.stats.hits += 1
                 obs.counter("cache.hits")
-                if self.max_entries is not None:
+                if self.max_entries is not None or self.max_bytes is not None:
                     # Refresh recency: re-insert at the most-recent end.
                     del self._entries[key]
                     self._entries[key] = record
@@ -117,25 +137,48 @@ class EstimateCache:
             key = (fingerprint, tuple(record.encoded))
             if key in self._entries:
                 return
+            line = self._serialize(fingerprint, record) \
+                if self.path or self.max_bytes is not None else None
             self._entries[key] = record
+            if self.max_bytes is not None:
+                self._charge(key, len(line) + 1)
             self.stats.stores += 1
             obs.counter("cache.stores")
             self._evict_over_bound()
             if self.path:
-                self._append(fingerprint, record)
+                self._append(line)
+
+    def _charge(self, key: CacheKey, size: int) -> None:
+        self._total_bytes += size - self._sizes.get(key, 0)
+        self._sizes[key] = size
+
+    def _evict_entry(self, key: CacheKey) -> None:
+        del self._entries[key]
+        if self.max_bytes is not None:
+            self._total_bytes -= self._sizes.pop(key, 0)
+        self.stats.evictions += 1
+        obs.counter("cache.evictions")
 
     def _evict_over_bound(self) -> None:
-        # Caller holds the lock.  Entries iterate least-recent first.
-        if self.max_entries is None:
-            return
-        while len(self._entries) > self.max_entries:
-            del self._entries[next(iter(self._entries))]
-            self.stats.evictions += 1
-            obs.counter("cache.evictions")
+        # Caller holds the lock.  Entries iterate least-recent first.  The
+        # byte bound always keeps the newest entry, even one that alone
+        # exceeds the budget — a cache that rejects what it just stored
+        # would silently re-evaluate that point forever.
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._evict_entry(next(iter(self._entries)))
+        if self.max_bytes is not None:
+            while self._total_bytes > self.max_bytes and len(self._entries) > 1:
+                self._evict_entry(next(iter(self._entries)))
 
     # -- persistence ------------------------------------------------------------------------
 
     def _load(self, path: str) -> None:
+        # ``live`` holds the latest valid line per key, in first-seen order;
+        # re-inserting on supersede would change which entries the LRU
+        # bounds keep, so only the *content* is refreshed.
+        live: dict[CacheKey, tuple[EvaluationRecord, str]] = {}
+        dead = 0
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -144,25 +187,60 @@ class EstimateCache:
                 try:
                     data = json.loads(line)
                     if data.get("model") != QOR_MODEL_VERSION:
-                        continue  # estimated under a stale QoR model
+                        dead += 1  # estimated under a stale QoR model
+                        continue
                     record = EvaluationRecord.from_json_dict(data["record"])
                     key = (data["fingerprint"], record.encoded)
                 except (KeyError, TypeError, ValueError):
-                    continue  # tolerate truncated/corrupt/foreign lines
-                self._entries.pop(key, None)  # later lines are fresher: refresh
-                self._entries[key] = record
-                self.stats.loaded += 1
-                obs.counter("cache.loaded")
-                self._evict_over_bound()
+                    dead += 1  # truncated/corrupt/foreign line
+                    continue
+                if key in live:
+                    dead += 1  # superseded by this fresher line
+                live[key] = (record, line)
 
-    def _append(self, fingerprint: str, record: EvaluationRecord) -> None:
+        # The byte bound governs the file too: drop the least recently
+        # stored lines until the live suffix fits the budget.
+        if self.max_bytes is not None:
+            keys = list(live)
+            total = sum(len(line) + 1 for _, line in live.values())
+            while total > self.max_bytes and len(live) > 1:
+                _, line = live.pop(keys.pop(0))
+                total -= len(line) + 1
+                dead += 1
+
+        for key, (record, line) in live.items():
+            self._entries[key] = record
+            if self.max_bytes is not None:
+                self._charge(key, len(line) + 1)
+            self.stats.loaded += 1
+            obs.counter("cache.loaded")
+            self._evict_over_bound()
+
+        # Compact only when dead lines exist: an entry-count eviction alone
+        # never rewrites the file (append-only warming stays intact).
+        if dead:
+            self._compact(path, [line for _, line in live.values()], dead)
+
+    def _compact(self, path: str, lines: list[str], dead: int) -> None:
+        """Atomically replace the JSONL file with its live lines."""
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+        os.replace(tmp_path, path)
+        self.stats.compacted += dead
+        obs.counter("cache.compacted", dead)
+
+    @staticmethod
+    def _serialize(fingerprint: str, record: EvaluationRecord) -> str:
+        return json.dumps({"fingerprint": fingerprint,
+                           "model": QOR_MODEL_VERSION,
+                           "record": record.to_json_dict()})
+
+    def _append(self, line: str) -> None:
         # One lazily opened append handle for the cache's lifetime (caller
         # holds the lock); flushed per line so entries survive a crash.
         if self._handle is None:
             self._handle = open(self.path, "a", encoding="utf-8")
-        line = json.dumps({"fingerprint": fingerprint,
-                           "model": QOR_MODEL_VERSION,
-                           "record": record.to_json_dict()})
         self._handle.write(line + "\n")
         self._handle.flush()
 

@@ -276,7 +276,8 @@ class ModelScheduler:
                  checkpoint_every: int = 16,
                  frontier_cap: int = 64,
                  max_evaluations_per_node: Optional[int] = None,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 incremental: bool = True):
         self.platform = platform
         self.jobs = max(1, int(jobs))
         self.seed = seed
@@ -291,6 +292,7 @@ class ModelScheduler:
         #: prefix checkpoints exactly like an interrupted run.
         self.max_evaluations_per_node = max_evaluations_per_node
         self.mp_context = mp_context
+        self.incremental = incremental
 
     # -- public API -------------------------------------------------------------------------
 
@@ -342,7 +344,8 @@ class ModelScheduler:
                 batch_size=self.batch_size, cache=self.cache,
                 checkpoint_dir=self.checkpoint_dir,
                 checkpoint_every=self.checkpoint_every,
-                mp_context=self.mp_context)
+                mp_context=self.mp_context,
+                incremental=self.incremental)
             node_results = scheduler.explore_kernels(tasks, resume=resume)
 
             with obs.span("dse.compose", nodes=len(node_order)):

@@ -147,7 +147,8 @@ class ParallelExplorer:
                  checkpoint_path: Optional[str] = None,
                  checkpoint_every: int = 32,
                  max_evaluations: Optional[int] = None,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 incremental: bool = True):
         self.platform = platform
         self.num_samples = num_samples
         self.max_iterations = max_iterations
@@ -159,6 +160,10 @@ class ParallelExplorer:
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.max_evaluations = max_evaluations
         self.mp_context = mp_context
+        #: Prefix-snapshot caching in the evaluation backends (execution
+        #: detail: results are identical either way, so the flag is absent
+        #: from checkpoint configs and cache fingerprints).
+        self.incremental = incremental
 
     # -- exploration ------------------------------------------------------------------------
 
@@ -210,7 +215,8 @@ class ParallelExplorer:
                 contexts = {context_key: KernelContext(
                     module=module, func_name=func_name,
                     platform=self.platform, space=space,
-                    pipeline=config["pipeline"])}
+                    pipeline=config["pipeline"],
+                    incremental=self.incremental)}
                 created_backend = create_backend(contexts, self.jobs,
                                                  mp_context=self.mp_context)
             return created_backend

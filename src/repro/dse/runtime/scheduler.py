@@ -68,7 +68,8 @@ class MultiKernelScheduler:
                  cache: Optional[EstimateCache] = None,
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 32,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 incremental: bool = True):
         self.platform = platform
         self.jobs = max(1, int(jobs))
         self.num_samples = num_samples
@@ -79,6 +80,7 @@ class MultiKernelScheduler:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.mp_context = mp_context
+        self.incremental = incremental
 
     # -- public API -------------------------------------------------------------------------
 
@@ -113,7 +115,8 @@ class MultiKernelScheduler:
         contexts = {
             task.key: KernelContext(module=task.module, func_name=task.func_name,
                                     platform=self.platform, space=task.space,
-                                    pipeline=signature)
+                                    pipeline=signature,
+                                    incremental=self.incremental)
             for task in tasks
         }
         backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)
@@ -181,7 +184,8 @@ class MultiKernelScheduler:
             seed=self.seed, jobs=self.jobs, batch_size=self.batch_size,
             cache=self.cache, checkpoint_path=checkpoint_path,
             checkpoint_every=self.checkpoint_every,
-            max_evaluations=task.max_evaluations)
+            max_evaluations=task.max_evaluations,
+            incremental=self.incremental)
         return explorer.explore(task.module, space=task.space,
                                 func_name=task.func_name, resume=resume,
                                 backend=backend, context_key=task.key)

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 from repro import obs
 from repro.dse.apply import apply_design_point
+from repro.dse.incremental import PrefixSnapshotCache
 from repro.dse.runtime.records import EvaluationRecord
 from repro.dse.space import KernelDesignSpace
 from repro.estimation.platform import Platform
@@ -45,6 +46,10 @@ class KernelContext:
     signature covers every *named* cleanup pipeline a design point may
     select, so the guard holds even though each point builds its own
     cleanup tail (see :data:`repro.dse.apply.CLEANUP_PIPELINES`).
+
+    ``incremental`` turns prefix-snapshot caching on (the default) or off
+    (``--no-incremental``); both settings produce identical records — the
+    flag is pure execution detail, deliberately absent from fingerprints.
     """
 
     module: ModuleOp
@@ -52,11 +57,17 @@ class KernelContext:
     platform: Platform
     space: KernelDesignSpace
     pipeline: str = ""
+    incremental: bool = True
 
 
-def evaluate_encoded(context: KernelContext,
-                     encoded: tuple[int, ...]) -> EvaluationRecord:
-    """Evaluate one encoded design point against its kernel context."""
+def evaluate_encoded(context: KernelContext, encoded: tuple[int, ...],
+                     snapshots: Optional[PrefixSnapshotCache] = None
+                     ) -> EvaluationRecord:
+    """Evaluate one encoded design point against its kernel context.
+
+    ``snapshots`` is the caller's prefix-snapshot cache (see
+    :mod:`repro.dse.incremental`); None evaluates from scratch.
+    """
     if context.pipeline:
         from repro.dse.apply import kernel_pipeline_signature
         from repro.ir.pass_manager import PassError
@@ -68,8 +79,22 @@ def evaluate_encoded(context: KernelContext,
                 f"'{context.pipeline}' but this worker would run '{local}'")
     point = context.space.decode(encoded)
     design = apply_design_point(context.module, point, context.platform,
-                                func_name=context.func_name)
+                                func_name=context.func_name,
+                                snapshots=snapshots,
+                                digest=context.space.ir_digest or None)
     return EvaluationRecord.from_design(encoded, design)
+
+
+def _snapshots_for(context: KernelContext, key: str,
+                   caches: dict[str, PrefixSnapshotCache]
+                   ) -> Optional[PrefixSnapshotCache]:
+    """The per-kernel snapshot cache of ``caches``, or None when disabled."""
+    if not context.incremental:
+        return None
+    cache = caches.get(key)
+    if cache is None:
+        cache = caches[key] = PrefixSnapshotCache()
+    return cache
 
 
 # -- worker process side -------------------------------------------------------------------
@@ -77,14 +102,29 @@ def evaluate_encoded(context: KernelContext,
 #: Per-process kernel contexts, installed by :func:`_init_worker`.
 _WORKER_CONTEXTS: dict[str, KernelContext] = {}
 
+#: Per-process prefix-snapshot caches, one per kernel key (reset alongside
+#: the contexts: snapshots derive from the shipped modules).
+_WORKER_SNAPSHOTS: dict[str, PrefixSnapshotCache] = {}
+
 
 def _init_worker(payload: bytes) -> None:
-    global _WORKER_CONTEXTS
-    _WORKER_CONTEXTS = pickle.loads(payload)
+    global _WORKER_CONTEXTS, _WORKER_SNAPSHOTS
+    contexts, pipelines = pickle.loads(payload)
+    # Adopt the coordinator's named-pipeline registry before anything
+    # computes a pipeline signature: runtime-registered pipelines
+    # (--register-pipeline) must exist on the worker too.
+    from repro.dse.apply import install_cleanup_pipelines
+
+    install_cleanup_pipelines(pipelines)
+    _WORKER_CONTEXTS = contexts
+    _WORKER_SNAPSHOTS = {}
 
 
 def _evaluate_task(key: str, encoded: tuple[int, ...]) -> EvaluationRecord:
-    return evaluate_encoded(_WORKER_CONTEXTS[key], encoded)
+    context = _WORKER_CONTEXTS[key]
+    return evaluate_encoded(context, encoded,
+                            snapshots=_snapshots_for(context, key,
+                                                     _WORKER_SNAPSHOTS))
 
 
 def _evaluate_task_traced(key: str, encoded: tuple[int, ...]):
@@ -94,8 +134,10 @@ def _evaluate_task_traced(key: str, encoded: tuple[int, ...]):
     active; the choice is made coordinator-side so worker initialisation
     needs no tracing flag.  Returns ``(record, TaskTelemetry)``.
     """
+    context = _WORKER_CONTEXTS[key]
     return obs.capture_task(
-        evaluate_encoded, _WORKER_CONTEXTS[key], encoded,
+        evaluate_encoded, context, encoded,
+        _snapshots_for(context, key, _WORKER_SNAPSHOTS),
         span_args={"kernel": key})
 
 
@@ -115,19 +157,22 @@ class SerialBackend:
 
     def __init__(self, contexts: dict[str, KernelContext]):
         self._contexts = contexts
+        self._snapshots: dict[str, PrefixSnapshotCache] = {}
 
     def evaluate(self, key: str,
                  batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
         context = self._contexts[key]
+        snapshots = _snapshots_for(context, key, self._snapshots)
         if obs.active() is None:
-            return [evaluate_encoded(context, encoded) for encoded in batch]
+            return [evaluate_encoded(context, encoded, snapshots)
+                    for encoded in batch]
         # Traced path: capture each evaluation into a throwaway local session
         # (exactly like a worker process would) and absorb it immediately —
         # the serial timeline is already submission order.
         records = []
         for encoded in batch:
             record, telemetry = obs.capture_task(
-                evaluate_encoded, context, encoded,
+                evaluate_encoded, context, encoded, snapshots,
                 span_args={"kernel": key})
             obs.absorb_task(f"worker:{key}", telemetry)
             records.append(record)
@@ -148,8 +193,12 @@ class ProcessPoolBackend:
 
     def __init__(self, contexts: dict[str, KernelContext], jobs: int,
                  mp_context: Optional[str] = None):
+        from repro.dse.apply import CLEANUP_PIPELINES
+
         self.jobs = max(1, int(jobs))
-        payload = pickle.dumps(contexts)
+        # Ship the named-pipeline registry alongside the contexts so
+        # runtime registrations (--register-pipeline) reach every worker.
+        payload = pickle.dumps((contexts, dict(CLEANUP_PIPELINES)))
         context = multiprocessing.get_context(mp_context) if mp_context \
             else multiprocessing.get_context()
         self._executor = concurrent.futures.ProcessPoolExecutor(

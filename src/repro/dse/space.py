@@ -56,6 +56,17 @@ class KernelDesignPoint:
     #: :data:`repro.dse.apply.CLEANUP_PIPELINES`).
     pipeline: str = "default"
 
+    def prefix_key(self) -> str:
+        """Key of the evaluation *prefix* this point shares with others.
+
+        The prefix of an evaluation — canonicalization plus the two boolean
+        structural knobs — is a pure function of this key, which is what the
+        incremental evaluator's snapshot cache is keyed on (together with the
+        kernel IR digest; see :mod:`repro.dse.incremental`).
+        """
+        return (f"lp{int(self.loop_perfectization)}"
+                f"-rvb{int(self.remove_variable_bound)}")
+
     def describe(self) -> str:
         return (f"LP={'yes' if self.loop_perfectization else 'no'} "
                 f"RVB={'yes' if self.remove_variable_bound else 'no'} "

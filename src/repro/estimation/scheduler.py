@@ -48,41 +48,71 @@ class ALAPScheduler:
         predecessors: dict[Operation, list[Operation]] = {op: [] for op in ops}
         successors: dict[Operation, list[Operation]] = {op: [] for op in ops}
 
+        # The edge/latency loops run over every operand of a fully-unrolled
+        # pipelined block (hundreds of thousands of edges per estimate), so
+        # they read op._operands directly and memoize latency per interned
+        # op name instead of calling the property/table helpers per edge.
         for op in ops:
-            for operand in op.operands:
-                if isinstance(operand, OpResult) and operand.owner in op_set:
-                    predecessors[op].append(operand.owner)
-                    successors[operand.owner].append(op)
+            preds = predecessors[op]
+            for use in op._operands:
+                operand = use.value
+                if isinstance(operand, OpResult):
+                    owner = operand.operation
+                    if owner in op_set:
+                        preds.append(owner)
+                        successors[owner].append(op)
         for source, target in self.extra_edges:
             if source in op_set and target in op_set:
                 predecessors[target].append(source)
                 successors[source].append(target)
 
-        asap = self._asap(ops, predecessors)
-        depth = max((asap[op] + op_latency(op.name) for op in ops), default=0)
-        alap = self._alap(ops, successors, depth)
+        latency = _LatencyMemo()
+        asap = self._asap(ops, predecessors, latency)
+        depth = 0
+        for op in ops:
+            finish = asap[op] + latency[op.name]
+            if finish > depth:
+                depth = finish
+        alap = self._alap(ops, successors, depth, latency)
         return ScheduleResult(asap=asap, alap=alap, depth=depth)
 
     # -- internals ----------------------------------------------------------------------
 
     @staticmethod
     def _asap(ops: Sequence[Operation],
-              predecessors: dict[Operation, list[Operation]]) -> dict[Operation, int]:
+              predecessors: dict[Operation, list[Operation]],
+              latency: Optional["_LatencyMemo"] = None) -> dict[Operation, int]:
+        latency = latency if latency is not None else _LatencyMemo()
         times: dict[Operation, int] = {}
         for op in ops:  # ops are in program order, so defs precede uses
             earliest = 0
             for pred in predecessors[op]:
-                earliest = max(earliest, times.get(pred, 0) + op_latency(pred.name))
+                start = times.get(pred, 0) + latency[pred.name]
+                if start > earliest:
+                    earliest = start
             times[op] = earliest
         return times
 
     @staticmethod
     def _alap(ops: Sequence[Operation], successors: dict[Operation, list[Operation]],
-              depth: int) -> dict[Operation, int]:
+              depth: int,
+              latency: Optional["_LatencyMemo"] = None) -> dict[Operation, int]:
+        latency = latency if latency is not None else _LatencyMemo()
         times: dict[Operation, int] = {}
         for op in reversed(list(ops)):
-            latest = depth - op_latency(op.name)
+            own_latency = latency[op.name]
+            latest = depth - own_latency
             for succ in successors[op]:
-                latest = min(latest, times.get(succ, depth) - op_latency(op.name))
+                bound = times.get(succ, depth) - own_latency
+                if bound < latest:
+                    latest = bound
             times[op] = max(0, latest)
         return times
+
+
+class _LatencyMemo(dict):
+    """Per-schedule ``{op name: latency}`` memo (missing names fill themselves)."""
+
+    def __missing__(self, op_name: str) -> int:
+        result = self[op_name] = op_latency(op_name)
+        return result

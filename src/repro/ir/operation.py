@@ -107,7 +107,9 @@ class Operation:
 
     @property
     def operands(self) -> tuple[Value, ...]:
-        return tuple(use.value for use in self._operands)
+        # A list-comp feeding tuple() beats the genexpr form measurably;
+        # this property alone shows up in DSE profiles (~180k calls/eval).
+        return tuple([use.value for use in self._operands])
 
     @property
     def num_operands(self) -> int:
@@ -333,15 +335,34 @@ class Operation:
         if value_map is None:
             value_map = {}
         new_op = object.__new__(type(self))
-        Operation.__init__(
-            new_op,
-            self.name,
-            operands=[value_map.get(use.value, use.value)
-                      for use in self._operands],
-            result_types=[result.type for result in self.results],
-            attributes=None,
-            num_regions=0,
-        )
+        # Slot-by-slot construction instead of Operation.__init__: cloning
+        # materializes hundreds of thousands of ops per unrolled evaluation,
+        # and the per-operand isinstance check + add_use call were the
+        # hottest leaves of the whole DSE profile.  self.name is interned
+        # already and operand values are Values by construction, so the
+        # checks __init__ performs cannot fire here.
+        new_op.name = self.name
+        new_op._attributes = {}
+        new_op._attrs_shared = False
+        new_op.parent = None
+        new_op._prev = None
+        new_op._next = None
+        new_op._order = 0
+        operands = self._operands
+        if operands:
+            get = value_map.get
+            new_uses = []
+            for index, use in enumerate(operands):
+                value = get(use.value, use.value)
+                new_use = Use(value, new_op, index)
+                value._uses[id(new_use)] = new_use
+                new_uses.append(new_use)
+            new_op._operands = new_uses
+        else:
+            new_op._operands = []
+        new_op.results = [OpResult(result.type, new_op, index)
+                          for index, result in enumerate(self.results)]
+        new_op.regions = []
         attrs = self._attributes
         if attrs:
             if self._attrs_shared or _attrs_shareable(attrs):

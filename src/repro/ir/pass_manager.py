@@ -241,6 +241,27 @@ class PassTimingCollector:
 #: Collectors currently receiving timings from every PassManager run.
 _ACTIVE_COLLECTORS: list[PassTimingCollector] = []
 
+#: Active timing-scope names; timings recorded inside are keyed
+#: ``<scope>/<display name>``.
+_SCOPE_STACK: list[str] = []
+
+
+@contextlib.contextmanager
+def pass_timing_scope(name: str):
+    """Report passes run inside the block under ``<name>/<display name>``.
+
+    Lets a flow that runs the *same* pass in two roles — e.g. the
+    canonicalization inside a prefix-snapshot build versus in a per-point
+    evaluation — keep the two timing buckets apart, so a
+    ``--print-pass-timing`` table never double-counts shared work as
+    per-evaluation work.
+    """
+    _SCOPE_STACK.append(name)
+    try:
+        yield
+    finally:
+        _SCOPE_STACK.pop()
+
 
 @contextlib.contextmanager
 def collect_pass_timings():
@@ -425,6 +446,8 @@ class PassManager:
                                else op)
 
     def _record(self, display_name: str, seconds: float) -> None:
+        if _SCOPE_STACK:
+            display_name = f"{_SCOPE_STACK[-1]}/{display_name}"
         self.timings[display_name] = self.timings.get(display_name, 0.0) + seconds
         for collector in _ACTIVE_COLLECTORS:
             collector.add(display_name, seconds)

@@ -330,8 +330,15 @@ class GreedyRewriteDriver:
             self.enqueue(nested)
 
     def enqueue_users(self, value: Value) -> None:
-        for user in value.users:
-            self.enqueue(user)
+        uses = value._uses
+        if len(uses) == 1:
+            # Single-use fast path: skip the `users` dedup-list build — the
+            # common case by far (SSA chains), and `enqueue` dedups via
+            # `_pending` anyway, so the dedup list only ever saved re-checks.
+            self.enqueue(next(iter(uses.values())).owner)
+            return
+        for use in uses.values():
+            self.enqueue(use.owner)
 
     def defer_operand_definers(self, op: "Operation") -> None:
         """Defer the definers of ``op``'s operands to the next drain generation.

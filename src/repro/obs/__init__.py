@@ -62,6 +62,7 @@ __all__ = [
     "span",
     "start",
     "stop",
+    "suspended",
     "task_root_args",
     "track",
 ]
@@ -119,6 +120,24 @@ def session():
         global _SESSION
         if _SESSION is installed:
             _SESSION = None
+
+
+@contextlib.contextmanager
+def suspended():
+    """Temporarily uninstall the active session (restored on exit).
+
+    For work whose *occurrence* is execution-detail rather than trajectory —
+    e.g. a prefix-snapshot build that happens only on a cache miss.  Spans
+    and counters emitted inside would make the trace skeleton depend on
+    cache warmth and worker count; callers account for the suspended work
+    explicitly afterwards (e.g. re-injecting measured pass seconds).
+    """
+    global _SESSION
+    previous, _SESSION = _SESSION, None
+    try:
+        yield
+    finally:
+        _SESSION = previous
 
 
 # -- fast-path hooks ----------------------------------------------------------------------

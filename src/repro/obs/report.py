@@ -137,7 +137,11 @@ def cache_summary_lines(counters: Mapping[str, float]) -> list[str]:
     stores = int(counters.get("cache.stores", 0))
     loaded = int(counters.get("cache.loaded", 0))
     evictions = int(counters.get("cache.evictions", 0))
-    lines.append(f"  stores={stores} warm-loaded={loaded} evictions={evictions}")
+    compacted = int(counters.get("cache.compacted", 0))
+    line = f"  stores={stores} warm-loaded={loaded} evictions={evictions}"
+    if compacted:
+        line += f" compacted={compacted}"
+    lines.append(line)
     return lines
 
 
@@ -161,6 +165,15 @@ def dse_summary_lines(counters: Mapping[str, float],
             utilization = busy / (wall * max(1, jobs))
             lines.append(f"  worker utilization={utilization * 100.0:.1f}% "
                          f"({jobs} worker(s), {busy:.2f}s busy)")
+    prefix_hits = int(counters.get("dse.prefix.hits", 0))
+    prefix_misses = int(counters.get("dse.prefix.misses", 0))
+    prefix_checkouts = prefix_hits + prefix_misses
+    if prefix_checkouts:
+        prefix_rate = prefix_hits / prefix_checkouts
+        clones = int(counters.get("dse.prefix.clones", 0))
+        lines.append(f"  prefix snapshots: checkouts={prefix_checkouts} "
+                     f"hits={prefix_hits} misses={prefix_misses} "
+                     f"clones={clones} hit rate={prefix_rate * 100.0:.1f}%")
     for name, value in sorted(gauges.items()):
         if name.startswith("dse.node.") and name.endswith(".iterations_done"):
             node = name[len("dse.node."):-len(".iterations_done")]

@@ -93,24 +93,30 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                    cache: "Optional[EstimateCache]" = None,
                    cache_path: Optional[str] = None,
                    cache_max_entries: Optional[int] = None,
+                   cache_max_bytes: Optional[int] = None,
                    checkpoint_path: Optional[str] = None,
                    checkpoint_every: int = 32,
                    resume: bool = False,
+                   incremental: bool = True,
                    func_name: Optional[str] = None) -> "ParallelDSEResult":
     """Run the parallel DSE runtime on one kernel.
 
     ``cache_path`` creates (or warms from) a persistent JSONL estimate cache
-    (``cache_max_entries`` bounds it with LRU eviction); ``checkpoint_path``
-    + ``resume`` continue an interrupted exploration.
+    (``cache_max_entries`` / ``cache_max_bytes`` bound it with LRU eviction);
+    ``checkpoint_path`` + ``resume`` continue an interrupted exploration.
+    ``incremental=False`` disables prefix-snapshot caching in the evaluation
+    backends (results are identical either way).
     """
     from repro.dse.runtime import EstimateCache, ParallelExplorer
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries,
+                              max_bytes=cache_max_bytes)
     explorer = ParallelExplorer(
         platform, num_samples=num_samples, max_iterations=max_iterations,
         seed=seed, jobs=jobs, batch_size=batch_size, cache=cache,
-        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every)
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+        incremental=incremental)
     return explorer.explore(module, func_name=func_name, resume=resume)
 
 
@@ -121,21 +127,24 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                            cache: "Optional[EstimateCache]" = None,
                            cache_path: Optional[str] = None,
                            cache_max_entries: Optional[int] = None,
+                           cache_max_bytes: Optional[int] = None,
                            checkpoint_dir: Optional[str] = None,
                            checkpoint_every: int = 32,
                            resume: bool = False,
+                           incremental: bool = True,
                            func_names: Optional[list[str]] = None
                            ) -> "dict[str, ParallelDSEResult]":
     """Run DSE for every explorable function of ``module`` concurrently."""
     from repro.dse.runtime import EstimateCache, MultiKernelScheduler
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries,
+                              max_bytes=cache_max_bytes)
     scheduler = MultiKernelScheduler(
         platform, jobs=jobs, num_samples=num_samples,
         max_iterations=max_iterations, seed=seed, batch_size=batch_size,
         cache=cache, checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every)
+        checkpoint_every=checkpoint_every, incremental=incremental)
     return scheduler.explore_module(module, func_names=func_names, resume=resume)
 
 
@@ -167,9 +176,11 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                 cache: "Optional[EstimateCache]" = None,
                 cache_path: Optional[str] = None,
                 cache_max_entries: Optional[int] = None,
+                cache_max_bytes: Optional[int] = None,
                 checkpoint_dir: Optional[str] = None,
                 checkpoint_every: int = 16,
                 resume: bool = False,
+                incremental: bool = True,
                 budget_mode: str = "flops",
                 frontier_cap: int = 64,
                 max_nodes: Optional[int] = None) -> "ModelDSEResult":
@@ -183,14 +194,16 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
     from repro.dse.runtime import EstimateCache, ModelScheduler, NodeBudgetPolicy
 
     if cache is None and cache_path:
-        cache = EstimateCache(cache_path, max_entries=cache_max_entries)
+        cache = EstimateCache(cache_path, max_entries=cache_max_entries,
+                              max_bytes=cache_max_bytes)
     scheduler = ModelScheduler(
         platform, jobs=jobs, seed=seed, batch_size=batch_size,
         budget=NodeBudgetPolicy(num_samples=num_samples,
                                 max_iterations=max_iterations,
                                 mode=budget_mode),
         cache=cache, checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every, frontier_cap=frontier_cap)
+        checkpoint_every=checkpoint_every, frontier_cap=frontier_cap,
+        incremental=incremental)
     return scheduler.explore(model_name, graph_level=graph_level,
                              resume=resume, max_nodes=max_nodes)
 

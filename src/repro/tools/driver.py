@@ -182,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bound the in-memory estimate cache to N "
                                  "entries with LRU eviction (default: "
                                  "unbounded)")
+    dse_parser.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
+                            help="bound the estimate cache (and its JSONL "
+                                 "file, via load-time compaction) to roughly "
+                                 "BYTES of serialized entries with LRU "
+                                 "eviction (default: unbounded)")
+    dse_parser.add_argument("--no-incremental", action="store_true",
+                            help="disable prefix-snapshot caching in the "
+                                 "evaluation workers (A/B switch: results "
+                                 "are byte-identical either way)")
+    dse_parser.add_argument("--register-pipeline", metavar="NAME=SPEC",
+                            action="append", default=[],
+                            help="register a named cleanup pipeline before "
+                                 "the sweep (repeatable); design points can "
+                                 "then select NAME and the kernel pipeline "
+                                 "signature covers SPEC")
     dse_parser.add_argument("--checkpoint", metavar="PATH",
                             help="checkpoint file (single kernel) or directory "
                                  "(--all-functions)")
@@ -235,6 +250,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bound the in-memory estimate cache to N "
                                  "entries with LRU eviction (default: "
                                  "unbounded)")
+    dnn_parser.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
+                            help="bound the estimate cache (and its JSONL "
+                                 "file, via load-time compaction) to roughly "
+                                 "BYTES of serialized entries with LRU "
+                                 "eviction (default: unbounded)")
+    dnn_parser.add_argument("--no-incremental", action="store_true",
+                            help="disable prefix-snapshot caching in the "
+                                 "evaluation workers (A/B switch: results "
+                                 "are byte-identical either way)")
+    dnn_parser.add_argument("--register-pipeline", metavar="NAME=SPEC",
+                            action="append", default=[],
+                            help="register a named cleanup pipeline before "
+                                 "the sweep (repeatable); design points can "
+                                 "then select NAME and the kernel pipeline "
+                                 "signature covers SPEC")
     dnn_parser.add_argument("--checkpoint", metavar="DIR",
                             help="checkpoint directory (one snapshot file "
                                  "per dataflow node)")
@@ -291,6 +321,26 @@ def run_estimate(args) -> int:
     return 0
 
 
+def _register_pipelines(specs: Sequence[str]) -> None:
+    """Apply every ``--register-pipeline NAME=SPEC`` before the sweep runs.
+
+    Registration must precede any pipeline-signature computation (worker
+    contexts, cache fingerprints), so the DSE entry points call this first.
+    """
+    from repro.dse.apply import register_cleanup_pipeline
+
+    for item in specs:
+        name, separator, spec = item.partition("=")
+        if not separator:
+            raise SystemExit(f"--register-pipeline expects NAME=SPEC, "
+                             f"got {item!r}")
+        try:
+            register_cleanup_pipeline(name.strip(), spec.strip())
+        except PassError as error:
+            raise SystemExit(f"--register-pipeline {item!r}: {error}") \
+                from error
+
+
 def _note_dse_wall(started: float, jobs: int) -> None:
     """Record the run-level gauges the end-of-run summary reads."""
     if obs.active() is not None:
@@ -304,6 +354,7 @@ def run_dse(args) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH (otherwise the "
                          "exploration would silently restart from scratch)")
+    _register_pipelines(args.register_pipeline)
     started = time.perf_counter()
     module = _load_module(args)
     platform = _platform(args.platform)
@@ -311,7 +362,9 @@ def run_dse(args) -> int:
                   max_iterations=args.iterations, seed=args.seed,
                   batch_size=args.batch_size, cache_path=args.cache,
                   cache_max_entries=args.cache_max_entries,
-                  checkpoint_every=args.checkpoint_every, resume=args.resume)
+                  cache_max_bytes=args.cache_max_bytes,
+                  checkpoint_every=args.checkpoint_every, resume=args.resume,
+                  incremental=not args.no_incremental)
 
     if args.all_functions:
         if args.checkpoint and os.path.exists(args.checkpoint) \
@@ -397,6 +450,7 @@ def run_dnn_dse(args) -> int:
             and not os.path.isdir(args.checkpoint):
         raise SystemExit("--checkpoint must name a directory for a model "
                          f"sweep: {args.checkpoint!r} is a file")
+    _register_pipelines(args.register_pipeline)
     platform = _platform(args.platform)
     samples, iterations, max_nodes = args.samples, args.iterations, None
     if args.smoke:
@@ -407,8 +461,10 @@ def run_dnn_dse(args) -> int:
         batch_size=args.batch_size,
         cache_path=_estimate_cache_path(args.cache) if args.cache else None,
         cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every, resume=args.resume,
+        incremental=not args.no_incremental,
         budget_mode=args.budget, max_nodes=max_nodes)
 
     cache_parts = []

@@ -48,6 +48,8 @@ from repro.transforms.graph.split_function import SplitFunctionPass, split_funct
 from repro.transforms.graph.lower_graph import LowerGraphPass, lower_graph_to_loops
 from repro.transforms.composite import (
     ApplyDesignPointPass,
+    DesignPointPrefixPass,
+    DesignPointSuffixPass,
     DNNLoopOptPass,
     unroll_towards_factor,
 )
@@ -68,5 +70,6 @@ __all__ = [
     "LegalizeDataflowPass", "legalize_dataflow",
     "SplitFunctionPass", "split_function",
     "LowerGraphPass", "lower_graph_to_loops",
-    "ApplyDesignPointPass", "DNNLoopOptPass", "unroll_towards_factor",
+    "ApplyDesignPointPass", "DesignPointPrefixPass", "DesignPointSuffixPass",
+    "DNNLoopOptPass", "unroll_towards_factor",
 ]

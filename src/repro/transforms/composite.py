@@ -27,14 +27,65 @@ from repro.transforms.loop.perfectization import perfectize_band
 from repro.transforms.loop.remove_variable_bound import remove_variable_bounds
 
 
+def run_design_point_prefix(func_op: Operation, perfectize: bool,
+                            rvb: bool) -> None:
+    """The *structural prefix* of one design point: perfectize + rvb.
+
+    Only the two boolean knobs participate, so a kernel has at most four
+    distinct prefixes — which is what makes the post-prefix IR worth caching
+    (see :mod:`repro.dse.incremental`).
+    """
+    outer = _outer_loop(func_op)
+    if outer is None:
+        return
+    if perfectize:
+        perfectize_band(outer)
+    if rvb:
+        remove_variable_bounds(func_op)
+
+
+def run_design_point_suffix(func_op: Operation, perm: Sequence[int],
+                            tiles: Sequence[int], ii: int) -> None:
+    """The *point-specific suffix*: permute, tile and pipeline the band.
+
+    Transform steps that are not applicable (e.g. permutation of a
+    non-perfect band) are skipped rather than failing — the estimator will
+    simply see the weaker design, which is how unprofitable points lose in
+    the exploration.
+    """
+    outer = _outer_loop(func_op)
+    if outer is None:
+        return
+    band = perfect_loop_band(outer)
+    if len(perm) == len(band):
+        try:
+            band = permute_loop_band(band, perm)
+        except PassError:
+            pass
+
+    tile_loops = band
+    if any(size > 1 for size in tiles[: len(band)]):
+        sizes = list(tiles[: len(band)])
+        sizes += [1] * (len(band) - len(sizes))
+        try:
+            tile_loops, _ = tile_loop_band(band, sizes)
+        except PassError:
+            tile_loops = band
+
+    try:
+        pipeline_loop(tile_loops[-1], ii)
+    except PassError:
+        pass
+
+
 @register_pass("apply-design-point")
 class ApplyDesignPointPass(FunctionPass):
     """Apply one kernel design point (perfectize, rvb, permute, tile, pipeline).
 
-    Transform steps that are not applicable to the design point (e.g.
-    permutation of a non-perfect band) are skipped rather than failing — the
-    estimator will simply see the weaker design, which is how unprofitable
-    points lose in the exploration.
+    Defined as exactly :func:`run_design_point_prefix` followed by
+    :func:`run_design_point_suffix` — the split the incremental evaluator
+    caches around — so the whole-point pass and the prefix/suffix pair can
+    never diverge.
     """
 
     OPTIONS = (
@@ -60,35 +111,56 @@ class ApplyDesignPointPass(FunctionPass):
         self.ii = ii
 
     def run(self, func_op: Operation) -> None:
-        outer = _outer_loop(func_op)
-        if outer is None:
-            return
+        run_design_point_prefix(func_op, self.perfectize, self.rvb)
+        run_design_point_suffix(func_op, self.perm, self.tiles, self.ii)
 
-        if self.perfectize:
-            perfectize_band(outer)
-        if self.rvb:
-            remove_variable_bounds(func_op)
 
-        band = perfect_loop_band(_outer_loop(func_op))
-        if len(self.perm) == len(band):
-            try:
-                band = permute_loop_band(band, self.perm)
-            except PassError:
-                pass
+@register_pass("design-point-prefix")
+class DesignPointPrefixPass(FunctionPass):
+    """The structural (perfectize + rvb) prefix of ``apply-design-point``.
 
-        tile_loops = band
-        if any(size > 1 for size in self.tiles[: len(band)]):
-            sizes = list(self.tiles[: len(band)])
-            sizes += [1] * (len(band) - len(sizes))
-            try:
-                tile_loops, _ = tile_loop_band(band, sizes)
-            except PassError:
-                tile_loops = band
+    Points sharing the two boolean knobs share this pass's output exactly,
+    which the incremental evaluator exploits by snapshotting the post-prefix
+    IR (:mod:`repro.dse.incremental`).
+    """
 
-        try:
-            pipeline_loop(tile_loops[-1], self.ii)
-        except PassError:
-            pass
+    OPTIONS = (
+        PassOption("perfectize", type="bool", default=False,
+                   help="run loop perfectization first"),
+        PassOption("rvb", type="bool", default=False,
+                   help="remove variable loop bounds"),
+    )
+
+    def __init__(self, perfectize: bool = False, rvb: bool = False):
+        self.perfectize = perfectize
+        self.rvb = rvb
+
+    def run(self, func_op: Operation) -> None:
+        run_design_point_prefix(func_op, self.perfectize, self.rvb)
+
+
+@register_pass("design-point-suffix")
+class DesignPointSuffixPass(FunctionPass):
+    """The point-specific (permute, tile, pipeline) suffix of
+    ``apply-design-point``, run on prefix-transformed IR."""
+
+    OPTIONS = (
+        PassOption("perm", type="int-list", default=(),
+                   help="loop permutation map (applied when it fits the band)"),
+        PassOption("tiles", type="int-list", default=(),
+                   help="per-loop tile sizes (1 leaves a loop untiled)"),
+        PassOption("ii", type="int", default=1,
+                   help="pipeline target initiation interval"),
+    )
+
+    def __init__(self, perm: Sequence[int] = (), tiles: Sequence[int] = (),
+                 ii: int = 1):
+        self.perm = tuple(perm)
+        self.tiles = tuple(tiles)
+        self.ii = ii
+
+    def run(self, func_op: Operation) -> None:
+        run_design_point_suffix(func_op, self.perm, self.tiles, self.ii)
 
 
 @register_pass("dnn-loop-opt")

@@ -54,6 +54,9 @@ def partition_arrays(func_op: Operation,
     """
     part_factors = part_factors or {}
     plans: list[PartitionPlan] = []
+    # One function-level pipelining scan shared across all buffers: the walk
+    # over a fully unrolled body is large, and the answer is per-function.
+    has_pipelined = _function_has_pipelined_loop(func_op)
     for memref_value in _collect_memrefs(func_op):
         name = _memref_name(memref_value, func_op)
         if name in part_factors:
@@ -62,7 +65,8 @@ def partition_arrays(func_op: Operation,
                 (PartitionKind.CYCLIC if factor > 1 else PartitionKind.NONE, max(1, factor))
                 for factor in factors)
         else:
-            partition = _derive_partition(memref_value, func_op, max_factor)
+            partition = _derive_partition(memref_value, func_op, max_factor,
+                                          has_pipelined=has_pipelined)
         if partition is None:
             continue
         if all(factor <= 1 for _, factor in partition):
@@ -115,15 +119,20 @@ def _enclosing_loops(op: Operation) -> list[AffineForOp]:
     return loops
 
 
-def _access_groups(memref_value: Value, func_op: Operation):
+def _function_has_pipelined_loop(func_op: Operation) -> bool:
+    return any(isinstance(op, AffineForOp) and is_pipelined(op) for op in func_op.walk())
+
+
+def _access_groups(memref_value: Value, func_op: Operation,
+                   has_pipelined: Optional[bool] = None):
     """Group accesses of a buffer by their enclosing loop nest.
 
     Accesses inside pipelined loops are preferred (they determine the needed
     bandwidth); if no loop of the function is pipelined every access counts.
     """
     accesses = [use.owner for use in memref_value.uses if is_affine_access(use.owner)]
-    has_pipelined = any(
-        isinstance(op, AffineForOp) and is_pipelined(op) for op in func_op.walk())
+    if has_pipelined is None:
+        has_pipelined = _function_has_pipelined_loop(func_op)
 
     groups: dict[tuple, list[tuple[Operation, list[AffineExpr]]]] = {}
     for access in accesses:
@@ -140,14 +149,15 @@ def _access_groups(memref_value: Value, func_op: Operation):
 
 
 def _derive_partition(memref_value: Value, func_op: Operation,
-                      max_factor: int) -> Optional[list[tuple[str, int]]]:
+                      max_factor: int,
+                      has_pipelined: Optional[bool] = None) -> Optional[list[tuple[str, int]]]:
     memref_type = memref_value.type
     if not isinstance(memref_type, MemRefType):
         return None
     rank = memref_type.rank
     best = [(PartitionKind.NONE, 1)] * rank
 
-    for _, group in _access_groups(memref_value, func_op).items():
+    for _, group in _access_groups(memref_value, func_op, has_pipelined).items():
         num_dims = max((len(_enclosing_loops(access)) for access, _ in group), default=0)
         for d in range(rank):
             exprs = [exprs[d] for _, exprs in group]

@@ -61,19 +61,17 @@ def fully_unroll_nested(root: Operation) -> int:
 
     ``root`` itself is not unrolled.  Returns the number of loops unrolled.
     """
+    # One post-order snapshot suffices: inner loops are listed (and hence
+    # unrolled) before their enclosing loops, so every loop is innermost by
+    # the time it is reached — no per-loop subtree scan or re-sweep needed.
+    # Loops the unrolling erases (the snapshotted inner loops) drop out via
+    # the parent check; unrolled bodies are cloned loop-free.
     unrolled = 0
-    changed = True
-    while changed:
-        changed = False
-        # Innermost loops first so outer unrolling never duplicates inner loops.
-        for op in list(root.walk_post_order()):
-            if op is root or not isinstance(op, AffineForOp) or op.parent is None:
-                continue
-            if any(isinstance(inner, AffineForOp) for inner in op.walk() if inner is not op):
-                continue
-            fully_unroll(op)
-            unrolled += 1
-            changed = True
+    for op in list(root.walk_post_order()):
+        if op is root or not isinstance(op, AffineForOp) or op.parent is None:
+            continue
+        fully_unroll(op)
+        unrolled += 1
     return unrolled
 
 
@@ -110,12 +108,66 @@ def _fully_unroll(loop: AffineForOp) -> list[Operation]:
         new_ops.append(constant)
         value_map = {loop.induction_variable: constant.result()}
         for body_op in loop.body.operations:
-            if body_op.name == "affine.yield":
+            name = body_op.name
+            if name == "affine.yield":
                 continue
+            if name == "affine.apply":
+                # Fold now instead of cloning: the canonicalizer would fold
+                # this apply anyway (its operands are constants after iv
+                # substitution) by inserting a constant exactly here, so
+                # emitting the constant directly produces byte-identical
+                # post-canonicalize IR while skipping the clone, the fold
+                # rewrite and the dead-apply erasure for every iteration.
+                folded = _fold_cloned_apply(body_op, value_map)
+                if folded is not None:
+                    new_ops.append(folded)
+                    continue
             new_ops.append(body_op.clone(value_map))
     block.insert_all_after(loop, new_ops)
     loop.erase()
     return new_ops
+
+
+def _fold_cloned_apply(apply_op: Operation,
+                       value_map: dict) -> Optional[Operation]:
+    """The constant an unrolled ``affine.apply`` clone folds to (or None).
+
+    Returns a fresh ``arith.constant`` — and maps the apply's result to it —
+    when every operand is constant under ``value_map``; chains across folds,
+    so applies feeding applies collapse in one unrolling.
+    """
+    values = []
+    for use in apply_op._operands:
+        operand = value_map.get(use.value, use.value)
+        value = arith.constant_value(operand)
+        if value is None:
+            value = _single_iteration_iv_value(operand)
+            if value is None:
+                return None
+        values.append(int(value))
+    folded = apply_op.get_attr("map").evaluate(values)[0]
+    constant = arith.ConstantOp(folded, apply_op.result().type)
+    value_map[apply_op.result()] = constant.result()
+    return constant
+
+
+def _single_iteration_iv_value(value) -> Optional[int]:
+    """The only value a single-iteration loop's iv can take (or None).
+
+    The canonicalizer substitutes exactly this constant when it promotes the
+    trip-1 loop, so folding with it early cannot change the final IR.
+    """
+    from repro.ir.value import BlockArgument
+
+    if not isinstance(value, BlockArgument):
+        return None
+    region = value.block.parent
+    loop = region.parent if region is not None else None
+    if not isinstance(loop, AffineForOp) or value is not loop.induction_variable:
+        return None
+    if loop.trip_count() == 1 and loop.has_constant_lower_bound():
+        return loop.constant_lower_bound
+    return None
 
 
 def _partially_unroll(loop: AffineForOp, factor: int) -> None:

@@ -65,8 +65,11 @@ class TestCommands:
         assert main(base + ["--jobs", "2"]) == 0
         parallel_output = capsys.readouterr().out
         # Identical trajectory, identical report (wall time differs, and with
-        # it the throughput/utilization lines of the run summary).
-        timing_markers = ("evaluated", "evaluations/sec", "utilization")
+        # it the throughput/utilization lines of the run summary; prefix
+        # snapshot caches are per-worker, so their hit counts vary with
+        # --jobs even though every record is identical).
+        timing_markers = ("evaluated", "evaluations/sec", "utilization",
+                          "prefix snapshots")
         strip = lambda text: [line for line in text.splitlines()
                               if not any(m in line for m in timing_markers)]
         assert strip(serial_output) == strip(parallel_output)

@@ -1,0 +1,214 @@
+"""Tests for incremental evaluation: prefix-snapshot caching correctness
+(byte-identical results with the cache on or off, at any worker count),
+snapshot invalidation and clone isolation, runtime pipeline registration,
+and the estimate cache's byte bound + JSONL compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.dse.apply import (
+    CLEANUP_PIPELINES,
+    apply_design_point,
+    install_cleanup_pipelines,
+    kernel_pipeline_signature,
+    register_cleanup_pipeline,
+)
+from repro.dse.incremental import PrefixSnapshotCache
+from repro.dse.runtime import EstimateCache, ParallelExplorer
+from repro.dse.space import KernelDesignPoint, ir_digest
+from repro.estimation import XC7Z020
+from repro.ir import print_op
+from repro.ir.pass_manager import PassError
+
+from conftest import GEMM_SOURCE, compile_source
+
+
+@pytest.fixture
+def gemm_module():
+    return compile_source(GEMM_SOURCE, "gemm")
+
+
+POINT = KernelDesignPoint(loop_perfectization=True, remove_variable_bound=True,
+                          perm_map=(1, 2, 0), tile_sizes=(4, 4, 4), target_ii=1)
+
+
+def result_bytes(result):
+    """Canonical byte rendering of a sweep outcome (frontier + records)."""
+    payload = {
+        "fingerprint": result.fingerprint,
+        "frontier": [record.to_json_dict()
+                     for record in result.frontier_records()],
+        "records": [result.records[encoded].to_json_dict()
+                    for encoded in sorted(result.records)],
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class TestIncrementalEquivalence:
+    def test_apply_design_point_matches_snapshot_path(self, gemm_module):
+        snapshots = PrefixSnapshotCache()
+        plain = apply_design_point(gemm_module, POINT, XC7Z020)
+        for _ in range(2):  # second round hits the snapshot
+            cached = apply_design_point(gemm_module, POINT, XC7Z020,
+                                        snapshots=snapshots)
+            assert print_op(cached.module, stable_ids=True) \
+                == print_op(plain.module, stable_ids=True)
+            assert cached.qor == plain.qor
+        assert snapshots.hits == 1 and snapshots.misses == 1
+        assert snapshots.clones == 2
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_frontier_bytes_identical_with_and_without_cache(self, gemm_module,
+                                                             jobs):
+        outcomes = []
+        for incremental in (True, False):
+            explorer = ParallelExplorer(platform=XC7Z020, num_samples=6,
+                                        max_iterations=8, seed=11, jobs=jobs,
+                                        batch_size=4, incremental=incremental)
+            outcomes.append(result_bytes(explorer.explore(gemm_module)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestPrefixSnapshotCache:
+    def test_checkout_hits_per_prefix_key(self, gemm_module):
+        cache = PrefixSnapshotCache()
+        other = KernelDesignPoint(loop_perfectization=False,
+                                  remove_variable_bound=True,
+                                  perm_map=(0, 1, 2), tile_sizes=(1, 1, 1),
+                                  target_ii=1)
+        cache.checkout(gemm_module, POINT)
+        cache.checkout(gemm_module, POINT)  # same prefix key -> hit
+        cache.checkout(gemm_module, other)  # lp0-rvb1 -> separate snapshot
+        assert (cache.hits, cache.misses, cache.clones) == (1, 2, 3)
+        assert len(cache) == 2
+
+    def test_clone_isolation(self, gemm_module):
+        cache = PrefixSnapshotCache()
+        first, func_op = cache.checkout(gemm_module, POINT)
+        reference = print_op(first, stable_ids=True)
+        # Vandalize the checked-out clone; the cached snapshot must not see it.
+        func_op.set_attr("vandalized", True)
+        func_op.regions[0].blocks[0].operations[0].erase()
+        second, _ = cache.checkout(gemm_module, POINT)
+        assert cache.hits == 1
+        assert print_op(second, stable_ids=True) == reference
+
+    def test_in_place_mutation_invalidates(self, gemm_module):
+        cache = PrefixSnapshotCache()
+        cache.checkout(gemm_module, POINT)
+        func_op = gemm_module.functions()[0]
+        before = ir_digest(func_op)
+        func_op.set_attr("revision", 2)
+        assert ir_digest(func_op) != before
+        cache.checkout(gemm_module, POINT)  # recomputed digest -> miss
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_digest_hint_skips_recompute(self, gemm_module):
+        cache = PrefixSnapshotCache()
+        digest = ir_digest(gemm_module.functions()[0])
+        cache.checkout(gemm_module, POINT, digest=digest)
+        cache.checkout(gemm_module, POINT, digest=digest)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_bound(self, gemm_module):
+        cache = PrefixSnapshotCache(max_entries=1)
+        other = KernelDesignPoint(loop_perfectization=False,
+                                  remove_variable_bound=False,
+                                  perm_map=(0, 1, 2), tile_sizes=(1, 1, 1),
+                                  target_ii=1)
+        cache.checkout(gemm_module, POINT)
+        cache.checkout(gemm_module, other)
+        assert len(cache) == 1 and cache.evictions == 1
+        cache.checkout(gemm_module, POINT)  # evicted -> rebuilt
+        assert cache.misses == 3
+
+
+class TestRuntimePipelineRegistration:
+    def teardown_method(self):
+        # Registration mutates global state; restore the built-in registry.
+        install_cleanup_pipelines({
+            name: spec for name, spec in CLEANUP_PIPELINES.items()
+            if not name.startswith("test-")})
+
+    def test_register_changes_signature(self):
+        before = kernel_pipeline_signature()
+        register_cleanup_pipeline("test-lean", "cse,canonicalize")
+        after = kernel_pipeline_signature()
+        assert before != after
+        assert "test-lean=cse,canonicalize" in after
+
+    def test_register_validates_spec_and_name(self):
+        with pytest.raises(PassError):
+            register_cleanup_pipeline("test-bogus", "no-such-pass")
+        with pytest.raises(PassError):
+            register_cleanup_pipeline("bad name", "canonicalize")
+        with pytest.raises(PassError):
+            register_cleanup_pipeline("", "canonicalize")
+        assert "test-bogus" not in CLEANUP_PIPELINES
+
+    def test_registered_pipeline_usable_by_a_point(self, gemm_module):
+        register_cleanup_pipeline("test-lean", "cse,canonicalize")
+        point = KernelDesignPoint(loop_perfectization=True,
+                                  remove_variable_bound=True,
+                                  perm_map=(0, 1, 2), tile_sizes=(2, 2, 2),
+                                  target_ii=1, pipeline="test-lean")
+        design = apply_design_point(gemm_module, point, XC7Z020)
+        assert design.qor.latency > 0
+
+
+class TestEstimateCacheByteBound:
+    def _fill(self, path, **bounds):
+        explorer = ParallelExplorer(platform=XC7Z020, num_samples=6,
+                                    max_iterations=8, seed=11, jobs=1,
+                                    batch_size=4,
+                                    cache=EstimateCache(path, **bounds))
+        return explorer.explore(compile_source(GEMM_SOURCE, "gemm"))
+
+    def test_max_bytes_bounds_entries_and_file(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cold = self._fill(path)
+        full_size = os.path.getsize(path)
+        assert full_size > 512
+
+        bounded = EstimateCache(path, max_bytes=512)
+        assert 0 < len(bounded) < cold.num_evaluations
+        assert bounded.stats.compacted > 0  # byte-evicted lines dropped
+        assert os.path.getsize(path) <= 512
+
+    def test_byte_bound_keeps_newest_entry(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        self._fill(path, max_bytes=64)  # smaller than any single line
+        cache = EstimateCache(path, max_bytes=64)
+        assert len(cache) == 1  # the newest entry always survives
+
+    def test_compaction_drops_superseded_and_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        self._fill(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        # Duplicate the first line at the tail (superseded) + corrupt noise.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(lines[0] + "\n")
+            handle.write("not json at all\n")
+        revived = EstimateCache(path)
+        assert revived.stats.compacted == 2
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read().splitlines() == lines
+
+    def test_clean_file_not_rewritten(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        self._fill(path)
+        stamp = os.stat(path).st_mtime_ns
+        revived = EstimateCache(path)
+        assert revived.stats.compacted == 0
+        assert os.stat(path).st_mtime_ns == stamp
+
+    def test_entry_count_eviction_alone_keeps_file_appendable(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cold = self._fill(path)
+        small = EstimateCache(path, max_entries=2)
+        assert len(small) == 2 and small.stats.compacted == 0
+        # The file still holds everything: a larger-bounded process re-warms.
+        assert EstimateCache(path).stats.loaded == cold.num_evaluations
