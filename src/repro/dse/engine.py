@@ -100,11 +100,14 @@ class ExplorationPolicy:
         attribute (:class:`AppliedDesign` or the runtime's slim
         ``EvaluationRecord``).  Items are visited in sorted key order so the
         result is independent of insertion (i.e. evaluation-completion) order.
+        Quarantined records (``ok`` is False, no QoR) count as visited but
+        never enter the frontier.
         """
         points = [
             ParetoPoint(latency=float(design.qor.latency), area=float(design.qor.dsp),
                         encoded=encoded, payload=design)
             for encoded, design in sorted(evaluations.items())
+            if getattr(design, "ok", True)
         ]
         return pareto_frontier(points)
 

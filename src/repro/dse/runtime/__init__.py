@@ -24,6 +24,12 @@ exploration service, in four pieces:
 
 from repro.dse.runtime.cache import CacheStats, EstimateCache
 from repro.dse.runtime.checkpoint import CheckpointStore, ExplorerState
+from repro.dse.runtime.faults import (
+    EvaluationFailure,
+    FaultPlan,
+    InjectedFault,
+    SupervisionPolicy,
+)
 from repro.dse.runtime.model import (
     ModelDSEResult,
     ModelFrontierPoint,
@@ -46,6 +52,10 @@ __all__ = [
     "EstimateCache",
     "CheckpointStore",
     "ExplorerState",
+    "EvaluationFailure",
+    "FaultPlan",
+    "InjectedFault",
+    "SupervisionPolicy",
     "ModelDSEResult",
     "ModelFrontierPoint",
     "ModelScheduler",

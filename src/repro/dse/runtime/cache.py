@@ -18,6 +18,7 @@ import dataclasses
 import json
 import os
 import threading
+import warnings
 from typing import Optional, Sequence
 
 from repro import obs
@@ -40,6 +41,10 @@ class CacheStats:
     #: Dead JSONL lines dropped by load-time compaction (superseded
     #: duplicates, stale-model entries, corrupt lines, byte-bound evictees).
     compacted: int = 0
+    #: Torn trailing lines recovered at load time — the signature of a crash
+    #: mid-append.  The truncated line is dropped with a warning (its entry
+    #: simply re-evaluates) instead of failing the load.
+    recovered_lines: int = 0
 
     @property
     def lookups(self) -> int:
@@ -52,7 +57,8 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return CacheStats(hits=self.hits, misses=self.misses,
                           stores=self.stores, loaded=self.loaded,
-                          evictions=self.evictions, compacted=self.compacted)
+                          evictions=self.evictions, compacted=self.compacted,
+                          recovered_lines=self.recovered_lines)
 
 
 class EstimateCache:
@@ -180,23 +186,38 @@ class EstimateCache:
         live: dict[CacheKey, tuple[EvaluationRecord, str]] = {}
         dead = 0
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+            lines = [line.strip() for line in handle]
+        while lines and not lines[-1]:
+            lines.pop()
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if data.get("model") != QOR_MODEL_VERSION:
+                    dead += 1  # estimated under a stale QoR model
                     continue
-                try:
-                    data = json.loads(line)
-                    if data.get("model") != QOR_MODEL_VERSION:
-                        dead += 1  # estimated under a stale QoR model
-                        continue
-                    record = EvaluationRecord.from_json_dict(data["record"])
-                    key = (data["fingerprint"], record.encoded)
-                except (KeyError, TypeError, ValueError):
-                    dead += 1  # truncated/corrupt/foreign line
-                    continue
-                if key in live:
-                    dead += 1  # superseded by this fresher line
-                live[key] = (record, line)
+                record = EvaluationRecord.from_json_dict(data["record"])
+                key = (data["fingerprint"], record.encoded)
+            except (KeyError, TypeError, ValueError):
+                dead += 1  # truncated/corrupt/foreign line
+                if index == last_index:
+                    # A torn *trailing* line is the expected artifact of a
+                    # crash mid-append (appends are flushed per line, so
+                    # only the final one can be cut short).  Recover by
+                    # dropping it: the entry just re-evaluates.
+                    self.stats.recovered_lines += 1
+                    obs.counter("cache.recovered_lines")
+                    warnings.warn(
+                        f"estimate cache {path!r}: dropped a truncated "
+                        f"trailing line (torn write from an interrupted "
+                        f"run); the affected point will be re-evaluated",
+                        RuntimeWarning, stacklevel=2)
+                continue
+            if key in live:
+                dead += 1  # superseded by this fresher line
+            live[key] = (record, line)
 
         # The byte bound governs the file too: drop the least recently
         # stored lines until the live suffix fits the budget.

@@ -17,6 +17,7 @@ import json
 import os
 import random
 import tempfile
+import warnings
 from typing import Optional
 
 from repro.dse.runtime.records import EvaluationRecord
@@ -87,6 +88,11 @@ class CheckpointStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
+                # Crash consistency: the bytes must be durable *before* the
+                # rename publishes them, or a power loss could leave the
+                # checkpoint pointing at a hole.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, self.path)
         except BaseException:
             if os.path.exists(temp_path):
@@ -107,7 +113,17 @@ class CheckpointStore:
             return None
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                try:
+                    payload = json.load(handle)
+                except ValueError:
+                    # Atomic writes make this near-impossible for our own
+                    # files — a corrupt checkpoint means something else
+                    # wrote here.  Say so instead of silently starting over.
+                    warnings.warn(
+                        f"checkpoint {self.path!r} is not valid JSON; "
+                        f"ignoring it and starting fresh",
+                        RuntimeWarning, stacklevel=2)
+                    return None
             if payload.get("version") != CHECKPOINT_VERSION:
                 return None
             if expected_fingerprint is not None \

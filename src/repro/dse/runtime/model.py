@@ -254,6 +254,11 @@ class ModelDSEResult:
                          "pipeline": record.point.pipeline}
                         for record in result.frontier_records()
                     ],
+                    # Quarantine outcomes are part of the deterministic
+                    # artifact: a faulty run must report the same exclusions
+                    # at any --jobs and across --resume.
+                    "quarantined": [list(record.encoded)
+                                    for record in result.quarantined_records()],
                 }
                 for name, result in self.node_results.items()
             },
@@ -277,7 +282,8 @@ class ModelScheduler:
                  frontier_cap: int = 64,
                  max_evaluations_per_node: Optional[int] = None,
                  mp_context: Optional[str] = None,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 supervision=None, faults=None):
         self.platform = platform
         self.jobs = max(1, int(jobs))
         self.seed = seed
@@ -293,6 +299,11 @@ class ModelScheduler:
         self.max_evaluations_per_node = max_evaluations_per_node
         self.mp_context = mp_context
         self.incremental = incremental
+        #: Fault handling (see :class:`~repro.dse.runtime.faults
+        #: .SupervisionPolicy`) and the injected-fault schedule, forwarded
+        #: to the multi-kernel scheduler.
+        self.supervision = supervision
+        self.faults = faults
 
     # -- public API -------------------------------------------------------------------------
 
@@ -345,7 +356,8 @@ class ModelScheduler:
                 checkpoint_dir=self.checkpoint_dir,
                 checkpoint_every=self.checkpoint_every,
                 mp_context=self.mp_context,
-                incremental=self.incremental)
+                incremental=self.incremental,
+                supervision=self.supervision, faults=self.faults)
             node_results = scheduler.explore_kernels(tasks, resume=resume)
 
             with obs.span("dse.compose", nodes=len(node_order)):

@@ -36,6 +36,7 @@ from repro.dse.engine import ExplorationPolicy
 from repro.dse.pareto import ParetoPoint
 from repro.dse.runtime.cache import EstimateCache
 from repro.dse.runtime.checkpoint import CheckpointStore, ExplorerState
+from repro.dse.runtime.faults import FaultPlan, SupervisionPolicy
 from repro.dse.runtime.records import EvaluationRecord
 from repro.dse.runtime.worker import KernelContext, create_backend
 from repro.dse.space import KernelDesignSpace
@@ -125,6 +126,15 @@ class ParallelDSEResult:
     def frontier_records(self) -> list[EvaluationRecord]:
         return [self.records[point.encoded] for point in self.frontier]
 
+    def quarantined_records(self) -> list[EvaluationRecord]:
+        """Points that exhausted their fault retries, in encoded order."""
+        return [record for _, record in sorted(self.records.items())
+                if not record.ok]
+
+    @property
+    def num_quarantined(self) -> int:
+        return sum(1 for record in self.records.values() if not record.ok)
+
     def materialize(self, encoded: tuple[int, ...]) -> AppliedDesign:
         """Re-apply a design point to get its optimized module (for emission)."""
         point = self.space.decode(encoded)
@@ -148,7 +158,10 @@ class ParallelExplorer:
                  checkpoint_every: int = 32,
                  max_evaluations: Optional[int] = None,
                  mp_context: Optional[str] = None,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 faults: Optional[FaultPlan] = None,
+                 stop_event=None):
         self.platform = platform
         self.num_samples = num_samples
         self.max_iterations = max_iterations
@@ -164,6 +177,15 @@ class ParallelExplorer:
         #: detail: results are identical either way, so the flag is absent
         #: from checkpoint configs and cache fingerprints).
         self.incremental = incremental
+        #: Fault handling (timeouts/retries/quarantine) and the injected
+        #: fault schedule.  Both are execution details: fault outcomes
+        #: attach to design points, so they never alter the trajectory and
+        #: stay out of fingerprints and checkpoint configs.
+        self.supervision = supervision or SupervisionPolicy()
+        self.faults = faults
+        #: Cooperative-stop flag shared with an owning scheduler (checked by
+        #: the backends at wave boundaries).
+        self.stop_event = stop_event
 
     # -- exploration ------------------------------------------------------------------------
 
@@ -216,9 +238,12 @@ class ParallelExplorer:
                     module=module, func_name=func_name,
                     platform=self.platform, space=space,
                     pipeline=config["pipeline"],
-                    incremental=self.incremental)}
+                    incremental=self.incremental,
+                    faults=self.faults)}
                 created_backend = create_backend(contexts, self.jobs,
-                                                 mp_context=self.mp_context)
+                                                 mp_context=self.mp_context,
+                                                 supervision=self.supervision,
+                                                 stop_event=self.stop_event)
             return created_backend
 
         evaluated_this_run = 0
@@ -287,12 +312,35 @@ class ParallelExplorer:
             return (self.max_evaluations is None
                     or processed_this_run < self.max_evaluations)
 
+        # A consistent batch-boundary snapshot for interrupt checkpointing:
+        # mid-batch state (an advanced RNG plus a partially merged batch)
+        # must never reach disk — resuming it would diverge from the
+        # uninterrupted trajectory.  The snapshot is refreshed after every
+        # fully merged batch and is what a Ctrl-C checkpoint saves.
+        boundary = None
+
+        def mark_boundary(rng) -> None:
+            nonlocal boundary
+            boundary = (dict(state.records), state.samples_done,
+                        state.iterations_done, rng.getstate())
+
+        def checkpoint_boundary() -> None:
+            if store is None or boundary is None:
+                return
+            records, samples_done, iterations_done, rng_state = boundary
+            state.records = records
+            state.samples_done = samples_done
+            state.iterations_done = iterations_done
+            state.rng_state = rng_state
+            store.save(state)
+
         explore_span = obs.NULL_SPAN if not obs_on else obs.span(
             "dse.explore", kernel=context_key, jobs=self.jobs,
             batch_size=self.batch_size, seed=self.seed)
         try:
             with obs.track(f"dse:{context_key}"), explore_span:
                 rng = state.make_rng()
+                mark_boundary(rng)
 
                 # Step 1: initial sampling (skipped entirely when resuming
                 # past it).
@@ -302,6 +350,7 @@ class ParallelExplorer:
                     evaluate_batch([e for e in batch
                                     if e not in state.records])
                     state.samples_done = True
+                    mark_boundary(rng)
                     maybe_checkpoint(rng)
 
                 frontier = ExplorationPolicy.frontier_of(state.records)
@@ -318,6 +367,7 @@ class ParallelExplorer:
                         break
                     evaluate_batch(batch)
                     state.iterations_done += len(batch)
+                    mark_boundary(rng)
                     frontier = ExplorationPolicy.frontier_of(state.records)
                     record_frontier(frontier)
                     maybe_checkpoint(rng)
@@ -334,6 +384,13 @@ class ParallelExplorer:
                               self.max_iterations)
                     obs.gauge(f"dse.node.{context_key}.samples_budget",
                               self.num_samples)
+        except KeyboardInterrupt:
+            # Graceful interruption: persist the last completed batch
+            # boundary so --resume continues the exact trajectory, then let
+            # the interrupt propagate to the caller (the driver turns it
+            # into a one-line resume hint).
+            checkpoint_boundary()
+            raise
         finally:
             if created_backend is not None:
                 created_backend.close()

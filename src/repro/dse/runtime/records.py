@@ -21,14 +21,38 @@ from repro.estimation.estimator import QoRResult
 from repro.estimation.resources import ResourceUsage
 
 
+#: A record that evaluated successfully carries this status.
+STATUS_OK = "ok"
+
+#: A record whose point exhausted its fault retries and was quarantined:
+#: it is cached and checkpointed like any other record (so the decision
+#: survives ``--resume`` and warm caches), but it is excluded from every
+#: frontier and can never be finalized.
+STATUS_QUARANTINED = "quarantined"
+
+
 @dataclasses.dataclass(frozen=True)
 class EvaluationRecord:
-    """QoR of one evaluated design point, detached from its IR module."""
+    """QoR of one evaluated design point, detached from its IR module.
+
+    ``status`` distinguishes healthy records (:data:`STATUS_OK`, with a
+    real ``qor``) from quarantined ones (:data:`STATUS_QUARANTINED`, whose
+    ``qor`` is None and whose ``error`` describes the exhausted fault).
+    Quarantined records are first-class: the exploration policy treats
+    their points as *visited* (so proposals are identical at any worker
+    count) while every frontier excludes them.
+    """
 
     encoded: tuple[int, ...]
     point: KernelDesignPoint
-    qor: QoRResult
+    qor: Optional[QoRResult]
     achieved_ii: Optional[int] = None
+    status: str = STATUS_OK
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
     @classmethod
     def from_design(cls, encoded: tuple[int, ...],
@@ -36,10 +60,17 @@ class EvaluationRecord:
         return cls(encoded=tuple(encoded), point=design.point, qor=design.qor,
                    achieved_ii=design.achieved_ii)
 
+    @classmethod
+    def quarantined(cls, encoded: tuple[int, ...], point: KernelDesignPoint,
+                    error: str) -> "EvaluationRecord":
+        """A failed evaluation promoted to a first-class, persistable record."""
+        return cls(encoded=tuple(encoded), point=point, qor=None,
+                   achieved_ii=None, status=STATUS_QUARANTINED, error=error)
+
     # -- JSON (de)serialization for the cache / checkpoint files ----------------------------
 
     def to_json_dict(self) -> dict:
-        return {
+        data = {
             "encoded": list(self.encoded),
             "point": {
                 "loop_perfectization": self.point.loop_perfectization,
@@ -49,13 +80,20 @@ class EvaluationRecord:
                 "target_ii": self.point.target_ii,
                 "pipeline": self.point.pipeline,
             },
-            "qor": {
+            "qor": None if self.qor is None else {
                 "latency": self.qor.latency,
                 "interval": self.qor.interval,
                 "resources": dataclasses.asdict(self.qor.resources),
             },
             "achieved_ii": self.achieved_ii,
         }
+        # Healthy records keep the historical layout byte-for-byte, so caches
+        # and checkpoints written before the status field existed stay valid
+        # (and identical) both ways.
+        if not self.ok:
+            data["status"] = self.status
+            data["error"] = self.error
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "EvaluationRecord":
@@ -71,10 +109,12 @@ class EvaluationRecord:
                 target_ii=int(point_data["target_ii"]),
                 pipeline=str(point_data.get("pipeline", "default")),
             ),
-            qor=QoRResult(
+            qor=None if qor_data is None else QoRResult(
                 latency=int(qor_data["latency"]),
                 interval=int(qor_data["interval"]),
                 resources=ResourceUsage(**qor_data["resources"]),
             ),
             achieved_ii=data.get("achieved_ii"),
+            status=str(data.get("status", STATUS_OK)),
+            error=str(data.get("error", "")),
         )

@@ -25,10 +25,16 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import os
+import threading
 from typing import Optional, Sequence
 
 from repro import obs
 from repro.dse.runtime.cache import EstimateCache
+from repro.dse.runtime.faults import (
+    EvaluationFailure,
+    FaultPlan,
+    SupervisionPolicy,
+)
 from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
 from repro.dse.runtime.worker import KernelContext, create_backend
 from repro.dse.space import KernelDesignSpace
@@ -69,7 +75,9 @@ class MultiKernelScheduler:
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 32,
                  mp_context: Optional[str] = None,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 faults: Optional[FaultPlan] = None):
         self.platform = platform
         self.jobs = max(1, int(jobs))
         self.num_samples = num_samples
@@ -81,6 +89,8 @@ class MultiKernelScheduler:
         self.checkpoint_every = checkpoint_every
         self.mp_context = mp_context
         self.incremental = incremental
+        self.supervision = supervision or SupervisionPolicy()
+        self.faults = faults
 
     # -- public API -------------------------------------------------------------------------
 
@@ -116,16 +126,21 @@ class MultiKernelScheduler:
             task.key: KernelContext(module=task.module, func_name=task.func_name,
                                     platform=self.platform, space=task.space,
                                     pipeline=signature,
-                                    incremental=self.incremental)
+                                    incremental=self.incremental,
+                                    faults=self.faults)
             for task in tasks
         }
-        backend = create_backend(contexts, self.jobs, mp_context=self.mp_context)
+        stop_event = threading.Event()
+        backend = create_backend(contexts, self.jobs, mp_context=self.mp_context,
+                                 supervision=self.supervision,
+                                 stop_event=stop_event)
         schedule_span = obs.NULL_SPAN if obs.active() is None else obs.span(
             "dse.schedule", kernels=len(tasks), jobs=self.jobs)
         try:
             with schedule_span:
                 if self.jobs <= 1 or len(tasks) == 1:
-                    return {task.key: self._explore_one(task, backend, resume)
+                    return {task.key: self._explore_one(task, backend, resume,
+                                                        stop_event)
                             for task in tasks}
                 # Spawn the pool's workers from the main thread, before any
                 # coordinator threads exist: forking from a multi-threaded
@@ -141,11 +156,24 @@ class MultiKernelScheduler:
                         max_workers=len(tasks)) as coordinators:
                     futures = {
                         task.key: coordinators.submit(self._explore_one, task,
-                                                      backend, resume)
+                                                      backend, resume,
+                                                      stop_event)
                         for task in tasks
                     }
-                    return {key: future.result()
-                            for key, future in futures.items()}
+                    try:
+                        return {key: self._task_result(key, future)
+                                for key, future in futures.items()}
+                    except KeyboardInterrupt:
+                        # Ctrl-C: stop submissions, fail in-flight futures
+                        # so every coordinator unblocks, writes its boundary
+                        # checkpoint and exits; then let the interrupt
+                        # propagate (the ThreadPoolExecutor context joins
+                        # the unblocked coordinators on the way out).
+                        if hasattr(backend, "request_stop"):
+                            backend.request_stop()
+                        for future in futures.values():
+                            future.cancel()
+                        raise
         finally:
             backend.close()
 
@@ -169,8 +197,21 @@ class MultiKernelScheduler:
                                     space=space))
         return tasks
 
-    def _explore_one(self, task: KernelTask, backend,
-                     resume: bool) -> ParallelDSEResult:
+    @staticmethod
+    def _task_result(key: str, future) -> ParallelDSEResult:
+        """Unwrap one coordinator future with an attributable error."""
+        try:
+            return future.result()
+        except (EvaluationFailure, concurrent.futures.CancelledError):
+            raise
+        except Exception as error:
+            raise EvaluationFailure(
+                f"DSE for kernel {key!r} failed: "
+                f"{type(error).__name__}: {error}") from error
+
+    def _explore_one(self, task: KernelTask, backend, resume: bool,
+                     stop_event: Optional[threading.Event] = None
+                     ) -> ParallelDSEResult:
         checkpoint_path = None
         if self.checkpoint_dir:
             checkpoint_path = os.path.join(self.checkpoint_dir,
@@ -185,7 +226,9 @@ class MultiKernelScheduler:
             cache=self.cache, checkpoint_path=checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             max_evaluations=task.max_evaluations,
-            incremental=self.incremental)
+            incremental=self.incremental,
+            supervision=self.supervision, faults=self.faults,
+            stop_event=stop_event)
         return explorer.explore(task.module, space=task.space,
                                 func_name=task.func_name, resume=resume,
                                 backend=backend, context_key=task.key)

@@ -13,20 +13,53 @@ The coordinator (``ParallelExplorer`` / ``MultiKernelScheduler``) decides
 Both backends compute identical records for identical inputs — evaluation
 is a pure function of ``(module, design point, platform)`` — which is the
 bedrock of the runtime's determinism guarantee.
+
+Supervision
+-----------
+
+Both backends are *supervised* (see
+:class:`~repro.dse.runtime.faults.SupervisionPolicy`): an evaluation that
+raises, crashes its worker process, or exceeds the per-task wall-clock
+timeout is charged one fault and retried with deterministic backoff; a
+point that exhausts its retries is **quarantined** — it becomes a failed
+:class:`EvaluationRecord` that counts as visited but never enters a
+frontier.  Because fault *outcomes* attach to design points (never to
+workers, wall-clock or completion order), a faulty run converges to the
+same records as a fault-free one at any ``--jobs``.
+
+Two supervision details are deliberately coarse:
+
+* A worker crash under ``jobs > 1`` breaks the whole pool, so the culprit
+  cannot be attributed from a multi-task wave.  The backend requeues every
+  broken task *uncharged* and switches to serial probe waves (one task at a
+  time), where a pool break is definitive.  A crash can therefore charge an
+  innocent task only never — misattribution is structurally impossible; it
+  merely costs requeue round-trips.
+* A timeout kills *all* worker processes (a hung worker cannot be
+  terminated individually through the executor API) and respawns the pool;
+  concurrently running tasks of other kernels are requeued uncharged via
+  the same broken-pool path.
 """
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import dataclasses
 import multiprocessing
 import pickle
+import threading
 import time
 from typing import Optional, Sequence
 
 from repro import obs
 from repro.dse.apply import apply_design_point
 from repro.dse.incremental import PrefixSnapshotCache
+from repro.dse.runtime.faults import (
+    EvaluationFailure,
+    FaultPlan,
+    SupervisionPolicy,
+)
 from repro.dse.runtime.records import EvaluationRecord
 from repro.dse.space import KernelDesignSpace
 from repro.estimation.platform import Platform
@@ -50,6 +83,11 @@ class KernelContext:
     ``incremental`` turns prefix-snapshot caching on (the default) or off
     (``--no-incremental``); both settings produce identical records — the
     flag is pure execution detail, deliberately absent from fingerprints.
+
+    ``faults`` is an optional injected-fault schedule
+    (:class:`~repro.dse.runtime.faults.FaultPlan`) for tests and CI chaos
+    runs; None (the default, and the only production setting) evaluates
+    normally.
     """
 
     module: ModuleOp
@@ -58,15 +96,19 @@ class KernelContext:
     space: KernelDesignSpace
     pipeline: str = ""
     incremental: bool = True
+    faults: Optional[FaultPlan] = None
 
 
 def evaluate_encoded(context: KernelContext, encoded: tuple[int, ...],
-                     snapshots: Optional[PrefixSnapshotCache] = None
-                     ) -> EvaluationRecord:
+                     snapshots: Optional[PrefixSnapshotCache] = None,
+                     fault_key: str = "") -> EvaluationRecord:
     """Evaluate one encoded design point against its kernel context.
 
     ``snapshots`` is the caller's prefix-snapshot cache (see
     :mod:`repro.dse.incremental`); None evaluates from scratch.
+    ``fault_key`` is the kernel key the backends thread through for
+    fault-injection victim selection (irrelevant when ``context.faults``
+    is None).
     """
     if context.pipeline:
         from repro.dse.apply import kernel_pipeline_signature
@@ -77,6 +119,8 @@ def evaluate_encoded(context: KernelContext, encoded: tuple[int, ...],
             raise PassError(
                 f"worker pipeline mismatch: coordinator evaluated under "
                 f"'{context.pipeline}' but this worker would run '{local}'")
+    if context.faults is not None:
+        context.faults.apply(fault_key, tuple(encoded))
     point = context.space.decode(encoded)
     design = apply_design_point(context.module, point, context.platform,
                                 func_name=context.func_name,
@@ -97,6 +141,10 @@ def _snapshots_for(context: KernelContext, key: str,
     return cache
 
 
+def _describe_error(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
 # -- worker process side -------------------------------------------------------------------
 
 #: Per-process kernel contexts, installed by :func:`_init_worker`.
@@ -105,6 +153,11 @@ _WORKER_CONTEXTS: dict[str, KernelContext] = {}
 #: Per-process prefix-snapshot caches, one per kernel key (reset alongside
 #: the contexts: snapshots derive from the shipped modules).
 _WORKER_SNAPSHOTS: dict[str, PrefixSnapshotCache] = {}
+
+#: Outcome tags of the guarded worker tasks.  ``fatal`` marks failures that
+#: no retry can fix (e.g. a coordinator/worker pipeline mismatch): the
+#: supervisor aborts the run instead of burning its retry budget.
+_OK, _ERROR, _FATAL = "ok", "error", "fatal"
 
 
 def _init_worker(payload: bytes) -> None:
@@ -120,11 +173,30 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_SNAPSHOTS = {}
 
 
-def _evaluate_task(key: str, encoded: tuple[int, ...]) -> EvaluationRecord:
+def _classify(error: BaseException) -> str:
+    from repro.ir.pass_manager import PassError
+
+    return _FATAL if isinstance(error, PassError) else _ERROR
+
+
+def _evaluate_task(key: str, encoded: tuple[int, ...]):
+    """Guarded evaluation: returns ``(tag, payload, telemetry)``.
+
+    Worker tasks never raise — a Python-level failure comes back as a
+    tagged ``(_ERROR/_FATAL, message, None)`` tuple so the coordinator can
+    attribute it to exactly this (kernel, point) even though pool futures
+    lose that context.  Only process-level faults (crash, kill, hang)
+    surface as broken futures.
+    """
     context = _WORKER_CONTEXTS[key]
-    return evaluate_encoded(context, encoded,
-                            snapshots=_snapshots_for(context, key,
-                                                     _WORKER_SNAPSHOTS))
+    try:
+        record = evaluate_encoded(
+            context, encoded,
+            snapshots=_snapshots_for(context, key, _WORKER_SNAPSHOTS),
+            fault_key=key)
+        return (_OK, record, None)
+    except Exception as error:
+        return (_classify(error), _describe_error(error), None)
 
 
 def _evaluate_task_traced(key: str, encoded: tuple[int, ...]):
@@ -132,13 +204,19 @@ def _evaluate_task_traced(key: str, encoded: tuple[int, ...]):
 
     The coordinator picks this task when its own observability session is
     active; the choice is made coordinator-side so worker initialisation
-    needs no tracing flag.  Returns ``(record, TaskTelemetry)``.
+    needs no tracing flag.  Returns ``(tag, payload, telemetry)`` like
+    :func:`_evaluate_task` (telemetry of a failed attempt is dropped —
+    :func:`repro.obs.capture_task` restores the outer session on error).
     """
     context = _WORKER_CONTEXTS[key]
-    return obs.capture_task(
-        evaluate_encoded, context, encoded,
-        _snapshots_for(context, key, _WORKER_SNAPSHOTS),
-        span_args={"kernel": key})
+    try:
+        record, telemetry = obs.capture_task(
+            evaluate_encoded, context, encoded,
+            _snapshots_for(context, key, _WORKER_SNAPSHOTS), key,
+            span_args={"kernel": key})
+        return (_OK, record, telemetry)
+    except Exception as error:
+        return (_classify(error), _describe_error(error), None)
 
 
 def _warm_up_task(hold_seconds: float) -> None:
@@ -150,33 +228,104 @@ def _warm_up_task(hold_seconds: float) -> None:
 # -- backends -------------------------------------------------------------------------------
 
 
+def _quarantine_record(context: KernelContext, key: str,
+                       encoded: tuple[int, ...], error: str,
+                       policy: SupervisionPolicy) -> EvaluationRecord:
+    """The terminal outcome of an exhausted retry budget.
+
+    Either a first-class quarantined record (cached and checkpointed like a
+    healthy one, excluded from every frontier) or — under
+    ``--on-fault=fail`` — an :class:`EvaluationFailure` abort carrying the
+    kernel and point.
+    """
+    if policy.on_fault == "fail":
+        raise EvaluationFailure(
+            f"kernel {key!r} point {tuple(encoded)} failed after "
+            f"{policy.max_retries} retries: {error}")
+    obs.counter("dse.faults.quarantined")
+    return EvaluationRecord.quarantined(tuple(encoded),
+                                        context.space.decode(encoded), error)
+
+
+def _retry_pause(key: str, attempt: int, cause: str,
+                 policy: SupervisionPolicy) -> None:
+    """Charged-fault bookkeeping: count the retry, back off deterministically."""
+    obs.counter("dse.faults.retries")
+    with obs.span("dse.retry", kernel=key, attempt=attempt, cause=cause):
+        time.sleep(policy.backoff_seconds(attempt))
+
+
+def _check_stop(stop_event: Optional[threading.Event]) -> None:
+    if stop_event is not None and stop_event.is_set():
+        raise KeyboardInterrupt
+
+
 class SerialBackend:
-    """Inline evaluation (``--jobs 1``): no processes, no pickling."""
+    """Inline evaluation (``--jobs 1``): no processes, no pickling.
+
+    Supervision covers Python-level faults only (exceptions raised by the
+    evaluation, e.g. injected flaky/poison faults): there is no worker
+    process to crash and no way to interrupt a hung inline call, which is
+    why :func:`create_backend` promotes to a process pool whenever a task
+    timeout or a crash/hang fault plan is configured.
+    """
 
     jobs = 1
 
-    def __init__(self, contexts: dict[str, KernelContext]):
+    def __init__(self, contexts: dict[str, KernelContext],
+                 supervision: Optional[SupervisionPolicy] = None,
+                 stop_event: Optional[threading.Event] = None):
         self._contexts = contexts
         self._snapshots: dict[str, PrefixSnapshotCache] = {}
+        self._supervision = supervision or SupervisionPolicy()
+        self._stop_event = stop_event
 
     def evaluate(self, key: str,
                  batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
         context = self._contexts[key]
         snapshots = _snapshots_for(context, key, self._snapshots)
-        if obs.active() is None:
-            return [evaluate_encoded(context, encoded, snapshots)
-                    for encoded in batch]
-        # Traced path: capture each evaluation into a throwaway local session
-        # (exactly like a worker process would) and absorb it immediately —
-        # the serial timeline is already submission order.
-        records = []
-        for encoded in batch:
-            record, telemetry = obs.capture_task(
-                evaluate_encoded, context, encoded, snapshots,
-                span_args={"kernel": key})
-            obs.absorb_task(f"worker:{key}", telemetry)
-            records.append(record)
-        return records
+        traced = obs.active() is not None
+        return [self._evaluate_one(key, context, tuple(encoded), snapshots,
+                                   traced)
+                for encoded in batch]
+
+    def _evaluate_one(self, key: str, context: KernelContext,
+                      encoded: tuple[int, ...], snapshots, traced: bool
+                      ) -> EvaluationRecord:
+        from repro.ir.pass_manager import PassError
+
+        policy = self._supervision
+        attempts = 0
+        while True:
+            _check_stop(self._stop_event)
+            try:
+                if not traced:
+                    return evaluate_encoded(context, encoded, snapshots, key)
+                # Traced path: capture the evaluation into a throwaway local
+                # session (exactly like a worker process would) and absorb it
+                # immediately — the serial timeline is already submission
+                # order.
+                record, telemetry = obs.capture_task(
+                    evaluate_encoded, context, encoded, snapshots, key,
+                    span_args={"kernel": key})
+                obs.absorb_task(f"worker:{key}", telemetry)
+                return record
+            except (KeyboardInterrupt, EvaluationFailure):
+                raise
+            except PassError as error:
+                raise EvaluationFailure(
+                    f"kernel {key!r} point {tuple(encoded)}: "
+                    f"{_describe_error(error)}") from error
+            except Exception as error:
+                attempts += 1
+                if attempts > policy.max_retries:
+                    return _quarantine_record(context, key, encoded,
+                                              _describe_error(error), policy)
+                _retry_pause(key, attempts, _ERROR, policy)
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
 
     def close(self) -> None:
         pass
@@ -189,42 +338,198 @@ class SerialBackend:
 
 
 class ProcessPoolBackend:
-    """Evaluation fanned out across a pool of worker processes."""
+    """Supervised evaluation fanned out across a pool of worker processes.
+
+    The pool is disposable: a worker crash or a task timeout kills and
+    respawns it (``_generation`` counts respawns so concurrent coordinator
+    threads sharing the backend respawn it at most once per break), and the
+    wave loop in :meth:`evaluate` retries or quarantines the affected
+    points.  See the module docstring for the attribution rules.
+    """
 
     def __init__(self, contexts: dict[str, KernelContext], jobs: int,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 stop_event: Optional[threading.Event] = None):
         from repro.dse.apply import CLEANUP_PIPELINES
 
         self.jobs = max(1, int(jobs))
+        self._contexts = contexts
+        self._supervision = supervision or SupervisionPolicy()
+        self._stop_event = stop_event
         # Ship the named-pipeline registry alongside the contexts so
         # runtime registrations (--register-pipeline) reach every worker.
-        payload = pickle.dumps((contexts, dict(CLEANUP_PIPELINES)))
-        context = multiprocessing.get_context(mp_context) if mp_context \
-            else multiprocessing.get_context()
-        self._executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.jobs, mp_context=context,
-            initializer=_init_worker, initargs=(payload,))
+        self._payload = pickle.dumps((contexts, dict(CLEANUP_PIPELINES)))
+        self._mp_context = multiprocessing.get_context(mp_context) \
+            if mp_context else multiprocessing.get_context()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._executor = self._make_executor()
+
+    def _make_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self._mp_context,
+            initializer=_init_worker, initargs=(self._payload,))
+
+    # -- the supervised wave loop -----------------------------------------------------------
 
     def evaluate(self, key: str,
                  batch: Sequence[tuple[int, ...]]) -> list[EvaluationRecord]:
-        if obs.active() is None:
-            futures = [self._executor.submit(_evaluate_task, key,
-                                             tuple(encoded))
-                       for encoded in batch]
-            # Collect in submission order: the result list is deterministic
-            # even though completion order is not.
-            return [future.result() for future in futures]
-        futures = [self._executor.submit(_evaluate_task_traced, key,
-                                         tuple(encoded))
-                   for encoded in batch]
-        # Absorbing in submission order keeps the merged trace deterministic
-        # regardless of which worker ran what, or in what order.
-        records = []
-        for future in futures:
-            record, telemetry = future.result()
-            obs.absorb_task(f"worker:{key}", telemetry)
-            records.append(record)
-        return records
+        traced = obs.active() is not None
+        policy = self._supervision
+        total = len(batch)
+        results: list[Optional[EvaluationRecord]] = [None] * total
+        telemetry: list = [None] * total
+        attempts = [0] * total
+        pending = collections.deque(
+            (index, tuple(encoded)) for index, encoded in enumerate(batch))
+        # While > 0, dispatch one task per wave: after a pool break the
+        # culprit is unknown, but in a single-task wave a second break is
+        # definitively that task's fault.
+        probes = 0
+        while pending:
+            _check_stop(self._stop_event)
+            if probes > 0:
+                wave = [pending.popleft()]
+                probes -= 1
+            else:
+                width = len(pending)
+                if policy.task_timeout is not None:
+                    # Cap the wave at the worker count so every task starts
+                    # immediately: the shared wave deadline then *is* the
+                    # per-task deadline.  Without timeouts the whole batch is
+                    # submitted at once (better pipelining).
+                    width = min(width, self.jobs)
+                wave = [pending.popleft() for _ in range(width)]
+            for index, encoded, kind, payload, task_telemetry \
+                    in self._run_wave(key, wave, traced):
+                if kind == _OK:
+                    results[index] = payload
+                    telemetry[index] = task_telemetry
+                elif kind == _FATAL:
+                    raise EvaluationFailure(
+                        f"kernel {key!r} point {encoded}: {payload}")
+                elif kind == "requeue":
+                    # Innocent bystander of a pool break: retry uncharged,
+                    # and probe serially to pin down the culprit.
+                    pending.append((index, encoded))
+                    probes += 1
+                else:  # charged fault: error / crash / timeout
+                    attempts[index] += 1
+                    if kind == "crash":
+                        obs.counter("dse.faults.crashes")
+                    elif kind == "timeout":
+                        obs.counter("dse.faults.timeouts")
+                    if attempts[index] > policy.max_retries:
+                        results[index] = _quarantine_record(
+                            self._contexts[key], key, encoded, payload,
+                            policy)
+                    else:
+                        _retry_pause(key, attempts[index], kind, policy)
+                        pending.append((index, encoded))
+        if traced:
+            # Absorb in submission (batch) order, after every wave settled:
+            # the merged trace is deterministic regardless of which worker
+            # ran what, in what order, or how many retries it took.
+            for index in range(total):
+                obs.absorb_task(f"worker:{key}", telemetry[index])
+        return results
+
+    def _run_wave(self, key: str, wave: list, traced: bool) -> list:
+        """Dispatch one wave; classify every task's outcome.
+
+        Returns ``(index, encoded, kind, payload, telemetry)`` tuples where
+        ``kind`` is ``ok``/``error``/``fatal`` (from the guarded task),
+        ``crash``/``timeout`` (charged process-level faults) or ``requeue``
+        (unattributable pool break — uncharged).
+        """
+        task = _evaluate_task_traced if traced else _evaluate_task
+        while True:
+            _check_stop(self._stop_event)
+            generation = self._generation
+            try:
+                futures = [(index, encoded,
+                            self._executor.submit(task, key, encoded))
+                           for index, encoded in wave]
+                break
+            except RuntimeError:
+                # The executor broke or was shut down between waves (e.g.
+                # another kernel's coordinator hit a crash first): swap in
+                # a fresh pool and resubmit.
+                self._respawn(generation)
+        hung: set = set()
+        if self._supervision.task_timeout is not None:
+            _, not_done = concurrent.futures.wait(
+                [future for _, _, future in futures],
+                timeout=self._supervision.task_timeout)
+            if not_done:
+                # Hung workers cannot be cancelled through the executor API;
+                # kill the pool (failing their futures) and respawn.
+                hung = set(not_done)
+                self._respawn(generation)
+        outcomes = []
+        broke = False
+        for index, encoded, future in futures:
+            if future in hung:
+                outcomes.append((
+                    index, encoded, "timeout",
+                    f"evaluation exceeded the task timeout of "
+                    f"{self._supervision.task_timeout:g}s", None))
+                continue
+            try:
+                tag, payload, task_telemetry = future.result()
+            except concurrent.futures.CancelledError:
+                outcomes.append((index, encoded, "requeue", "", None))
+                continue
+            except (concurrent.futures.BrokenExecutor, RuntimeError) as error:
+                broke = True
+                if len(wave) == 1:
+                    outcomes.append((
+                        index, encoded, "crash",
+                        f"worker process died evaluating this point "
+                        f"({_describe_error(error) or 'killed'})", None))
+                else:
+                    outcomes.append((index, encoded, "requeue", "", None))
+                continue
+            outcomes.append((index, encoded, tag, payload, task_telemetry))
+        if broke:
+            self._respawn(generation)
+        return outcomes
+
+    # -- pool lifecycle ---------------------------------------------------------------------
+
+    def _terminate(self, executor) -> None:
+        """Kill every worker and discard the executor's queued work."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _respawn(self, generation: int) -> None:
+        """Replace the pool, once: later callers with a stale generation no-op."""
+        with self._lock:
+            if generation != self._generation:
+                return
+            self._generation += 1
+            self._terminate(self._executor)
+            self._executor = self._make_executor()
+            obs.counter("dse.pool.respawns")
+
+    def request_stop(self) -> None:
+        """Interrupt path: fail in-flight work so coordinators unblock.
+
+        Sets the stop event (checked at every wave boundary) and kills the
+        pool — coordinators blocked on futures see a broken pool, requeue,
+        and hit the stop check instead of resubmitting.
+        """
+        if self._stop_event is not None:
+            self._stop_event.set()
+        with self._lock:
+            self._generation += 1
+            self._terminate(self._executor)
 
     def warm_up(self) -> None:
         """Spawn every worker process now.
@@ -243,7 +548,14 @@ class ProcessPoolBackend:
         futures = [self._executor.submit(_warm_up_task, 0.05)
                    for _ in range(self.jobs)]
         for future in futures:
-            future.result()
+            try:
+                future.result()
+            except (concurrent.futures.BrokenExecutor, RuntimeError) as error:
+                raise EvaluationFailure(
+                    f"worker pool failed to start ({self.jobs} workers): a "
+                    f"worker died during warm-up before evaluating anything "
+                    f"— check the worker environment/imports "
+                    f"({_describe_error(error)})") from error
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -256,8 +568,21 @@ class ProcessPoolBackend:
 
 
 def create_backend(contexts: dict[str, KernelContext], jobs: int,
-                   mp_context: Optional[str] = None):
-    """Pick the cheapest backend able to provide ``jobs`` parallel workers."""
-    if jobs <= 1:
-        return SerialBackend(contexts)
-    return ProcessPoolBackend(contexts, jobs, mp_context=mp_context)
+                   mp_context: Optional[str] = None,
+                   supervision: Optional[SupervisionPolicy] = None,
+                   stop_event: Optional[threading.Event] = None):
+    """Pick the cheapest backend able to provide ``jobs`` parallel workers.
+
+    A task timeout or a crash/hang fault plan forces a process pool even at
+    ``--jobs 1``: inline evaluation cannot be killed, and an injected crash
+    would take the coordinator down with it.
+    """
+    supervision = supervision or SupervisionPolicy()
+    needs_isolation = supervision.task_timeout is not None or any(
+        context.faults is not None and context.faults.requires_process_isolation
+        for context in contexts.values())
+    if jobs <= 1 and not needs_isolation:
+        return SerialBackend(contexts, supervision=supervision,
+                             stop_event=stop_event)
+    return ProcessPoolBackend(contexts, jobs, mp_context=mp_context,
+                              supervision=supervision, stop_event=stop_event)

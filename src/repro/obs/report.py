@@ -141,6 +141,9 @@ def cache_summary_lines(counters: Mapping[str, float]) -> list[str]:
     line = f"  stores={stores} warm-loaded={loaded} evictions={evictions}"
     if compacted:
         line += f" compacted={compacted}"
+    recovered = int(counters.get("cache.recovered_lines", 0))
+    if recovered:
+        line += f" recovered-torn-lines={recovered}"
     lines.append(line)
     return lines
 
@@ -165,6 +168,15 @@ def dse_summary_lines(counters: Mapping[str, float],
             utilization = busy / (wall * max(1, jobs))
             lines.append(f"  worker utilization={utilization * 100.0:.1f}% "
                          f"({jobs} worker(s), {busy:.2f}s busy)")
+    faults = {name: int(counters.get(f"dse.faults.{name}", 0))
+              for name in ("timeouts", "crashes", "retries", "quarantined")}
+    if any(faults.values()):
+        respawns = int(counters.get("dse.pool.respawns", 0))
+        lines.append(f"  faults: timeouts={faults['timeouts']} "
+                     f"crashes={faults['crashes']} "
+                     f"retries={faults['retries']} "
+                     f"quarantined={faults['quarantined']} "
+                     f"(pool respawns={respawns})")
     prefix_hits = int(counters.get("dse.prefix.hits", 0))
     prefix_misses = int(counters.get("dse.prefix.misses", 0))
     prefix_checkouts = prefix_hits + prefix_misses

@@ -98,6 +98,10 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                    checkpoint_every: int = 32,
                    resume: bool = False,
                    incremental: bool = True,
+                   task_timeout: Optional[float] = None,
+                   max_retries: int = 2,
+                   on_fault: str = "quarantine",
+                   faults=None,
                    func_name: Optional[str] = None) -> "ParallelDSEResult":
     """Run the parallel DSE runtime on one kernel.
 
@@ -105,9 +109,16 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
     (``cache_max_entries`` / ``cache_max_bytes`` bound it with LRU eviction);
     ``checkpoint_path`` + ``resume`` continue an interrupted exploration.
     ``incremental=False`` disables prefix-snapshot caching in the evaluation
-    backends (results are identical either way).
+    backends (results are identical either way).  ``task_timeout`` /
+    ``max_retries`` / ``on_fault`` configure the supervision layer (see
+    :class:`repro.dse.runtime.SupervisionPolicy`); ``faults`` injects a
+    :class:`repro.dse.runtime.FaultPlan` for chaos testing.
     """
-    from repro.dse.runtime import EstimateCache, ParallelExplorer
+    from repro.dse.runtime import (
+        EstimateCache,
+        ParallelExplorer,
+        SupervisionPolicy,
+    )
 
     if cache is None and cache_path:
         cache = EstimateCache(cache_path, max_entries=cache_max_entries,
@@ -116,7 +127,11 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
         platform, num_samples=num_samples, max_iterations=max_iterations,
         seed=seed, jobs=jobs, batch_size=batch_size, cache=cache,
         checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
-        incremental=incremental)
+        incremental=incremental,
+        supervision=SupervisionPolicy(task_timeout=task_timeout,
+                                      max_retries=max_retries,
+                                      on_fault=on_fault),
+        faults=faults)
     return explorer.explore(module, func_name=func_name, resume=resume)
 
 
@@ -132,10 +147,18 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                            checkpoint_every: int = 32,
                            resume: bool = False,
                            incremental: bool = True,
+                           task_timeout: Optional[float] = None,
+                           max_retries: int = 2,
+                           on_fault: str = "quarantine",
+                           faults=None,
                            func_names: Optional[list[str]] = None
                            ) -> "dict[str, ParallelDSEResult]":
     """Run DSE for every explorable function of ``module`` concurrently."""
-    from repro.dse.runtime import EstimateCache, MultiKernelScheduler
+    from repro.dse.runtime import (
+        EstimateCache,
+        MultiKernelScheduler,
+        SupervisionPolicy,
+    )
 
     if cache is None and cache_path:
         cache = EstimateCache(cache_path, max_entries=cache_max_entries,
@@ -144,7 +167,11 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
         platform, jobs=jobs, num_samples=num_samples,
         max_iterations=max_iterations, seed=seed, batch_size=batch_size,
         cache=cache, checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every, incremental=incremental)
+        checkpoint_every=checkpoint_every, incremental=incremental,
+        supervision=SupervisionPolicy(task_timeout=task_timeout,
+                                      max_retries=max_retries,
+                                      on_fault=on_fault),
+        faults=faults)
     return scheduler.explore_module(module, func_names=func_names, resume=resume)
 
 
@@ -181,6 +208,10 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                 checkpoint_every: int = 16,
                 resume: bool = False,
                 incremental: bool = True,
+                task_timeout: Optional[float] = None,
+                max_retries: int = 2,
+                on_fault: str = "quarantine",
+                faults=None,
                 budget_mode: str = "flops",
                 frontier_cap: int = 64,
                 max_nodes: Optional[int] = None) -> "ModelDSEResult":
@@ -191,7 +222,12 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
     staged model, and the per-node frontiers compose into the model-level
     latency/resource frontier.
     """
-    from repro.dse.runtime import EstimateCache, ModelScheduler, NodeBudgetPolicy
+    from repro.dse.runtime import (
+        EstimateCache,
+        ModelScheduler,
+        NodeBudgetPolicy,
+        SupervisionPolicy,
+    )
 
     if cache is None and cache_path:
         cache = EstimateCache(cache_path, max_entries=cache_max_entries,
@@ -203,7 +239,11 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                                 mode=budget_mode),
         cache=cache, checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every, frontier_cap=frontier_cap,
-        incremental=incremental)
+        incremental=incremental,
+        supervision=SupervisionPolicy(task_timeout=task_timeout,
+                                      max_retries=max_retries,
+                                      on_fault=on_fault),
+        faults=faults)
     return scheduler.explore(model_name, graph_level=graph_level,
                              resume=resume, max_nodes=max_nodes)
 

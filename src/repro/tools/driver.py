@@ -136,6 +136,39 @@ def _add_instrumentation_arguments(parser: argparse.ArgumentParser) -> None:
                              "later with the 'report' sub-command")
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Supervision knobs shared by the ``dse`` and ``dnn`` sweeps."""
+    parser.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                        help="wall-clock budget per evaluation; a task over "
+                             "budget has its worker killed and is retried "
+                             "(default: no timeout)")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retries per design point after a fault (worker "
+                             "crash, timeout, evaluation error) before the "
+                             "point is quarantined (default: 2)")
+    parser.add_argument("--on-fault", choices=("quarantine", "fail"),
+                        default="quarantine",
+                        help="after retries are exhausted: 'quarantine' "
+                             "records the point as failed and continues "
+                             "(deterministic at any --jobs), 'fail' aborts "
+                             "the run (default: quarantine)")
+    # Chaos-testing hook for CI and tests; deliberately undocumented.
+    parser.add_argument("--inject-faults", metavar="SPEC",
+                        help=argparse.SUPPRESS)
+
+
+def _fault_plan(args):
+    """The parsed ``--inject-faults`` plan, or None."""
+    if not getattr(args, "inject_faults", None):
+        return None
+    from repro.dse.runtime import FaultPlan
+
+    try:
+        return FaultPlan.parse(args.inject_faults)
+    except ValueError as error:
+        raise SystemExit(f"--inject-faults: {error}") from error
+
+
 def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--pipeline", metavar="SPEC",
@@ -206,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="resume from the checkpoint if present")
     dse_parser.add_argument("--all-functions", action="store_true",
                             help="explore every function of the module concurrently")
+    _add_fault_arguments(dse_parser)
 
     emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
     _add_kernel_arguments(emit_parser)
@@ -279,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default="dnn-dse-frontier.json",
                             help="where --dse writes the model frontier JSON "
                                  "(default: dnn-dse-frontier.json)")
+    _add_fault_arguments(dnn_parser)
     _add_instrumentation_arguments(dnn_parser)
 
     list_parser = commands.add_parser(
@@ -364,7 +399,10 @@ def run_dse(args) -> int:
                   cache_max_entries=args.cache_max_entries,
                   cache_max_bytes=args.cache_max_bytes,
                   checkpoint_every=args.checkpoint_every, resume=args.resume,
-                  incremental=not args.no_incremental)
+                  incremental=not args.no_incremental,
+                  task_timeout=args.task_timeout,
+                  max_retries=args.max_retries, on_fault=args.on_fault,
+                  faults=_fault_plan(args))
 
     if args.all_functions:
         if args.checkpoint and os.path.exists(args.checkpoint) \
@@ -401,6 +439,9 @@ def _print_dse_result(prefix: str, result, baseline) -> None:
                       f"{result.cache_misses} misses)")
     print(f"{prefix}evaluated {result.num_evaluations} points in "
           f"{result.wall_seconds:.2f}s{cache_note}; Pareto frontier:")
+    if result.num_quarantined:
+        print(f"{prefix}quarantined {result.num_quarantined} point(s) after "
+              f"exhausted retries (excluded from the frontier)")
     for point in result.frontier:
         record = result.records[point.encoded]
         print(f"  latency={record.qor.latency:<14,} dsp={record.qor.dsp:<5} "
@@ -465,6 +506,8 @@ def run_dnn_dse(args) -> int:
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every, resume=args.resume,
         incremental=not args.no_incremental,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
+        on_fault=args.on_fault, faults=_fault_plan(args),
         budget_mode=args.budget, max_nodes=max_nodes)
 
     cache_parts = []
@@ -481,6 +524,11 @@ def run_dnn_dse(args) -> int:
           f"{result.wall_seconds:.2f}s{cache_note}")
     if result.skipped:
         print(f"  skipped nodes: {', '.join(result.skipped)}")
+    quarantined = sum(node.num_quarantined
+                      for node in result.node_results.values())
+    if quarantined:
+        print(f"  quarantined {quarantined} point(s) after exhausted retries "
+              f"(excluded from every frontier)")
     if not result.node_order:
         print("  no explorable dataflow nodes (no affine loop nests); "
               "no frontier to report")
@@ -649,6 +697,20 @@ def _finish_session(session: "obs.ObsSession", args, timing: bool,
         print(f"wrote {metrics_out}", file=sys.stderr)
 
 
+def _interrupt_hint(args) -> int:
+    """One actionable line instead of a KeyboardInterrupt traceback."""
+    hint = ""
+    if getattr(args, "checkpoint", None):
+        hint = (" — progress up to the last batch boundary is checkpointed; "
+                "re-run the same command with --resume to continue")
+    elif args.command == "dse" or (args.command == "dnn"
+                                   and getattr(args, "dse", False)):
+        hint = (" — add --checkpoint (and --resume on the next run) to make "
+                "interrupted sweeps resumable")
+    print(f"interrupted{hint}", file=sys.stderr)
+    return 130
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
@@ -660,28 +722,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # commands only pay for one when instrumentation output was requested.
     want_obs = bool(timing or getattr(args, "trace_out", None)
                     or getattr(args, "metrics_out", None) or is_dse_run)
-    if not dump_passes and not want_obs:
-        return handler(args)
+    try:
+        if not dump_passes and not want_obs:
+            return handler(args)
 
-    session = None
-    with contextlib.ExitStack() as stack:
-        if want_obs:
-            session = stack.enter_context(obs.session())
+        session = None
+        with contextlib.ExitStack() as stack:
+            if want_obs:
+                session = stack.enter_context(obs.session())
+            if dump_passes:
+                try:
+                    resolved = _resolve_dump_passes(dump_passes)
+                except PassError as error:
+                    raise SystemExit(str(error)) from error
+                dumper = stack.enter_context(
+                    dump_ir_after(args.dump_ir_dir, resolved))
+            with obs.span(f"cli.{args.command}"):
+                status = handler(args)
+        if session is not None:
+            _finish_session(session, args, timing, is_dse_run)
         if dump_passes:
-            try:
-                resolved = _resolve_dump_passes(dump_passes)
-            except PassError as error:
-                raise SystemExit(str(error)) from error
-            dumper = stack.enter_context(
-                dump_ir_after(args.dump_ir_dir, resolved))
-        with obs.span(f"cli.{args.command}"):
-            status = handler(args)
-    if session is not None:
-        _finish_session(session, args, timing, is_dse_run)
-    if dump_passes:
-        print(f"wrote {dumper.counter} IR snapshot(s) to {args.dump_ir_dir}",
-              file=sys.stderr)
-    return status
+            print(f"wrote {dumper.counter} IR snapshot(s) to {args.dump_ir_dir}",
+                  file=sys.stderr)
+        return status
+    except KeyboardInterrupt:
+        return _interrupt_hint(args)
 
 
 if __name__ == "__main__":

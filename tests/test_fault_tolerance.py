@@ -1,0 +1,589 @@
+"""Tests for the fault-tolerant DSE runtime: fault-plan parsing, supervised
+retries, deterministic quarantine, crash/hang/flaky/poison recovery at
+several worker counts, crash-consistent persistence, and graceful
+interruption with ``--resume``."""
+
+import os
+import random
+import subprocess
+import sys
+import time
+import warnings
+
+import pytest
+
+import repro
+from repro.dse import KernelDesignSpace
+from repro.dse.apply import apply_design_point
+from repro.dse.engine import ExplorationPolicy
+from repro.dse.runtime import (
+    CheckpointStore,
+    EstimateCache,
+    EvaluationFailure,
+    EvaluationRecord,
+    FaultPlan,
+    InjectedFault,
+    KernelContext,
+    ParallelExplorer,
+    ProcessPoolBackend,
+    SerialBackend,
+    SupervisionPolicy,
+    create_backend,
+)
+from repro.dse.runtime.faults import stable_point_hash
+from repro.dse.runtime.records import STATUS_QUARANTINED
+from repro.dse.runtime.worker import evaluate_encoded
+from repro.estimation import XC7Z020
+from repro.tools.driver import build_parser, main
+
+from conftest import GEMM_SOURCE, compile_source
+
+
+def frontier_signature(result):
+    """Byte-comparable rendering of a frontier (encoded point + objectives)."""
+    return repr([(p.encoded, p.latency, p.area) for p in result.frontier])
+
+
+def small_explorer(**overrides):
+    config = dict(platform=XC7Z020, num_samples=6, max_iterations=8, seed=11,
+                  jobs=1, batch_size=4)
+    config.update(overrides)
+    return ParallelExplorer(**config)
+
+
+def fast_policy(**overrides):
+    """A supervision policy with near-zero backoff so retries don't stall tests."""
+    config = dict(max_retries=2, backoff=0.001)
+    config.update(overrides)
+    return SupervisionPolicy(**config)
+
+
+@pytest.fixture
+def gemm_module():
+    return compile_source(GEMM_SOURCE, "gemm")
+
+
+def _context(module, faults=None):
+    space = KernelDesignSpace.from_function(module.functions()[0])
+    return KernelContext(module=module, func_name=None, platform=XC7Z020,
+                         space=space, faults=faults)
+
+
+def _sample_batch(context, count=2, seed=5):
+    return [tuple(encoded) for encoded in ExplorationPolicy.initial_batch(
+        context.space, random.Random(seed), count)]
+
+
+# -- fault plan / supervision policy units --------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_bare_mode(self, tmp_path):
+        plan = FaultPlan.parse("flaky")
+        assert plan.mode == "flaky"
+        assert plan.select == 4
+        assert plan.times == 1
+        assert os.path.isdir(plan.state_dir)  # auto-created ledger dir
+
+    def test_parse_with_options(self, tmp_path):
+        plan = FaultPlan.parse(
+            f"crash:select=8,times=2,nth=3,state_dir={tmp_path}")
+        assert plan == FaultPlan(mode="crash", select=8, times=2, nth=3,
+                                 state_dir=str(tmp_path))
+
+    def test_spec_round_trip(self, tmp_path):
+        plan = FaultPlan.parse(f"hang:select=6,state_dir={tmp_path}")
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultPlan.parse("segfault")
+
+    def test_rejects_unknown_option(self):
+        with pytest.raises(ValueError, match="bad fault option"):
+            FaultPlan.parse("flaky:rate=3")
+
+    def test_selection_is_stable(self, tmp_path):
+        plan = FaultPlan(mode="flaky", select=1, state_dir=str(tmp_path))
+        assert plan.matches("k", (0, 1, 2))
+        assert stable_point_hash("k", (0, 1, 2)) \
+            == stable_point_hash("k", (0, 1, 2))
+        # Different kernels select different victims for the same encoding.
+        assert stable_point_hash("k", (0, 1, 2)) \
+            != stable_point_hash("other", (0, 1, 2))
+
+    def test_flaky_recovers_after_attempt_budget(self, tmp_path):
+        plan = FaultPlan(mode="flaky", select=1, times=2,
+                         state_dir=str(tmp_path))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.apply("k", (1, 2))
+        plan.apply("k", (1, 2))  # budget spent: recovered
+
+    def test_attempt_ledger_is_cross_process(self, tmp_path):
+        # A fresh plan object (as a respawned worker would build from the
+        # pickled spec) sees the attempts recorded by the previous one.
+        first = FaultPlan(mode="flaky", select=1, times=1,
+                          state_dir=str(tmp_path))
+        with pytest.raises(InjectedFault):
+            first.apply("k", (3,))
+        second = FaultPlan.parse(first.to_spec())
+        second.apply("k", (3,))  # already over budget: no fault
+
+    def test_poison_never_recovers(self, tmp_path):
+        plan = FaultPlan(mode="poison", select=1, times=1,
+                         state_dir=str(tmp_path))
+        for _ in range(5):
+            with pytest.raises(InjectedFault, match="poison"):
+                plan.apply("k", (0,))
+
+    def test_process_isolation_requirement(self, tmp_path):
+        assert FaultPlan(mode="crash", state_dir=str(tmp_path)) \
+            .requires_process_isolation
+        assert FaultPlan(mode="hang", state_dir=str(tmp_path)) \
+            .requires_process_isolation
+        assert not FaultPlan(mode="flaky", state_dir=str(tmp_path)) \
+            .requires_process_isolation
+        assert not FaultPlan(mode="poison", state_dir=str(tmp_path)) \
+            .requires_process_isolation
+
+
+class TestSupervisionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="on_fault"):
+            SupervisionPolicy(on_fault="explode")
+        with pytest.raises(ValueError, match="task_timeout"):
+            SupervisionPolicy(task_timeout=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisionPolicy(max_retries=-1)
+
+    def test_backoff_doubles(self):
+        policy = SupervisionPolicy(backoff=0.5)
+        assert [policy.backoff_seconds(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_backend_promotion(self, gemm_module, tmp_path):
+        contexts = {"k": _context(gemm_module)}
+        assert isinstance(create_backend(contexts, jobs=1), SerialBackend)
+        # A task timeout forces a process pool even at one job: inline
+        # evaluation cannot be killed.
+        timed = create_backend(contexts, jobs=1,
+                               supervision=fast_policy(task_timeout=30.0))
+        assert isinstance(timed, ProcessPoolBackend)
+        timed.close()
+        # So does a fault plan whose mode would take the coordinator down.
+        crashy = {"k": _context(gemm_module, faults=FaultPlan(
+            mode="crash", state_dir=str(tmp_path)))}
+        promoted = create_backend(crashy, jobs=1)
+        assert isinstance(promoted, ProcessPoolBackend)
+        promoted.close()
+
+
+# -- quarantined records --------------------------------------------------------------------
+
+
+class TestQuarantinedRecords:
+    def _healthy_record(self, gemm_module):
+        space = KernelDesignSpace.from_function(gemm_module.functions()[0])
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        design = apply_design_point(gemm_module, space.decode(encoded), XC7Z020)
+        return space, EvaluationRecord.from_design(encoded, design)
+
+    def test_json_round_trip(self, gemm_module):
+        space, _ = self._healthy_record(gemm_module)
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        record = EvaluationRecord.quarantined(
+            encoded, space.decode(encoded), "InjectedFault: poison")
+        assert not record.ok
+        assert record.status == STATUS_QUARANTINED
+        revived = EvaluationRecord.from_json_dict(record.to_json_dict())
+        assert revived == record
+
+    def test_healthy_json_layout_unchanged(self, gemm_module):
+        # Healthy records must serialize exactly as before the status field
+        # existed, so old cache/checkpoint files stay valid byte-for-byte.
+        _, record = self._healthy_record(gemm_module)
+        data = record.to_json_dict()
+        assert "status" not in data
+        assert "error" not in data
+
+    def test_excluded_from_frontier_but_visited(self, gemm_module):
+        space, healthy = self._healthy_record(gemm_module)
+        other = [0] * space.num_dimensions
+        for axis, options in enumerate(space.dimensions):
+            if len(options) > 1:
+                other[axis] = 1
+                break
+        other = tuple(other)
+        bad = EvaluationRecord.quarantined(other, space.decode(other), "boom")
+        records = {healthy.encoded: healthy, bad.encoded: bad}
+        frontier = ExplorationPolicy.frontier_of(records)
+        assert [p.encoded for p in frontier] == [healthy.encoded]
+
+    def test_cache_persists_quarantine(self, gemm_module, tmp_path):
+        space, _ = self._healthy_record(gemm_module)
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        record = EvaluationRecord.quarantined(
+            encoded, space.decode(encoded), "InjectedFault: poison")
+        path = str(tmp_path / "cache.jsonl")
+        cache = EstimateCache(path=path)
+        cache.put("fp", record)
+        cache.close()
+        revived = EstimateCache(path=path).get("fp", encoded)
+        assert revived == record
+        assert not revived.ok
+
+
+# -- end-to-end fault recovery --------------------------------------------------------------
+
+
+class TestFlakyRecovery:
+    """Retryable faults must not change the final frontier at any --jobs."""
+
+    def _faulty(self, module, jobs, tmp_path, tag):
+        plan = FaultPlan(mode="flaky", select=2, times=1,
+                         state_dir=str(tmp_path / f"ledger-{tag}"))
+        explorer = small_explorer(jobs=jobs, supervision=fast_policy(),
+                                  faults=plan)
+        result = explorer.explore(module)
+        # The ledger proves faults actually fired (attempt files written).
+        assert os.listdir(plan.state_dir)
+        return result
+
+    def test_flaky_frontier_matches_clean(self, gemm_module, tmp_path):
+        clean = small_explorer().explore(gemm_module)
+        serial = self._faulty(gemm_module, 1, tmp_path, "j1")
+        pooled = self._faulty(gemm_module, 2, tmp_path, "j2")
+        assert frontier_signature(serial) == frontier_signature(clean)
+        assert frontier_signature(pooled) == frontier_signature(clean)
+        assert set(serial.records) == set(clean.records)
+        assert set(pooled.records) == set(clean.records)
+        assert serial.num_quarantined == 0
+        assert pooled.num_quarantined == 0
+
+
+class TestCrashRecovery:
+    def test_backend_respawns_and_retries(self, gemm_module, tmp_path):
+        plan = FaultPlan(mode="crash", select=1, times=1,
+                         state_dir=str(tmp_path / "ledger"))
+        context = _context(gemm_module, faults=plan)
+        backend = create_backend({"k": context}, jobs=1,
+                                 supervision=fast_policy())
+        assert isinstance(backend, ProcessPoolBackend)
+        batch = _sample_batch(context, 2)
+        try:
+            records = backend.evaluate("k", batch)
+        finally:
+            backend.close()
+        clean_context = _context(gemm_module)
+        expected = [evaluate_encoded(clean_context, encoded)
+                    for encoded in batch]
+        assert records == expected
+
+    def test_crash_frontier_matches_clean(self, gemm_module, tmp_path):
+        config = dict(num_samples=4, max_iterations=4, batch_size=2, seed=11)
+        clean = small_explorer(**config).explore(gemm_module)
+        plan = FaultPlan(mode="crash", select=3, times=1,
+                         state_dir=str(tmp_path / "ledger"))
+        faulty = small_explorer(jobs=2, supervision=fast_policy(),
+                                faults=plan, **config).explore(gemm_module)
+        assert frontier_signature(faulty) == frontier_signature(clean)
+        assert set(faulty.records) == set(clean.records)
+
+
+class TestHangTimeout:
+    def test_hung_worker_killed_and_retried(self, gemm_module, tmp_path):
+        plan = FaultPlan(mode="hang", select=1, times=1, hang_seconds=60.0,
+                         state_dir=str(tmp_path / "ledger"))
+        context = _context(gemm_module, faults=plan)
+        policy = fast_policy(task_timeout=1.0)
+        backend = create_backend({"k": context}, jobs=2, supervision=policy)
+        assert isinstance(backend, ProcessPoolBackend)
+        batch = _sample_batch(context, 2)
+        started = time.monotonic()
+        try:
+            records = backend.evaluate("k", batch)
+        finally:
+            backend.close()
+        # Both points hang once (60s each uninterrupted); the timeout must
+        # bound the whole recovery far below that.
+        assert time.monotonic() - started < 30.0
+        clean_context = _context(gemm_module)
+        expected = [evaluate_encoded(clean_context, encoded)
+                    for encoded in batch]
+        assert records == expected
+
+    def test_timeout_exhaustion_quarantines(self, gemm_module, tmp_path):
+        # times=3 > max_retries=1: the hang survives every retry, so both
+        # points must quarantine with the timeout message.
+        plan = FaultPlan(mode="hang", select=1, times=3, hang_seconds=60.0,
+                         state_dir=str(tmp_path / "ledger"))
+        context = _context(gemm_module, faults=plan)
+        policy = fast_policy(task_timeout=0.75, max_retries=1)
+        backend = create_backend({"k": context}, jobs=2, supervision=policy)
+        batch = _sample_batch(context, 2)
+        try:
+            records = backend.evaluate("k", batch)
+        finally:
+            backend.close()
+        assert all(not record.ok for record in records)
+        assert all("task timeout" in record.error for record in records)
+
+
+class TestPoisonQuarantine:
+    def _poison_run(self, module, jobs, plan, **overrides):
+        explorer = small_explorer(jobs=jobs, faults=plan,
+                                  supervision=fast_policy(max_retries=1),
+                                  **overrides)
+        return explorer.explore(module)
+
+    def test_quarantine_deterministic_across_jobs(self, gemm_module, tmp_path):
+        plan = FaultPlan(mode="poison", select=2,
+                         state_dir=str(tmp_path / "ledger"))
+        serial = self._poison_run(gemm_module, 1, plan)
+        pooled = self._poison_run(gemm_module, 2, plan)
+        assert serial.num_quarantined > 0
+        quarantined = lambda r: [(rec.encoded, rec.status, rec.error)
+                                 for rec in r.quarantined_records()]
+        assert quarantined(serial) == quarantined(pooled)
+        assert frontier_signature(serial) == frontier_signature(pooled)
+        assert set(serial.records) == set(pooled.records)
+        # No quarantined point ever enters the frontier.
+        frontier_keys = {p.encoded for p in serial.frontier}
+        assert frontier_keys.isdisjoint(
+            rec.encoded for rec in serial.quarantined_records())
+
+    def test_quarantine_survives_resume(self, gemm_module, tmp_path):
+        plan = FaultPlan(mode="poison", select=2,
+                         state_dir=str(tmp_path / "ledger"))
+        full = self._poison_run(gemm_module, 1, plan)
+        assert full.num_quarantined > 0
+
+        # Interrupt the same trajectory early via the evaluation budget
+        # (which is not part of the checkpointed config), then resume.
+        checkpoint = str(tmp_path / "dse.ckpt.json")
+        partial = self._poison_run(gemm_module, 1, plan,
+                                   checkpoint_path=checkpoint,
+                                   checkpoint_every=1, max_evaluations=6)
+        assert partial.iterations_done < full.iterations_done
+        resumed = small_explorer(
+            jobs=1, faults=plan, supervision=fast_policy(max_retries=1),
+            checkpoint_path=checkpoint).explore(gemm_module, resume=True)
+        assert frontier_signature(resumed) == frontier_signature(full)
+        assert [rec.encoded for rec in resumed.quarantined_records()] \
+            == [rec.encoded for rec in full.quarantined_records()]
+
+    def test_on_fault_fail_aborts(self, gemm_module, tmp_path):
+        plan = FaultPlan(mode="poison", select=1,
+                         state_dir=str(tmp_path / "ledger"))
+        explorer = small_explorer(
+            faults=plan, supervision=fast_policy(max_retries=0,
+                                                 on_fault="fail"))
+        with pytest.raises(EvaluationFailure, match=r"kernel .* point .*"):
+            explorer.explore(gemm_module)
+
+
+# -- crash-consistent persistence -----------------------------------------------------------
+
+
+class TestTornLineRecovery:
+    def _seed_cache(self, gemm_module, path):
+        space = KernelDesignSpace.from_function(gemm_module.functions()[0])
+        encoded = tuple(0 for _ in range(space.num_dimensions))
+        design = apply_design_point(gemm_module, space.decode(encoded), XC7Z020)
+        record = EvaluationRecord.from_design(encoded, design)
+        cache = EstimateCache(path=path)
+        cache.put("fp", record)
+        cache.close()
+        return encoded, record
+
+    def test_torn_trailing_line_dropped_with_warning(self, gemm_module,
+                                                     tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        encoded, record = self._seed_cache(gemm_module, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "fp", "model')  # cut mid-append
+        with pytest.warns(RuntimeWarning, match="truncated trailing line"):
+            revived = EstimateCache(path=path)
+        assert revived.stats.recovered_lines == 1
+        assert revived.stats.loaded == 1
+        assert revived.get("fp", encoded) == record
+        revived.close()
+        # Load-time compaction rewrote the file: the next load is clean.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean = EstimateCache(path=path)
+        assert clean.stats.recovered_lines == 0
+        assert clean.stats.loaded == 1
+        clean.close()
+
+    def test_corrupt_middle_line_is_not_a_torn_write(self, gemm_module,
+                                                     tmp_path):
+        # A corrupt line *before* the end cannot come from a torn append;
+        # it is compacted away silently (no recovery warning).
+        path = str(tmp_path / "cache.jsonl")
+        encoded, record = self._seed_cache(gemm_module, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            good = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"garbage\n' + good)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            revived = EstimateCache(path=path)
+        assert revived.stats.recovered_lines == 0
+        assert revived.stats.compacted == 1
+        assert revived.get("fp", encoded) == record
+        revived.close()
+
+
+class TestCheckpointRecovery:
+    def test_corrupt_checkpoint_warns_and_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "dse.ckpt.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "records"')
+        with pytest.warns(RuntimeWarning, match="not valid JSON"):
+            assert CheckpointStore(path).load() is None
+
+
+# -- graceful interruption ------------------------------------------------------------------
+
+
+class _InterruptingBackend:
+    """Evaluates through a serial backend, then raises KeyboardInterrupt."""
+
+    jobs = 1
+
+    def __init__(self, contexts, allowed_calls):
+        self._inner = SerialBackend(contexts)
+        self._allowed = allowed_calls
+        self.calls = 0
+
+    def evaluate(self, key, batch):
+        self.calls += 1
+        if self.calls > self._allowed:
+            raise KeyboardInterrupt
+        return self._inner.evaluate(key, batch)
+
+    def close(self):
+        self._inner.close()
+
+
+class TestInterruptCheckpoint:
+    def test_interrupt_saves_boundary_and_resume_completes(self, gemm_module,
+                                                           tmp_path):
+        checkpoint = str(tmp_path / "dse.ckpt.json")
+        clean = small_explorer().explore(gemm_module)
+
+        contexts = {"kernel": _context(gemm_module)}
+        backend = _InterruptingBackend(contexts, allowed_calls=2)
+        explorer = small_explorer(checkpoint_path=checkpoint,
+                                  checkpoint_every=1000)
+        with pytest.raises(KeyboardInterrupt):
+            explorer.explore(gemm_module, backend=backend)
+        # Even though the periodic checkpoint interval was never reached,
+        # the interrupt must have persisted the last batch boundary.
+        assert os.path.exists(checkpoint)
+
+        resumed = small_explorer(checkpoint_path=checkpoint) \
+            .explore(gemm_module, resume=True)
+        assert frontier_signature(resumed) == frontier_signature(clean)
+        assert set(resumed.records) == set(clean.records)
+
+
+# -- driver surface -------------------------------------------------------------------------
+
+
+class TestDriverFlags:
+    def test_dse_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["dse", "--kernel", "gemm", "--task-timeout", "5",
+             "--max-retries", "3", "--on-fault", "fail"])
+        assert args.task_timeout == 5.0
+        assert args.max_retries == 3
+        assert args.on_fault == "fail"
+        assert args.inject_faults is None
+
+    def test_dnn_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["dnn", "mobilenet", "--dse", "--on-fault", "quarantine",
+             "--inject-faults", "flaky"])
+        assert args.on_fault == "quarantine"
+        assert args.inject_faults == "flaky"
+
+    def test_on_fault_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dse", "--kernel", "gemm", "--on-fault", "explode"])
+
+    def test_bad_inject_spec_rejected(self):
+        with pytest.raises(SystemExit, match="--inject-faults"):
+            main(["dse", "--kernel", "gemm", "--size", "8", "--samples", "2",
+                  "--iterations", "1", "--inject-faults", "segfault"])
+
+    def test_chaos_run_matches_fault_free(self, tmp_path, capsys):
+        base = ["dse", "--kernel", "gemm", "--size", "8", "--samples", "4",
+                "--iterations", "4", "--seed", "3"]
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+        assert main(base + [
+            "--inject-faults",
+            f"flaky:select=2,times=1,state_dir={tmp_path / 'ledger'}",
+            "--max-retries", "3"]) == 0
+        chaos = capsys.readouterr().out
+        # Identical frontier and finalization; only wall-clock-dependent
+        # lines and the fault accounting itself may differ.
+        volatile = ("evaluated", "evaluations/sec", "utilization",
+                    "prefix snapshots", "faults:")
+        strip = lambda text: [line for line in text.splitlines()
+                              if not any(m in line for m in volatile)]
+        assert strip(chaos) == strip(clean)
+
+    def test_poison_run_reports_quarantine(self, tmp_path, capsys):
+        assert main(["dse", "--kernel", "gemm", "--size", "8",
+                     "--samples", "4", "--iterations", "2", "--seed", "3",
+                     "--max-retries", "0", "--inject-faults",
+                     f"poison:select=2,state_dir={tmp_path / 'ledger'}"]) == 0
+        output = capsys.readouterr().out
+        assert "quarantined" in output
+        assert "excluded from the frontier" in output
+
+
+class TestKillAndResume:
+    def test_sigkill_then_resume_matches_clean(self, tmp_path, capsys):
+        checkpoint = tmp_path / "dse.ckpt.json"
+        base = ["dse", "--kernel", "gemm", "--size", "16", "--samples", "6",
+                "--iterations", "8", "--batch-size", "2", "--seed", "9"]
+        src_root = os.path.dirname(os.path.abspath(
+            next(iter(repro.__path__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.driver"] + base
+            + ["--checkpoint", str(checkpoint), "--checkpoint-every", "1"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # Hard-kill the sweep as soon as the first checkpoint lands (or
+            # accept a fast run that finished: its final checkpoint resumes
+            # to the same result).
+            deadline = time.monotonic() + 120.0
+            while (time.monotonic() < deadline and not checkpoint.exists()
+                   and proc.poll() is None):
+                time.sleep(0.02)
+            assert checkpoint.exists(), \
+                "driver exited without writing a checkpoint"
+        finally:
+            proc.kill()
+            proc.wait()
+
+        assert main(base + ["--checkpoint", str(checkpoint), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+        # "snapshots" also filters the frontier convergence-series line: the
+        # resumed process only records series points for its own share of
+        # the trajectory, so the snapshot *count* depends on where the kill
+        # landed (the frontier itself does not).
+        volatile = ("evaluated", "evaluations/sec", "utilization",
+                    "snapshots")
+        strip = lambda text: [line for line in text.splitlines()
+                              if not any(m in line for m in volatile)]
+        assert strip(resumed) == strip(clean)
