@@ -302,7 +302,8 @@ def apply_design_point(module: ModuleOp, point: KernelDesignPoint,
                                                 digest=digest)
     estimator = QoREstimator(platform)
     qor = estimator.estimate_function(func_op, module=optimized)
-    achieved_ii = _achieved_ii(func_op)
+    achieved_ii = (qor.achieved_ii if qor.achieved_ii is not None
+                   else _achieved_ii(func_op))
     partition_factors = _collect_partitions(func_op)
     return AppliedDesign(module=optimized, func_op=func_op, point=point, qor=qor,
                          achieved_ii=achieved_ii, partition_factors=partition_factors)

@@ -160,10 +160,14 @@ class DesignSpaceExplorer:
 
     # -- evaluation -------------------------------------------------------------------------
 
-    def _evaluate(self, module: ModuleOp, point: KernelDesignPoint) -> AppliedDesign:
+    def _evaluate(self, module: ModuleOp, point: KernelDesignPoint,
+                  space: Optional[KernelDesignSpace] = None) -> AppliedDesign:
         if self._evaluator is not None:
             return self._evaluator(module, point)
-        return apply_design_point(module, point, self.platform)
+        platform = self.platform
+        if point.platform and space is not None:
+            platform = space.platform_named(point.platform)
+        return apply_design_point(module, point, platform)
 
     # -- exploration ------------------------------------------------------------------------
 
@@ -180,7 +184,8 @@ class DesignSpaceExplorer:
 
         # Step 1: initial sampling.
         for encoded in ExplorationPolicy.initial_batch(space, rng, self.num_samples):
-            evaluations[encoded] = self._evaluate(module, space.decode(encoded))
+            evaluations[encoded] = self._evaluate(module, space.decode(encoded),
+                                                  space=space)
         frontier = ExplorationPolicy.frontier_of(evaluations)
 
         # Steps 2-4: frontier evolution by neighbor traversal.
@@ -192,7 +197,8 @@ class DesignSpaceExplorer:
             if not batch:
                 break
             for encoded in batch:
-                evaluations[encoded] = self._evaluate(module, space.decode(encoded))
+                evaluations[encoded] = self._evaluate(module, space.decode(encoded),
+                                                      space=space)
             frontier = ExplorationPolicy.frontier_of(evaluations)
 
         # Step 5: design finalization under the resource constraints.

@@ -107,7 +107,8 @@ class ModelFrontierPoint:
 
 def compose_model_frontier(node_order: list[str],
                            node_results: dict[str, ParallelDSEResult],
-                           frontier_cap: int = 64
+                           frontier_cap: int = 64,
+                           platform: Optional[str] = None
                            ) -> tuple[list[ModelFrontierPoint], int]:
     """Compose per-node frontiers into the model frontier.
 
@@ -120,6 +121,10 @@ def compose_model_frontier(node_order: list[str],
     budget can still find a fitting point after truncation.  The number of
     dropped points is returned so callers can report the truncation instead
     of silently under-covering.
+
+    With ``platform`` (a platform name of a multi-platform sweep), each
+    node contributes its per-platform frontier instead — composing the
+    model frontier *as if built for that target alone*.
     """
     if not node_order:
         return [], 0  # nothing explored -> no frontier, not a zero point
@@ -128,7 +133,12 @@ def compose_model_frontier(node_order: list[str],
                            choices=())]
     truncated = 0
     for name in node_order:
-        records = node_results[name].frontier_records()
+        if platform is None:
+            records = node_results[name].frontier_records()
+        else:
+            records = node_results[name].frontier_records_for(platform)
+        if not records:
+            continue  # a platform no surviving record targets: skip the node
         merged = [
             ModelFrontierPoint(
                 latency=combo.latency + record.qor.latency,
@@ -204,6 +214,10 @@ class ModelDSEResult:
     #: records were only just stored — correctly reports 0.
     frontier_cache_hits: int
     wall_seconds: float
+    #: Per-platform composed frontiers of a multi-platform sweep, keyed by
+    #: platform name; empty for single-platform runs (whose artifact layout
+    #: must stay byte-identical to before platforms existed).
+    platform_frontiers: dict = dataclasses.field(default_factory=dict)
 
     @property
     def num_evaluations(self) -> int:
@@ -235,7 +249,7 @@ class ModelDSEResult:
 
     def to_json_dict(self) -> dict:
         """Deterministic JSON payload (no wall-clock, no float jitter)."""
-        return {
+        data = {
             "model": self.model,
             "platform": self.platform.name,
             "graph_level": self.graph_level,
@@ -264,6 +278,12 @@ class ModelDSEResult:
             },
             "frontier": [point.to_json_dict() for point in self.frontier],
         }
+        if self.platform_frontiers:
+            data["platform_frontiers"] = {
+                name: [point.to_json_dict() for point in frontier]
+                for name, frontier in self.platform_frontiers.items()
+            }
+        return data
 
     def frontier_json(self) -> str:
         """Canonical (byte-stable) JSON rendering of the sweep outcome."""
@@ -283,8 +303,13 @@ class ModelScheduler:
                  max_evaluations_per_node: Optional[int] = None,
                  mp_context: Optional[str] = None,
                  incremental: bool = True,
-                 supervision=None, faults=None):
+                 supervision=None, faults=None,
+                 platforms=None):
         self.platform = platform
+        #: Platforms of a multi-platform sweep (each node's space gains the
+        #: platform dimension and the composed result carries per-platform
+        #: frontiers); empty/None keeps the historical single-platform flow.
+        self.platforms = tuple(platforms or ())
         self.jobs = max(1, int(jobs))
         self.seed = seed
         self.batch_size = batch_size
@@ -357,12 +382,20 @@ class ModelScheduler:
                 checkpoint_every=self.checkpoint_every,
                 mp_context=self.mp_context,
                 incremental=self.incremental,
-                supervision=self.supervision, faults=self.faults)
+                supervision=self.supervision, faults=self.faults,
+                platforms=self.platforms or None)
             node_results = scheduler.explore_kernels(tasks, resume=resume)
 
             with obs.span("dse.compose", nodes=len(node_order)):
                 frontier, truncated = compose_model_frontier(
                     node_order, node_results, frontier_cap=self.frontier_cap)
+                platform_frontiers = {}
+                for target in self.platforms:
+                    per_platform, per_truncated = compose_model_frontier(
+                        node_order, node_results,
+                        frontier_cap=self.frontier_cap, platform=target.name)
+                    platform_frontiers[target.name] = per_platform
+                    truncated += per_truncated
             result = ModelDSEResult(
                 model=model_name, platform=self.platform,
                 graph_level=graph_level,
@@ -371,7 +404,8 @@ class ModelScheduler:
                 truncated=truncated,
                 frontier_cache_hits=self._revalidate_frontier(node_results,
                                                               known_before),
-                wall_seconds=time.perf_counter() - started)
+                wall_seconds=time.perf_counter() - started,
+                platform_frontiers=platform_frontiers)
         if obs_on:
             obs.gauge("dse.jobs", self.jobs)
             obs.gauge("dse.wall_seconds", result.wall_seconds)
@@ -433,7 +467,8 @@ class ModelScheduler:
         for name, func_op in candidates:
             node_module = ModuleOp(name)
             node_module.append(func_op.clone())
-            space = KernelDesignSpace.from_function(node_module.functions()[0])
+            space = KernelDesignSpace.from_function(
+                node_module.functions()[0], platforms=self.platforms or None)
             num_samples, max_iterations = self.budget.budget_for(
                 flops.get(name, 0), heaviest)
             tasks.append(KernelTask(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro import obs
 from repro.dse.apply import AppliedDesign, apply_design_point
@@ -66,8 +66,9 @@ def frontier_hypervolume(frontier: list[ParetoPoint]) -> float:
     return volume
 
 
-def _kernel_fingerprint(space: KernelDesignSpace, func_op) -> str:
-    """Cache/checkpoint identity of (kernel, design space, transform pipeline).
+def _kernel_fingerprint(space: KernelDesignSpace, func_op,
+                        platform: Optional[Platform] = None) -> str:
+    """Cache/checkpoint identity of (kernel, design space, pipeline, platform).
 
     ``space.fingerprint()`` covers the kernel IR only when the space was
     built via :meth:`KernelDesignSpace.from_function`; a directly
@@ -77,13 +78,18 @@ def _kernel_fingerprint(space: KernelDesignSpace, func_op) -> str:
 
     The canonical pipeline signature of the evaluation flow is always mixed
     in: cached estimates produced under a different transform pipeline must
-    never be reused.
+    never be reused.  The same goes for the hardware model: the platform's
+    ``config_hash()`` is mixed in (for multi-platform spaces, the space
+    fingerprint already hashes every platform of the sweep), so estimates
+    cached under one platform are never served to a sweep over another.
     """
     import hashlib
 
     from repro.dse.apply import kernel_pipeline_signature
 
     parts = [space.fingerprint(), kernel_pipeline_signature()]
+    if platform is not None:
+        parts.append(platform.config_hash())
     if not space.ir_digest:
         from repro.dse.space import ir_digest
 
@@ -126,6 +132,34 @@ class ParallelDSEResult:
     def frontier_records(self) -> list[EvaluationRecord]:
         return [self.records[point.encoded] for point in self.frontier]
 
+    # -- per-platform views (multi-platform sweeps) ------------------------------------------
+
+    def platform_names(self) -> list[str]:
+        """The sweep's platform names (empty for single-platform runs)."""
+        return list(self.space.platform_options)
+
+    def _records_for(self, name: str) -> dict[tuple[int, ...], EvaluationRecord]:
+        return {encoded: record for encoded, record in self.records.items()
+                if record.point.platform == name}
+
+    def frontier_for(self, name: str):
+        """Pareto frontier over the points evaluated against one platform."""
+        from repro.dse.engine import ExplorationPolicy
+
+        return ExplorationPolicy.frontier_of(self._records_for(name))
+
+    def frontier_records_for(self, name: str) -> list[EvaluationRecord]:
+        records = self._records_for(name)
+        return [records[point.encoded] for point in self.frontier_for(name)]
+
+    def best_record_for(self, name: str) -> Optional[EvaluationRecord]:
+        """Finalized design of one platform of the sweep (step 5 per target)."""
+        from repro.dse.engine import ExplorationPolicy
+
+        records = self._records_for(name)
+        return ExplorationPolicy.finalize(self.frontier_for(name), records,
+                                          self.space.platform_named(name))
+
     def quarantined_records(self) -> list[EvaluationRecord]:
         """Points that exhausted their fault retries, in encoded order."""
         return [record for _, record in sorted(self.records.items())
@@ -138,7 +172,9 @@ class ParallelDSEResult:
     def materialize(self, encoded: tuple[int, ...]) -> AppliedDesign:
         """Re-apply a design point to get its optimized module (for emission)."""
         point = self.space.decode(encoded)
-        return apply_design_point(self.module, point, self.platform,
+        platform = (self.space.platform_named(point.platform)
+                    if point.platform else self.platform)
+        return apply_design_point(self.module, point, platform,
                                   func_name=self.func_name)
 
     def best_design(self) -> Optional[AppliedDesign]:
@@ -161,8 +197,13 @@ class ParallelExplorer:
                  incremental: bool = True,
                  supervision: Optional[SupervisionPolicy] = None,
                  faults: Optional[FaultPlan] = None,
-                 stop_event=None):
+                 stop_event=None,
+                 platforms: Optional[Sequence[Platform]] = None):
         self.platform = platform
+        #: Platforms of a multi-platform sweep (adds the platform dimension
+        #: to spaces the explorer builds itself); empty/None sweeps a single
+        #: platform with the exact historical space shape and trajectory.
+        self.platforms = tuple(platforms or ())
         self.num_samples = num_samples
         self.max_iterations = max_iterations
         self.seed = seed
@@ -202,8 +243,10 @@ class ParallelExplorer:
         started = time.perf_counter()
         func_op = module.lookup(func_name) if func_name else module.functions()[0]
         if space is None:
-            space = KernelDesignSpace.from_function(func_op)
-        fingerprint = _kernel_fingerprint(space, func_op)
+            space = KernelDesignSpace.from_function(
+                func_op, platforms=self.platforms or None)
+        fingerprint = _kernel_fingerprint(
+            space, func_op, platform=None if space.platforms else self.platform)
 
         # The parameters that define the exploration trajectory: a checkpoint
         # taken under different ones must not be resumed (it would continue
@@ -216,6 +259,16 @@ class ParallelExplorer:
                   "num_samples": self.num_samples,
                   "max_iterations": self.max_iterations,
                   "pipeline": kernel_pipeline_signature()}
+        # The hardware model(s) the recorded QoRs are valid under: a
+        # checkpoint taken against a different platform config (even one
+        # merely renamed or re-clocked) must not be resumed.
+        if space.platforms:
+            # Lists, not tuples: the config must survive the checkpoint's
+            # JSON round-trip and still compare equal on load.
+            config["platforms"] = [[platform.name, platform.config_hash()]
+                                   for platform in space.platforms]
+        else:
+            config["platform"] = self.platform.config_hash()
         store = CheckpointStore(self.checkpoint_path) if self.checkpoint_path else None
         state: Optional[ExplorerState] = None
         if resume and store is not None:

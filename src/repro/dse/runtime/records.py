@@ -49,16 +49,20 @@ class EvaluationRecord:
     achieved_ii: Optional[int] = None
     status: str = STATUS_OK
     error: str = ""
+    #: ``config_hash()`` of the platform the point was evaluated against,
+    #: or "" in single-platform sweeps (where the runtime fingerprint
+    #: already pins the platform globally).
+    platform_hash: str = ""
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
     @classmethod
-    def from_design(cls, encoded: tuple[int, ...],
-                    design: AppliedDesign) -> "EvaluationRecord":
+    def from_design(cls, encoded: tuple[int, ...], design: AppliedDesign,
+                    platform_hash: str = "") -> "EvaluationRecord":
         return cls(encoded=tuple(encoded), point=design.point, qor=design.qor,
-                   achieved_ii=design.achieved_ii)
+                   achieved_ii=design.achieved_ii, platform_hash=platform_hash)
 
     @classmethod
     def quarantined(cls, encoded: tuple[int, ...], point: KernelDesignPoint,
@@ -87,9 +91,13 @@ class EvaluationRecord:
             },
             "achieved_ii": self.achieved_ii,
         }
-        # Healthy records keep the historical layout byte-for-byte, so caches
-        # and checkpoints written before the status field existed stay valid
-        # (and identical) both ways.
+        # Healthy single-platform records keep the historical layout
+        # byte-for-byte, so caches and checkpoints written before the
+        # status/platform fields existed stay valid (and identical) both ways.
+        if self.point.platform:
+            data["point"]["platform"] = self.point.platform
+        if self.platform_hash:
+            data["platform_hash"] = self.platform_hash
         if not self.ok:
             data["status"] = self.status
             data["error"] = self.error
@@ -108,6 +116,7 @@ class EvaluationRecord:
                 tile_sizes=tuple(int(v) for v in point_data["tile_sizes"]),
                 target_ii=int(point_data["target_ii"]),
                 pipeline=str(point_data.get("pipeline", "default")),
+                platform=str(point_data.get("platform", "")),
             ),
             qor=None if qor_data is None else QoRResult(
                 latency=int(qor_data["latency"]),
@@ -117,4 +126,5 @@ class EvaluationRecord:
             achieved_ii=data.get("achieved_ii"),
             status=str(data.get("status", STATUS_OK)),
             error=str(data.get("error", "")),
+            platform_hash=str(data.get("platform_hash", "")),
         )

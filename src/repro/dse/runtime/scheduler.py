@@ -77,8 +77,13 @@ class MultiKernelScheduler:
                  mp_context: Optional[str] = None,
                  incremental: bool = True,
                  supervision: Optional[SupervisionPolicy] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 platforms: Optional[Sequence[Platform]] = None):
         self.platform = platform
+        #: Platforms of a multi-platform sweep (adds the platform dimension
+        #: to every task space built by :meth:`_module_tasks`); empty/None
+        #: keeps the historical single-platform spaces.
+        self.platforms = tuple(platforms or ())
         self.jobs = max(1, int(jobs))
         self.num_samples = num_samples
         self.max_iterations = max_iterations
@@ -190,7 +195,8 @@ class MultiKernelScheduler:
             if func_op is None:
                 raise ValueError(f"function {name!r} not found in the module")
             try:
-                space = KernelDesignSpace.from_function(func_op)
+                space = KernelDesignSpace.from_function(
+                    func_op, platforms=self.platforms or None)
             except ValueError:
                 continue  # no loop nest to explore
             tasks.append(KernelTask(key=name, module=module, func_name=name,
@@ -218,6 +224,7 @@ class MultiKernelScheduler:
                                            f"{task.key}.ckpt.json")
         explorer = ParallelExplorer(
             platform=self.platform,
+            platforms=self.platforms or None,
             num_samples=task.num_samples if task.num_samples is not None
             else self.num_samples,
             max_iterations=task.max_iterations if task.max_iterations is not None

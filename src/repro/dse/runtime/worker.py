@@ -122,11 +122,19 @@ def evaluate_encoded(context: KernelContext, encoded: tuple[int, ...],
     if context.faults is not None:
         context.faults.apply(fault_key, tuple(encoded))
     point = context.space.decode(encoded)
-    design = apply_design_point(context.module, point, context.platform,
+    # Multi-platform sweeps carry the target platform inside the point; the
+    # record then pins the exact hardware model it was estimated under.
+    platform_hash = ""
+    platform = context.platform
+    if point.platform:
+        platform = context.space.platform_named(point.platform)
+        platform_hash = platform.config_hash()
+    design = apply_design_point(context.module, point, platform,
                                 func_name=context.func_name,
                                 snapshots=snapshots,
                                 digest=context.space.ir_digest or None)
-    return EvaluationRecord.from_design(encoded, design)
+    return EvaluationRecord.from_design(encoded, design,
+                                        platform_hash=platform_hash)
 
 
 def _snapshots_for(context: KernelContext, key: str,

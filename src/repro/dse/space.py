@@ -10,7 +10,12 @@ on/off switch or a tunable parameter of a transform pass (Tab. II):
 * the pipeline target II,
 * the named cleanup pipeline run after the design point (a categorical
   dimension over :data:`repro.dse.apply.CLEANUP_PIPELINES` — exploring
-  *how to clean up* alongside *how to transform*).
+  *how to clean up* alongside *how to transform*),
+* optionally, the target platform (a categorical dimension over a sweep's
+  :class:`~repro.estimation.platform.Platform` list — one exploration
+  covering design points × hardware targets).  The dimension exists only
+  when a sweep names multiple platforms: single-platform spaces keep their
+  exact historical shape, encoding and random trajectory.
 
 A design point is encoded as a tuple of indices into the per-dimension
 option lists, which makes "closest neighbor" proposals (Step 2 of the DSE
@@ -55,6 +60,9 @@ class KernelDesignPoint:
     #: Name of the cleanup pipeline run after the design point (a key of
     #: :data:`repro.dse.apply.CLEANUP_PIPELINES`).
     pipeline: str = "default"
+    #: Name of the target platform this point is evaluated against, or ""
+    #: when the sweep has a single (implicit) platform.
+    platform: str = ""
 
     def prefix_key(self) -> str:
         """Key of the evaluation *prefix* this point shares with others.
@@ -68,10 +76,13 @@ class KernelDesignPoint:
                 f"-rvb{int(self.remove_variable_bound)}")
 
     def describe(self) -> str:
-        return (f"LP={'yes' if self.loop_perfectization else 'no'} "
+        text = (f"LP={'yes' if self.loop_perfectization else 'no'} "
                 f"RVB={'yes' if self.remove_variable_bound else 'no'} "
                 f"perm={list(self.perm_map)} tiles={list(self.tile_sizes)} "
                 f"II={self.target_ii} pipe={self.pipeline}")
+        if self.platform:
+            text += f" plat={self.platform}"
+        return text
 
 
 class KernelDesignSpace:
@@ -84,7 +95,8 @@ class KernelDesignSpace:
 
     def __init__(self, band_trip_counts: Sequence[int], has_variable_bounds: bool,
                  is_imperfect: bool, max_tile: int = 16, max_target_ii: int = 8,
-                 ir_digest: str = "", pipeline_names: Optional[Sequence[str]] = None):
+                 ir_digest: str = "", pipeline_names: Optional[Sequence[str]] = None,
+                 platforms: Optional[Sequence] = None):
         #: Stable digest of the kernel IR the space was built from ("" when the
         #: space was constructed directly from trip counts).
         self.ir_digest = ir_digest
@@ -108,16 +120,28 @@ class KernelDesignSpace:
                 cleanup_pipeline_spec(name)  # fail fast on unregistered names
         self.pipeline_options = list(pipeline_names)
 
+        #: Platforms the sweep explores (:class:`~repro.estimation.platform.
+        #: Platform` instances); empty for single-platform sweeps.  The
+        #: dimension is appended *only* when platforms are given: an
+        #: always-present one-option dimension would still consume RNG
+        #: entropy in :meth:`random_point` and lengthen every encoded tuple,
+        #: silently changing existing trajectories and checkpoints.
+        self.platforms = tuple(platforms or ())
+        self.platform_options = [platform.name for platform in self.platforms]
+
         #: Dimension option lists, in a fixed order.
         self.dimensions: list[list] = [self.lp_options, self.rvb_options, self.perm_options]
         self.dimensions.extend(self.tile_options)
         self.dimensions.append(self.ii_options)
         self.dimensions.append(self.pipeline_options)
+        if self.platform_options:
+            self.dimensions.append(self.platform_options)
 
     # -- construction ----------------------------------------------------------------------
 
     @classmethod
-    def from_function(cls, func_op: Operation, max_tile: int = 16) -> "KernelDesignSpace":
+    def from_function(cls, func_op: Operation, max_tile: int = 16,
+                      platforms: Optional[Sequence] = None) -> "KernelDesignSpace":
         """Build the space by analysing the kernel's (possibly imperfect) loop band."""
         outer_loops = outermost_loops(func_op)
         if not outer_loops:
@@ -136,7 +160,7 @@ class KernelDesignSpace:
                  if op.name != "affine.yield" and not isinstance(op, AffineForOp)]) > 0
             for loop in band[:-1])
         return cls(trip_counts, has_variable, is_imperfect, max_tile=max_tile,
-                   ir_digest=ir_digest(func_op))
+                   ir_digest=ir_digest(func_op), platforms=platforms)
 
     # -- identity ---------------------------------------------------------------------------
 
@@ -154,11 +178,15 @@ class KernelDesignSpace:
         The cleanup-pipeline dimension is hashed by the canonical printed
         spec of each named pipeline, not by its name: editing a pipeline in
         :data:`repro.dse.apply.CLEANUP_PIPELINES` changes the fingerprint,
-        so estimates cached under the old meaning can never be reused.
+        so estimates cached under the old meaning can never be reused.  The
+        platform dimension is likewise hashed by each platform's
+        ``config_hash()``, so two sweeps whose platforms merely share names
+        but differ in any budget/bandwidth/clock knob never share estimates.
+        A platform-free space hashes the exact historical payload.
         """
         from repro.dse.apply import cleanup_pipeline_signature
 
-        payload = repr((
+        parts = [
             self.ir_digest,
             self.band_trip_counts,
             self.has_variable_bounds,
@@ -166,7 +194,11 @@ class KernelDesignSpace:
             [[repr(option) for option in options] for options in self.dimensions],
             [(name, cleanup_pipeline_signature(name))
              for name in self.pipeline_options],
-        ))
+        ]
+        if self.platforms:
+            parts.append([(platform.name, platform.config_hash())
+                          for platform in self.platforms])
+        payload = repr(tuple(parts))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
     # -- encoding ---------------------------------------------------------------------------
@@ -192,6 +224,7 @@ class KernelDesignSpace:
         tiles = list(values[3:3 + num_loops])
         target_ii = values[3 + num_loops]
         pipeline = values[3 + num_loops + 1]
+        platform = values[3 + num_loops + 2] if self.platform_options else ""
         tiles = self._clamp_tile_product(tiles)
         return KernelDesignPoint(
             loop_perfectization=lp,
@@ -200,7 +233,16 @@ class KernelDesignSpace:
             tile_sizes=tuple(tiles),
             target_ii=target_ii,
             pipeline=pipeline,
+            platform=platform,
         )
+
+    def platform_named(self, name: str):
+        """The :class:`Platform` of the sweep with the given name."""
+        for platform in self.platforms:
+            if platform.name == name:
+                return platform
+        raise KeyError(f"platform {name!r} is not part of this design space "
+                       f"(available: {', '.join(self.platform_options) or 'none'})")
 
     def encode_vector(self, encoded: Sequence[int]) -> list[float]:
         """Numeric feature vector of a point (used for the Fig. 6 PCA profile)."""
@@ -213,6 +255,8 @@ class KernelDesignSpace:
         vector.extend(float(t) for t in point.tile_sizes)
         vector.append(float(point.target_ii))
         vector.append(float(self.pipeline_options.index(point.pipeline)))
+        if self.platform_options:
+            vector.append(float(self.platform_options.index(point.platform)))
         return vector
 
     def random_point(self, rng: random.Random) -> tuple[int, ...]:

@@ -1,7 +1,15 @@
 """QoR estimation: the analytical latency / resource model (paper Section V-E1)."""
 
 from repro.estimation.resources import OpCharacteristics, ResourceUsage, op_characteristics
-from repro.estimation.platform import PLATFORMS, Platform, XC7Z020, VU9P_SLR
+from repro.estimation.platform import (
+    BUILTIN_PLATFORM_CONFIGS,
+    PLATFORMS,
+    Platform,
+    PlatformError,
+    VU9P_SLR,
+    XC7Z020,
+    load_platform_config,
+)
 from repro.estimation.scheduler import ALAPScheduler, ScheduleResult
 from repro.estimation.estimator import QoREstimator, QoRResult
 
@@ -9,8 +17,11 @@ __all__ = [
     "OpCharacteristics",
     "ResourceUsage",
     "op_characteristics",
+    "BUILTIN_PLATFORM_CONFIGS",
     "PLATFORMS",
     "Platform",
+    "PlatformError",
+    "load_platform_config",
     "XC7Z020",
     "VU9P_SLR",
     "ALAPScheduler",

@@ -53,16 +53,26 @@ from repro.ir.value import OpResult, Value
 #: previously estimated numbers stale (latency formulas, recurrence/resource
 #: II rules, operator tables) — persisted estimate caches key on it so old
 #: entries are discarded instead of silently poisoning new runs.
-QOR_MODEL_VERSION = 2
+#: Version 3: scf.if branches overlap (max instead of sum), pipelined loops
+#: report their achieved II through the result instead of writing it into
+#: the IR, and the platform's memory ports per bank enter the resource II.
+QOR_MODEL_VERSION = 3
 
 
 @dataclasses.dataclass
 class QoRResult:
-    """Estimated quality of result of a function or module."""
+    """Estimated quality of result of a function or module.
+
+    ``achieved_ii`` is diagnostic metadata (the II of the outermost pipelined
+    loop actually reached under resource/recurrence constraints), not part of
+    the QoR value: it is excluded from equality so results that round-trip
+    through JSON caches — which drop it — still compare equal to fresh ones.
+    """
 
     latency: int
     interval: int
     resources: ResourceUsage
+    achieved_ii: Optional[int] = dataclasses.field(default=None, compare=False)
 
     @property
     def dsp(self) -> int:
@@ -116,6 +126,7 @@ class QoREstimator:
         self.platform = platform
         self._module: Optional[ModuleOp] = None
         self._function_cache: dict[str, QoRResult] = {}
+        self._achieved_ii: Optional[int] = None
 
     # -- public API --------------------------------------------------------------------------
 
@@ -137,13 +148,42 @@ class QoREstimator:
             "estimate", func=func_op.get_attr("sym_name", ""))
         self._module = module
         self._function_cache = {}
+        self._achieved_ii = None
         try:
             with estimate_span:
                 obs.counter("estimate.calls")
-                return self._estimate_function(func_op)
+                result = self._estimate_function(func_op)
+                result.achieved_ii = self._achieved_ii
+                self._apply_bandwidth_bound(func_op, result)
+                return result
         finally:
             self._module = None
             self._function_cache = {}
+            self._achieved_ii = None
+
+    def _apply_bandwidth_bound(self, func_op: Operation, result: QoRResult) -> None:
+        """Bound the top function's throughput by the off-chip link.
+
+        Every array argument of the top function crosses the off-chip
+        boundary once per invocation; with a modeled link of B bytes/cycle,
+        no overlap of compute and transfer can push the invocation interval
+        (or latency) below ``ceil(total bytes / B)``.  Platforms with an
+        unmodeled link (bandwidth 0, the paper targets) are unaffected.
+        """
+        bandwidth = self.platform.offchip_bandwidth_bytes_per_cycle
+        if bandwidth <= 0:
+            return
+        total_bytes = 0
+        for argument in func_op.region(0).front.arguments:
+            arg_type = argument.type
+            if isinstance(arg_type, MemRefType):
+                total_bytes += (arg_type.num_elements
+                                * element_bits(arg_type.element_type) + 7) // 8
+        if total_bytes <= 0:
+            return
+        bound = math.ceil(total_bytes / bandwidth)
+        result.interval = max(result.interval, bound)
+        result.latency = max(result.latency, bound)
 
     # -- per-call estimation -----------------------------------------------------------------
 
@@ -161,6 +201,8 @@ class QoREstimator:
             latency, resources, info = self._estimate_pipelined_ops(
                 self._gather_straightline_ops(body), directive.target_ii, trip=1,
                 enclosing_loops=[])
+            if self._achieved_ii is None:
+                self._achieved_ii = info.ii
             result = QoRResult(latency=latency, interval=info.ii, resources=resources)
         else:
             latency, resources = self._estimate_block(body)
@@ -251,12 +293,11 @@ class QoREstimator:
                 resources = resources + body_resources
             elif op.name == "scf.if":
                 then_latency, then_resources = self._estimate_block(op.then_block)
-                latency += then_latency + 1
-                resources = resources + then_resources
+                else_latency, else_resources = (0, ResourceUsage())
                 if op.else_block is not None:
                     else_latency, else_resources = self._estimate_block(op.else_block)
-                    latency = latency + else_latency
-                    resources = resources + else_resources
+                latency += max(then_latency, else_latency) + 1
+                resources = resources + then_resources + else_resources
             elif op.name == "func.call":
                 callee_result = self._estimate_callee(op)
                 if callee_result is not None:
@@ -323,7 +364,8 @@ class QoREstimator:
             ops = self._gather_straightline_ops(loop.body)
             latency, resources, info = self._estimate_pipelined_ops(
                 ops, directive.target_ii, trip, self._enclosing_loops(loop) + [loop])
-            directive.achieved_ii = info.ii
+            if self._achieved_ii is None:
+                self._achieved_ii = info.ii
             return latency, resources, info
 
         body_ops = [op for op in loop.body.operations if op.name != "affine.yield"]
@@ -363,6 +405,7 @@ class QoREstimator:
             for operand in loop.ub_operands:
                 operand_range = _operand_range(operand)
                 if operand_range is None:
+                    obs.counter("estimate.variable_bound_fallbacks")
                     return 1
                 ranges.append(operand_range)
             if ranges:
@@ -372,7 +415,11 @@ class QoREstimator:
             average_upper = (low + high) / 2.0
             lower = lower if lower is not None else 0
             return int(max(1, round((average_upper - lower) / max(1, loop.step))))
-        except Exception:
+        except (ValueError, TypeError, KeyError, IndexError, AttributeError,
+                ArithmeticError):
+            # The bound analysis hit a shape it cannot reason about — fall
+            # back to a trip estimate of 1, but leave a visible trail.
+            obs.counter("estimate.variable_bound_fallbacks")
             return 1
 
     # -- pipelined regions ----------------------------------------------------------------------------
@@ -518,15 +565,22 @@ class QoREstimator:
         return True
 
     def _resource_ii(self, records: Sequence["_AccessRecord"]) -> int:
-        """Port-limited II: unique access addresses per cycle per physical bank."""
+        """Port-limited II: unique access addresses per cycle per memory port.
+
+        Each physical bank serves ``memory_ports_per_bank`` accesses per
+        cycle (1 on the paper targets; 2 on platforms modeling the second
+        BRAM port).
+        """
+        ports_per_bank = max(1, self.platform.memory_ports_per_bank)
         worst = 1
         for group in self._group_by_memref(records).values():
             memref_type = group[0].memref.type
             banks = memref_type.num_partitions if isinstance(memref_type, MemRefType) else 1
+            lanes = banks * ports_per_bank
             unique_reads = {record.address_key for record in group if not record.is_write}
             unique_writes = {record.address_key for record in group if record.is_write}
-            read_ii = -(-len(unique_reads) // banks) if unique_reads else 1
-            write_ii = -(-len(unique_writes) // banks) if unique_writes else 1
+            read_ii = -(-len(unique_reads) // lanes) if unique_reads else 1
+            write_ii = -(-len(unique_writes) // lanes) if unique_writes else 1
             worst = max(worst, read_ii, write_ii)
         return worst
 

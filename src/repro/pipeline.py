@@ -102,7 +102,9 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                    max_retries: int = 2,
                    on_fault: str = "quarantine",
                    faults=None,
-                   func_name: Optional[str] = None) -> "ParallelDSEResult":
+                   func_name: Optional[str] = None,
+                   platforms: "Optional[list[Platform]]" = None
+                   ) -> "ParallelDSEResult":
     """Run the parallel DSE runtime on one kernel.
 
     ``cache_path`` creates (or warms from) a persistent JSONL estimate cache
@@ -112,7 +114,10 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
     backends (results are identical either way).  ``task_timeout`` /
     ``max_retries`` / ``on_fault`` configure the supervision layer (see
     :class:`repro.dse.runtime.SupervisionPolicy`); ``faults`` injects a
-    :class:`repro.dse.runtime.FaultPlan` for chaos testing.
+    :class:`repro.dse.runtime.FaultPlan` for chaos testing.  ``platforms``
+    turns the run into one sweep over design points × hardware targets (the
+    platform becomes a design-space dimension; see
+    :class:`repro.dse.space.KernelDesignSpace`).
     """
     from repro.dse.runtime import (
         EstimateCache,
@@ -131,7 +136,8 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
         supervision=SupervisionPolicy(task_timeout=task_timeout,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
-        faults=faults)
+        faults=faults,
+        platforms=platforms)
     return explorer.explore(module, func_name=func_name, resume=resume)
 
 
@@ -151,7 +157,8 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                            max_retries: int = 2,
                            on_fault: str = "quarantine",
                            faults=None,
-                           func_names: Optional[list[str]] = None
+                           func_names: Optional[list[str]] = None,
+                           platforms: "Optional[list[Platform]]" = None
                            ) -> "dict[str, ParallelDSEResult]":
     """Run DSE for every explorable function of ``module`` concurrently."""
     from repro.dse.runtime import (
@@ -171,7 +178,8 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
         supervision=SupervisionPolicy(task_timeout=task_timeout,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
-        faults=faults)
+        faults=faults,
+        platforms=platforms)
     return scheduler.explore_module(module, func_names=func_names, resume=resume)
 
 
@@ -214,7 +222,8 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                 faults=None,
                 budget_mode: str = "flops",
                 frontier_cap: int = 64,
-                max_nodes: Optional[int] = None) -> "ModelDSEResult":
+                max_nodes: Optional[int] = None,
+                platforms: "Optional[list[Platform]]" = None) -> "ModelDSEResult":
     """Run the whole-model DSE on a bundled DNN model.
 
     Mirrors :func:`explore_kernel` / :func:`explore_module_kernels` for the
@@ -243,7 +252,8 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
         supervision=SupervisionPolicy(task_timeout=task_timeout,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
-        faults=faults)
+        faults=faults,
+        platforms=platforms)
     return scheduler.explore(model_name, graph_level=graph_level,
                              resume=resume, max_nodes=max_nodes)
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 import time
@@ -54,7 +55,7 @@ from repro.dse.apply import apply_design_point, estimate_baseline
 from repro.dse.space import KernelDesignPoint
 from repro.emit import emit_hlscpp
 from repro.estimation import PLATFORMS, XC7Z020
-from repro.estimation.platform import Platform
+from repro.estimation.platform import Platform, PlatformError, load_platform_config
 from repro.ir import print_op, verify
 from repro.ir.pass_manager import PassError, dump_ir_after
 from repro.kernels import KERNEL_NAMES
@@ -69,12 +70,49 @@ from repro.obs.report import (
 from repro.pipeline import compile_c, compile_dnn, compile_kernel, dnn_baseline
 
 
-def _platform(name: str) -> Platform:
-    try:
-        return PLATFORMS[name]
-    except KeyError as error:
-        raise SystemExit(f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}") \
-            from error
+def _resolve_platforms(args, default_name: str) -> list[Platform]:
+    """Resolve ``--platform`` / ``--platform-config`` to an ordered target list.
+
+    ``--platform-config`` entries extend (and, on a name collision, override)
+    the bundled targets.  Explicit ``--platform`` names select from that
+    combined catalog; with none given, a config file's platforms become the
+    sweep, and without either the command uses its historical default.
+    Duplicates are dropped while preserving first-mention order, so the list
+    is a stable part of the design-space fingerprint.
+    """
+    available = dict(PLATFORMS)
+    configured: list[Platform] = []
+    config_path = getattr(args, "platform_config", None)
+    if config_path:
+        try:
+            configured = load_platform_config(config_path)
+        except PlatformError as error:
+            raise SystemExit(f"--platform-config: {error}") from error
+        for platform in configured:
+            available[platform.name] = platform
+    names = list(getattr(args, "platform", None) or [])
+    if not names:
+        names = [platform.name for platform in configured] or [default_name]
+    resolved: list[Platform] = []
+    seen: set[str] = set()
+    for name in names:
+        if name not in available:
+            raise SystemExit(f"unknown platform {name!r}; choose from "
+                             f"{sorted(available)}")
+        if name not in seen:
+            seen.add(name)
+            resolved.append(available[name])
+    return resolved
+
+
+def _single_platform(args, default_name: str) -> Platform:
+    """The one target of a non-sweep command (estimate/emit/dnn compile)."""
+    platforms = _resolve_platforms(args, default_name)
+    if len(platforms) > 1:
+        raise SystemExit(f"{args.command} targets a single platform; got "
+                         f"{[platform.name for platform in platforms]} "
+                         "(multi-platform sweeps are a dse / dnn --dse feature)")
+    return platforms[0]
 
 
 def _load_module(args) -> "ModuleOp":
@@ -108,8 +146,22 @@ def _add_kernel_arguments(parser: argparse.ArgumentParser) -> None:
                         help="use a bundled PolyBench kernel instead of a C file")
     parser.add_argument("--size", type=int, default=256,
                         help="problem size of the bundled kernel (default 256)")
-    parser.add_argument("--platform", default="xc7z020", help="target platform name")
+    _add_platform_arguments(parser, default_name="xc7z020")
     _add_instrumentation_arguments(parser)
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser,
+                            default_name: str) -> None:
+    parser.add_argument("--platform", action="append", default=None,
+                        metavar="NAME",
+                        help="target platform name (repeatable for a "
+                             "multi-platform dse sweep; default: "
+                             f"{default_name})")
+    parser.add_argument("--platform-config", metavar="PATH",
+                        help="load additional platform definitions from a "
+                             "JSON (or YAML, when PyYAML is installed) "
+                             "config file; without --platform the file's "
+                             "platforms become the target list")
 
 
 def _add_instrumentation_arguments(parser: argparse.ArgumentParser) -> None:
@@ -239,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="resume from the checkpoint if present")
     dse_parser.add_argument("--all-functions", action="store_true",
                             help="explore every function of the module concurrently")
+    dse_parser.add_argument("--frontier-out", metavar="PATH",
+                            help="write the frontier (per-platform frontiers "
+                                 "for a multi-platform sweep) as byte-stable "
+                                 "JSON — identical across --jobs and --resume")
     _add_fault_arguments(dse_parser)
 
     emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
@@ -255,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bundled model (default: mobilenet)")
     dnn_parser.add_argument("--graph-level", type=int, default=4)
     dnn_parser.add_argument("--loop-level", type=int, default=3)
-    dnn_parser.add_argument("--platform", default="vu9p-slr")
+    _add_platform_arguments(dnn_parser, default_name="vu9p-slr")
     dnn_parser.add_argument("--dse", action="store_true",
                             help="sweep every dataflow node's design space "
                                  "through the multi-kernel scheduler and "
@@ -342,7 +398,7 @@ def run_compile(args) -> int:
 
 def run_estimate(args) -> int:
     module = _load_module(args)
-    platform = _platform(args.platform)
+    platform = _single_platform(args, "xc7z020")
     baseline = estimate_baseline(module, platform)
     print(f"baseline: latency={baseline.latency:,} cycles dsp={baseline.dsp} "
           f"lut={baseline.lut}")
@@ -392,7 +448,8 @@ def run_dse(args) -> int:
     _register_pipelines(args.register_pipeline)
     started = time.perf_counter()
     module = _load_module(args)
-    platform = _platform(args.platform)
+    platforms = _resolve_platforms(args, "xc7z020")
+    platform = platforms[0]
     common = dict(jobs=args.jobs, num_samples=args.samples,
                   max_iterations=args.iterations, seed=args.seed,
                   batch_size=args.batch_size, cache_path=args.cache,
@@ -402,9 +459,13 @@ def run_dse(args) -> int:
                   incremental=not args.no_incremental,
                   task_timeout=args.task_timeout,
                   max_retries=args.max_retries, on_fault=args.on_fault,
-                  faults=_fault_plan(args))
+                  faults=_fault_plan(args),
+                  platforms=platforms if len(platforms) > 1 else None)
 
     if args.all_functions:
+        if args.frontier_out:
+            raise SystemExit("--frontier-out requires a single-kernel run "
+                             "(drop --all-functions)")
         if args.checkpoint and os.path.exists(args.checkpoint) \
                 and not os.path.isdir(args.checkpoint):
             raise SystemExit("--checkpoint must name a directory when used "
@@ -416,8 +477,14 @@ def run_dse(args) -> int:
                              "no affine loop nests")
         _note_dse_wall(started, args.jobs)
         for name in sorted(results):
+            baselines = None
+            if len(platforms) > 1:
+                baselines = {target.name: estimate_baseline(module, target,
+                                                            func_name=name)
+                             for target in platforms}
             _print_dse_result(f"{name}: ", results[name],
-                              estimate_baseline(module, platform, func_name=name))
+                              estimate_baseline(module, platform, func_name=name),
+                              baselines=baselines)
         return 0
 
     if args.checkpoint and os.path.isdir(args.checkpoint):
@@ -425,23 +492,82 @@ def run_dse(args) -> int:
                          f"run: {args.checkpoint!r} is a directory "
                          "(did you mean --all-functions?)")
     baseline = estimate_baseline(module, platform)
+    baselines = None
+    if len(platforms) > 1:
+        baselines = {target.name: estimate_baseline(module, target)
+                     for target in platforms}
     result = explore_kernel(module, platform, checkpoint_path=args.checkpoint,
                             **common)
     _note_dse_wall(started, args.jobs)
-    _print_dse_result("", result, baseline)
+    _print_dse_result("", result, baseline, baselines=baselines)
+    if args.frontier_out:
+        with open(args.frontier_out, "w", encoding="utf-8") as handle:
+            handle.write(_dse_frontier_json(result))
+        print(f"wrote {args.frontier_out}")
     return 0
 
 
-def _print_dse_result(prefix: str, result, baseline) -> None:
+def _dse_frontier_json(result) -> str:
+    """Byte-stable JSON of a kernel sweep's frontier(s).
+
+    Deliberately excludes wall-clock and cache statistics so the artifact is
+    identical across ``--jobs`` counts and ``--resume`` — CI byte-compares it.
+    """
+    def entry(record):
+        return {
+            "encoded": list(record.encoded),
+            "point": record.point.describe(),
+            "latency": record.qor.latency,
+            "interval": record.qor.interval,
+            "dsp": record.qor.dsp,
+            "lut": record.qor.lut,
+        }
+
+    document = {
+        "fingerprint": result.fingerprint,
+        "num_evaluations": result.num_evaluations,
+    }
+    names = result.platform_names()
+    if names:
+        document["platform_frontiers"] = {
+            name: [entry(record) for record in result.frontier_records_for(name)]
+            for name in names
+        }
+    else:
+        document["frontier"] = [entry(record)
+                                for record in result.frontier_records()]
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def _print_dse_result(prefix: str, result, baseline, baselines=None) -> None:
     cache_note = ""
     if result.cache_hits or result.cache_misses:
         cache_note = (f" (cache: {result.cache_hits} hits, "
                       f"{result.cache_misses} misses)")
+    platform_names = result.platform_names()
+    frontier_note = ("per-platform Pareto frontiers" if platform_names
+                     else "Pareto frontier")
     print(f"{prefix}evaluated {result.num_evaluations} points in "
-          f"{result.wall_seconds:.2f}s{cache_note}; Pareto frontier:")
+          f"{result.wall_seconds:.2f}s{cache_note}; {frontier_note}:")
     if result.num_quarantined:
         print(f"{prefix}quarantined {result.num_quarantined} point(s) after "
               f"exhausted retries (excluded from the frontier)")
+    if platform_names:
+        for name in platform_names:
+            records = result.frontier_records_for(name)
+            print(f"{prefix}[{name}] frontier ({len(records)} points):")
+            for record in records:
+                print(f"  latency={record.qor.latency:<14,} "
+                      f"dsp={record.qor.dsp:<5} {record.point.describe()}")
+            best = result.best_record_for(name)
+            if best is None:
+                print(f"{prefix}[{name}] no design evaluated")
+                continue
+            base = (baselines or {}).get(name, baseline)
+            print(f"{prefix}[{name}] finalized: latency={best.qor.latency:,} "
+                  f"dsp={best.qor.dsp} "
+                  f"speedup={base.latency / best.qor.latency:.1f}x")
+        return
     for point in result.frontier:
         record = result.records[point.encoded]
         print(f"  latency={record.qor.latency:<14,} dsp={record.qor.dsp:<5} "
@@ -456,7 +582,7 @@ def _print_dse_result(prefix: str, result, baseline) -> None:
 
 def run_emit(args) -> int:
     module = _load_module(args)
-    platform = _platform(args.platform)
+    platform = _single_platform(args, "xc7z020")
     if args.dse:
         result = DesignSpaceExplorer(platform).explore(module)
         design = result.best
@@ -492,7 +618,8 @@ def run_dnn_dse(args) -> int:
         raise SystemExit("--checkpoint must name a directory for a model "
                          f"sweep: {args.checkpoint!r} is a file")
     _register_pipelines(args.register_pipeline)
-    platform = _platform(args.platform)
+    platforms = _resolve_platforms(args, "vu9p-slr")
+    platform = platforms[0]
     samples, iterations, max_nodes = args.samples, args.iterations, None
     if args.smoke:
         samples, iterations, max_nodes = 3, 4, 3
@@ -508,7 +635,8 @@ def run_dnn_dse(args) -> int:
         incremental=not args.no_incremental,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
         on_fault=args.on_fault, faults=_fault_plan(args),
-        budget_mode=args.budget, max_nodes=max_nodes)
+        budget_mode=args.budget, max_nodes=max_nodes,
+        platforms=platforms if len(platforms) > 1 else None)
 
     cache_parts = []
     if result.cache_hits:
@@ -539,6 +667,12 @@ def run_dnn_dse(args) -> int:
     for point in result.frontier:
         print(f"    latency={point.latency:<14,} interval={point.interval:<12,} "
               f"dsp={point.resources.dsp:<6} lut={point.resources.lut}")
+    for name, frontier in result.platform_frontiers.items():
+        print(f"  [{name}] model frontier ({len(frontier)} points):")
+        for point in frontier:
+            print(f"    latency={point.latency:<14,} "
+                  f"interval={point.interval:<12,} "
+                  f"dsp={point.resources.dsp:<6} lut={point.resources.lut}")
     best = result.best_point()
     if best is not None:
         utilization = platform.utilization(best.resources)
@@ -554,7 +688,7 @@ def run_dnn_dse(args) -> int:
 def run_dnn(args) -> int:
     if args.dse:
         return run_dnn_dse(args)
-    platform = _platform(args.platform)
+    platform = _single_platform(args, "vu9p-slr")
     baseline = dnn_baseline(args.model, platform=platform)
     result = compile_dnn(args.model, graph_level=args.graph_level,
                          loop_level=args.loop_level, directive_level=True,

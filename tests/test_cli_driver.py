@@ -121,6 +121,50 @@ class TestCommands:
         assert "dsp" in output
 
 
+class TestPlatformFlags:
+    def test_multi_platform_dse_reports_per_platform(self, capsys):
+        assert main(["dse", "--kernel", "gemm", "--size", "8",
+                     "--samples", "4", "--iterations", "4",
+                     "--platform", "xc7z020", "--platform", "vu9p-slr"]) == 0
+        output = capsys.readouterr().out
+        assert "per-platform Pareto frontiers" in output
+        assert "[xc7z020] finalized" in output
+        assert "[vu9p-slr] finalized" in output
+
+    def test_frontier_out_stable_across_jobs(self, tmp_path, capsys):
+        base = ["dse", "--kernel", "gemm", "--size", "8",
+                "--samples", "4", "--iterations", "4",
+                "--platform", "xc7z020", "--platform", "vu9p-slr"]
+        serial, threaded = tmp_path / "j1.json", tmp_path / "j2.json"
+        assert main(base + ["--frontier-out", str(serial)]) == 0
+        assert main(base + ["--jobs", "2", "--frontier-out", str(threaded)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == threaded.read_bytes()
+        document = __import__("json").loads(serial.read_text())
+        assert sorted(document["platform_frontiers"]) == ["vu9p-slr", "xc7z020"]
+
+    def test_platform_config_file_defines_the_sweep(self, tmp_path, capsys):
+        config = tmp_path / "platforms.json"
+        config.write_text(
+            '{"platforms": [{"name": "tiny", "memory_bits": 1000000, '
+            '"dsp": 60, "lut": 20000}]}')
+        assert main(["estimate", "--kernel", "gemm", "--size", "8",
+                     "--platform-config", str(config)]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_platform_config_errors_are_actionable(self, tmp_path):
+        config = tmp_path / "bad.json"
+        config.write_text('{"platforms": [{"name": "x"}]}')
+        with pytest.raises(SystemExit, match="platform-config"):
+            main(["estimate", "--kernel", "gemm", "--size", "8",
+                  "--platform-config", str(config)])
+
+    def test_single_target_commands_reject_sweeps(self):
+        with pytest.raises(SystemExit, match="single platform"):
+            main(["estimate", "--kernel", "gemm", "--size", "8",
+                  "--platform", "xc7z020", "--platform", "vu9p-slr"])
+
+
 class TestPipelineFlags:
     def test_estimate_accepts_pipeline(self, capsys):
         assert main(["estimate", "--kernel", "gemm", "--size", "8",

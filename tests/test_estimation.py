@@ -145,12 +145,19 @@ class TestEstimator:
         assert slow.latency > fast.latency
         assert slow.dsp <= fast.dsp
 
-    def test_achieved_ii_recorded(self):
+    def test_achieved_ii_reported_without_touching_ir(self):
+        from repro.dse.space import ir_digest
+
         module, f = optimized_gemm([1, 1, 2], target_ii=1)
-        QoREstimator(XC7Z020).estimate_function(f)
+        digest_before = ir_digest(f)
+        qor = QoREstimator(XC7Z020).estimate_function(f)
+        # The achieved II travels through the result, not the IR: estimation
+        # is a pure function and must leave the module byte-identical.
+        assert qor.achieved_ii is not None and qor.achieved_ii >= 1
+        assert ir_digest(f) == digest_before
         pipelined = [get_loop_directive(op) for op in f.walk()
                      if get_loop_directive(op) is not None and get_loop_directive(op).pipeline]
-        assert pipelined and pipelined[0].achieved_ii >= 1
+        assert pipelined and all(d.achieved_ii is None for d in pipelined)
 
     def test_flattened_latency_uses_total_trip_count(self):
         module, f = optimized_gemm([1, 1, 1], target_ii=1)
