@@ -20,6 +20,10 @@ exploration service, in four pieces:
 * :class:`~repro.dse.runtime.model.ModelScheduler` — the whole-model flow:
   graph staging, per-node kernel splitting, budgeted multi-kernel sweep and
   model-level frontier composition.
+* :class:`~repro.dse.runtime.transport.RemotePoolBackend` — the distributed
+  flavor: evaluation dispatched over a supervised socket transport to
+  worker agents (``repro-hls worker-agent``), local or off-machine, with
+  the same determinism guarantee under disconnects and reconnects.
 """
 
 from repro.dse.runtime.cache import CacheStats, EstimateCache
@@ -29,6 +33,7 @@ from repro.dse.runtime.faults import (
     FaultPlan,
     InjectedFault,
     SupervisionPolicy,
+    backoff_delay,
 )
 from repro.dse.runtime.model import (
     ModelDSEResult,
@@ -40,6 +45,11 @@ from repro.dse.runtime.model import (
 from repro.dse.runtime.parallel import ParallelDSEResult, ParallelExplorer
 from repro.dse.runtime.records import EvaluationRecord
 from repro.dse.runtime.scheduler import KernelTask, MultiKernelScheduler
+from repro.dse.runtime.transport import (
+    RemotePoolBackend,
+    TransportConfig,
+    run_worker_agent,
+)
 from repro.dse.runtime.worker import (
     KernelContext,
     ProcessPoolBackend,
@@ -56,6 +66,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "SupervisionPolicy",
+    "backoff_delay",
     "ModelDSEResult",
     "ModelFrontierPoint",
     "ModelScheduler",
@@ -66,6 +77,9 @@ __all__ = [
     "EvaluationRecord",
     "KernelTask",
     "MultiKernelScheduler",
+    "RemotePoolBackend",
+    "TransportConfig",
+    "run_worker_agent",
     "KernelContext",
     "ProcessPoolBackend",
     "SerialBackend",

@@ -35,11 +35,29 @@ from typing import Optional
 #: Exit code of an injected worker crash (recognizable in CI logs).
 CRASH_EXIT_CODE = 86
 
+#: Transport-level failure modes: they fire in the *worker agent* around a
+#: task (see :mod:`repro.dse.runtime.transport`), never inside the
+#: evaluation itself, so local backends simply never trigger them.
+TRANSPORT_FAULT_MODES = ("disconnect", "stall", "garbage-frame")
+
 #: The injectable failure modes.
-FAULT_MODES = ("crash", "hang", "flaky", "poison")
+FAULT_MODES = ("crash", "hang", "flaky", "poison") + TRANSPORT_FAULT_MODES
 
 #: Per-process evaluation ordinal (used by the ``nth`` chaos selector).
 _LOCAL_EVALUATIONS = 0
+
+
+def backoff_delay(attempt: int, base: float) -> float:
+    """Deterministic exponential backoff: ``base * 2**(attempt - 1)`` seconds.
+
+    ``attempt`` is 1-based (the first retry waits ``base`` seconds).  This is
+    *the* retry schedule of the runtime — the evaluation retry path
+    (:meth:`SupervisionPolicy.backoff_seconds`) and the transport reconnect
+    path (:func:`repro.dse.runtime.transport.run_worker_agent`) both call it,
+    so every backoff in the system is provably the same pure function of the
+    attempt number (wall-clock only, never part of a trajectory).
+    """
+    return base * (2 ** max(0, attempt - 1))
 
 
 class InjectedFault(RuntimeError):
@@ -90,7 +108,7 @@ class SupervisionPolicy:
 
     def backoff_seconds(self, attempt: int) -> float:
         """Deterministic backoff before retry number ``attempt`` (1-based)."""
-        return self.backoff * (2 ** max(0, attempt - 1))
+        return backoff_delay(attempt, self.backoff)
 
 
 def stable_point_hash(key: str, encoded: tuple) -> int:
@@ -112,6 +130,12 @@ class FaultPlan:
       succeeds once its attempt budget is spent.
     * ``poison`` — the evaluation *always* raises: the point can never
       succeed, exercising the quarantine path.
+    * ``disconnect`` / ``stall`` / ``garbage-frame`` — transport faults:
+      a worker agent drops its connection before sending the result,
+      stops heartbeating for ``hang_seconds``, or sends a corrupted frame.
+      They fire in the agent's serving loop via :meth:`transport_action`
+      (never inside the evaluation), so local backends ignore them and the
+      coordinator sees them as *uncharged* connection failures.
 
     ``select`` picks the victims: every point whose
     :func:`stable_point_hash` is ``0 mod select`` matches (so roughly one
@@ -217,6 +241,8 @@ class FaultPlan:
         serial backend) — crashes, hangs or raises according to the plan,
         or returns normally when this evaluation is not a victim.
         """
+        if self.transport_fault:
+            return  # transport faults fire in the agent's serving loop
         global _LOCAL_EVALUATIONS
         _LOCAL_EVALUATIONS += 1
         chaos_hit = self.nth > 0 and _LOCAL_EVALUATIONS % self.nth == 0
@@ -235,6 +261,29 @@ class FaultPlan:
             return
         raise InjectedFault(f"injected flake: kernel {key!r} "
                             f"point {tuple(encoded)} attempt {attempt}")
+
+    @property
+    def transport_fault(self) -> bool:
+        """Whether this plan targets the socket transport layer."""
+        return self.mode in TRANSPORT_FAULT_MODES
+
+    def transport_action(self, key: str, encoded: tuple) -> Optional[str]:
+        """The transport fault to fire before serving this task, or None.
+
+        Called by the worker agent when it receives a task.  Victim
+        selection is the same pure :meth:`matches` predicate, and attempts
+        ride the same on-disk ledger as the recoverable local modes — so a
+        matching point disconnects/stalls/garbles exactly ``times`` times
+        across agent restarts and then recovers, deterministically.  (The
+        ledger is a coordinator-local directory: injected transport chaos
+        assumes loopback agents, which is what the tests and CI spawn.)
+        """
+        if not self.transport_fault or not self.matches(key, encoded):
+            return None
+        attempt = self._record_attempt(key, encoded)
+        if attempt > self.times:
+            return None  # budget spent: the point is served normally
+        return self.mode
 
     @property
     def requires_process_isolation(self) -> bool:

@@ -304,7 +304,7 @@ class ModelScheduler:
                  mp_context: Optional[str] = None,
                  incremental: bool = True,
                  supervision=None, faults=None,
-                 platforms=None):
+                 platforms=None, transport=None):
         self.platform = platform
         #: Platforms of a multi-platform sweep (each node's space gains the
         #: platform dimension and the composed result carries per-platform
@@ -329,6 +329,9 @@ class ModelScheduler:
         #: to the multi-kernel scheduler.
         self.supervision = supervision
         self.faults = faults
+        #: Socket-transport configuration, forwarded to the multi-kernel
+        #: scheduler (evaluation on connected worker agents).
+        self.transport = transport
 
     # -- public API -------------------------------------------------------------------------
 
@@ -383,7 +386,8 @@ class ModelScheduler:
                 mp_context=self.mp_context,
                 incremental=self.incremental,
                 supervision=self.supervision, faults=self.faults,
-                platforms=self.platforms or None)
+                platforms=self.platforms or None,
+                transport=self.transport)
             node_results = scheduler.explore_kernels(tasks, resume=resume)
 
             with obs.span("dse.compose", nodes=len(node_order)):

@@ -198,7 +198,8 @@ class ParallelExplorer:
                  supervision: Optional[SupervisionPolicy] = None,
                  faults: Optional[FaultPlan] = None,
                  stop_event=None,
-                 platforms: Optional[Sequence[Platform]] = None):
+                 platforms: Optional[Sequence[Platform]] = None,
+                 transport=None):
         self.platform = platform
         #: Platforms of a multi-platform sweep (adds the platform dimension
         #: to spaces the explorer builds itself); empty/None sweeps a single
@@ -227,6 +228,11 @@ class ParallelExplorer:
         #: Cooperative-stop flag shared with an owning scheduler (checked by
         #: the backends at wave boundaries).
         self.stop_event = stop_event
+        #: Socket-transport configuration
+        #: (:class:`~repro.dse.runtime.transport.TransportConfig`); when set,
+        #: evaluation runs on connected worker agents instead of a local
+        #: backend.  Pure execution detail, like ``jobs``.
+        self.transport = transport
 
     # -- exploration ------------------------------------------------------------------------
 
@@ -296,7 +302,8 @@ class ParallelExplorer:
                 created_backend = create_backend(contexts, self.jobs,
                                                  mp_context=self.mp_context,
                                                  supervision=self.supervision,
-                                                 stop_event=self.stop_event)
+                                                 stop_event=self.stop_event,
+                                                 transport=self.transport)
             return created_backend
 
         evaluated_this_run = 0

@@ -78,7 +78,8 @@ class MultiKernelScheduler:
                  incremental: bool = True,
                  supervision: Optional[SupervisionPolicy] = None,
                  faults: Optional[FaultPlan] = None,
-                 platforms: Optional[Sequence[Platform]] = None):
+                 platforms: Optional[Sequence[Platform]] = None,
+                 transport=None):
         self.platform = platform
         #: Platforms of a multi-platform sweep (adds the platform dimension
         #: to every task space built by :meth:`_module_tasks`); empty/None
@@ -96,6 +97,11 @@ class MultiKernelScheduler:
         self.incremental = incremental
         self.supervision = supervision or SupervisionPolicy()
         self.faults = faults
+        #: Socket-transport configuration; when set the shared backend is a
+        #: :class:`~repro.dse.runtime.transport.RemotePoolBackend` and the
+        #: per-kernel coordinators always run as threads (agent slots are
+        #: the parallelism, not ``jobs``).
+        self.transport = transport
 
     # -- public API -------------------------------------------------------------------------
 
@@ -138,12 +144,14 @@ class MultiKernelScheduler:
         stop_event = threading.Event()
         backend = create_backend(contexts, self.jobs, mp_context=self.mp_context,
                                  supervision=self.supervision,
-                                 stop_event=stop_event)
+                                 stop_event=stop_event,
+                                 transport=self.transport)
         schedule_span = obs.NULL_SPAN if obs.active() is None else obs.span(
             "dse.schedule", kernels=len(tasks), jobs=self.jobs)
         try:
             with schedule_span:
-                if self.jobs <= 1 or len(tasks) == 1:
+                if (self.jobs <= 1 and self.transport is None) \
+                        or len(tasks) == 1:
                     return {task.key: self._explore_one(task, backend, resume,
                                                         stop_event)
                             for task in tasks}

@@ -50,6 +50,7 @@ import multiprocessing
 import pickle
 import threading
 import time
+import warnings
 from typing import Optional, Sequence
 
 from repro import obs
@@ -512,8 +513,16 @@ class ProcessPoolBackend:
         for process in list(processes.values()):
             try:
                 process.kill()
-            except Exception:
-                pass
+            except (OSError, ValueError) as error:
+                # A worker that already exited (or a closed process handle)
+                # is fine — the pool is being torn down either way — but the
+                # failure must not vanish silently: surface it for the logs
+                # and count it so chaos runs can assert it never regresses.
+                obs.counter("dse.pool.kill_errors")
+                warnings.warn(
+                    f"failed to kill worker process "
+                    f"{getattr(process, 'pid', '?')}: "
+                    f"{_describe_error(error)}", RuntimeWarning)
         executor.shutdown(wait=False, cancel_futures=True)
 
     def _respawn(self, generation: int) -> None:
@@ -578,14 +587,23 @@ class ProcessPoolBackend:
 def create_backend(contexts: dict[str, KernelContext], jobs: int,
                    mp_context: Optional[str] = None,
                    supervision: Optional[SupervisionPolicy] = None,
-                   stop_event: Optional[threading.Event] = None):
+                   stop_event: Optional[threading.Event] = None,
+                   transport=None):
     """Pick the cheapest backend able to provide ``jobs`` parallel workers.
 
     A task timeout or a crash/hang fault plan forces a process pool even at
     ``--jobs 1``: inline evaluation cannot be killed, and an injected crash
-    would take the coordinator down with it.
+    would take the coordinator down with it.  A ``transport``
+    (:class:`~repro.dse.runtime.transport.TransportConfig`) overrides both
+    local backends: evaluation then runs on socket-connected worker agents
+    (spawned locally and/or connected remotely).
     """
     supervision = supervision or SupervisionPolicy()
+    if transport is not None:
+        from repro.dse.runtime.transport import RemotePoolBackend
+
+        return RemotePoolBackend(contexts, transport, supervision=supervision,
+                                 stop_event=stop_event)
     needs_isolation = supervision.task_timeout is not None or any(
         context.faults is not None and context.faults.requires_process_isolation
         for context in contexts.values())

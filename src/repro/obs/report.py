@@ -177,6 +177,14 @@ def dse_summary_lines(counters: Mapping[str, float],
                      f"retries={faults['retries']} "
                      f"quarantined={faults['quarantined']} "
                      f"(pool respawns={respawns})")
+    transport = {name: int(counters.get(f"dse.transport.{name}", 0))
+                 for name in ("connects", "disconnects", "requeues",
+                              "heartbeat_misses")}
+    if any(transport.values()):
+        lines.append(f"  transport: connects={transport['connects']} "
+                     f"disconnects={transport['disconnects']} "
+                     f"requeues={transport['requeues']} "
+                     f"heartbeat misses={transport['heartbeat_misses']}")
     prefix_hits = int(counters.get("dse.prefix.hits", 0))
     prefix_misses = int(counters.get("dse.prefix.misses", 0))
     prefix_checkouts = prefix_hits + prefix_misses

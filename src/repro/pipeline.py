@@ -103,8 +103,8 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                    on_fault: str = "quarantine",
                    faults=None,
                    func_name: Optional[str] = None,
-                   platforms: "Optional[list[Platform]]" = None
-                   ) -> "ParallelDSEResult":
+                   platforms: "Optional[list[Platform]]" = None,
+                   transport=None) -> "ParallelDSEResult":
     """Run the parallel DSE runtime on one kernel.
 
     ``cache_path`` creates (or warms from) a persistent JSONL estimate cache
@@ -114,7 +114,9 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
     backends (results are identical either way).  ``task_timeout`` /
     ``max_retries`` / ``on_fault`` configure the supervision layer (see
     :class:`repro.dse.runtime.SupervisionPolicy`); ``faults`` injects a
-    :class:`repro.dse.runtime.FaultPlan` for chaos testing.  ``platforms``
+    :class:`repro.dse.runtime.FaultPlan` for chaos testing.  ``transport``
+    (a :class:`repro.dse.runtime.TransportConfig`) evaluates on
+    socket-connected worker agents instead of local processes.  ``platforms``
     turns the run into one sweep over design points × hardware targets (the
     platform becomes a design-space dimension; see
     :class:`repro.dse.space.KernelDesignSpace`).
@@ -137,7 +139,8 @@ def explore_kernel(module: ModuleOp, platform: Platform = XC7Z020, *,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
         faults=faults,
-        platforms=platforms)
+        platforms=platforms,
+        transport=transport)
     return explorer.explore(module, func_name=func_name, resume=resume)
 
 
@@ -158,7 +161,8 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                            on_fault: str = "quarantine",
                            faults=None,
                            func_names: Optional[list[str]] = None,
-                           platforms: "Optional[list[Platform]]" = None
+                           platforms: "Optional[list[Platform]]" = None,
+                           transport=None
                            ) -> "dict[str, ParallelDSEResult]":
     """Run DSE for every explorable function of ``module`` concurrently."""
     from repro.dse.runtime import (
@@ -179,7 +183,8 @@ def explore_module_kernels(module: ModuleOp, platform: Platform = XC7Z020, *,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
         faults=faults,
-        platforms=platforms)
+        platforms=platforms,
+        transport=transport)
     return scheduler.explore_module(module, func_names=func_names, resume=resume)
 
 
@@ -223,7 +228,8 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                 budget_mode: str = "flops",
                 frontier_cap: int = 64,
                 max_nodes: Optional[int] = None,
-                platforms: "Optional[list[Platform]]" = None) -> "ModelDSEResult":
+                platforms: "Optional[list[Platform]]" = None,
+                transport=None) -> "ModelDSEResult":
     """Run the whole-model DSE on a bundled DNN model.
 
     Mirrors :func:`explore_kernel` / :func:`explore_module_kernels` for the
@@ -253,7 +259,8 @@ def explore_dnn(model_name: str, platform: Platform = VU9P_SLR, *,
                                       max_retries=max_retries,
                                       on_fault=on_fault),
         faults=faults,
-        platforms=platforms)
+        platforms=platforms,
+        transport=transport)
     return scheduler.explore(model_name, graph_level=graph_level,
                              resume=resume, max_nodes=max_nodes)
 

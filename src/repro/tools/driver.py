@@ -221,6 +221,66 @@ def _fault_plan(args):
         raise SystemExit(f"--inject-faults: {error}") from error
 
 
+def _validate_supervision(args) -> None:
+    """Reject nonsensical supervision flags before the sweep starts.
+
+    The policy object validates too, but from deep inside the runtime; the
+    driver catches the obvious cases up front with flag-named messages.
+    """
+    timeout = getattr(args, "task_timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise SystemExit(f"--task-timeout must be a positive number of "
+                         f"seconds, got {timeout:g} (drop the flag to "
+                         f"disable per-task timeouts)")
+    retries = getattr(args, "max_retries", 0)
+    if retries < 0:
+        raise SystemExit(f"--max-retries must be >= 0, got {retries} "
+                         f"(0 quarantines a point on its first fault)")
+
+
+def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
+    """Distributed-evaluation knobs shared by the ``dse``/``dnn`` sweeps."""
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        help="accept remote worker agents on HOST:PORT and "
+                             "evaluate over the socket transport (start "
+                             "agents with 'repro-hls worker-agent --connect "
+                             "HOST:PORT'; combine with --workers to mix in "
+                             "local slots)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="spawn N local worker-agent subprocesses "
+                             "connected over loopback (implies the socket "
+                             "transport even without --listen)")
+
+
+def _parse_address(value: str, flag: str) -> "tuple[str, int]":
+    """Parse a HOST:PORT flag value with an actionable error."""
+    host, separator, port_text = value.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not separator or not host or not 0 <= port <= 65535:
+        raise SystemExit(f"{flag} expects HOST:PORT (e.g. 127.0.0.1:7870), "
+                         f"got {value!r}")
+    return host, port
+
+
+def _transport_config(args):
+    """The :class:`TransportConfig` implied by --listen/--workers, or None."""
+    listen = getattr(args, "listen", None)
+    workers = getattr(args, "workers", 0) or 0
+    if workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {workers}")
+    if not listen and not workers:
+        return None
+    from repro.dse.runtime import TransportConfig
+
+    host, port = ("127.0.0.1", 0)
+    if listen:
+        host, port = _parse_address(listen, "--listen")
+    return TransportConfig(host=host, port=port, spawn_workers=workers)
+
+
 def _add_pipeline_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--pipeline", metavar="SPEC",
@@ -296,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "for a multi-platform sweep) as byte-stable "
                                  "JSON — identical across --jobs and --resume")
     _add_fault_arguments(dse_parser)
+    _add_transport_arguments(dse_parser)
 
     emit_parser = commands.add_parser("emit", help="emit synthesizable HLS C++")
     _add_kernel_arguments(emit_parser)
@@ -370,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="where --dse writes the model frontier JSON "
                                  "(default: dnn-dse-frontier.json)")
     _add_fault_arguments(dnn_parser)
+    _add_transport_arguments(dnn_parser)
     _add_instrumentation_arguments(dnn_parser)
 
     list_parser = commands.add_parser(
@@ -386,6 +448,24 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--trace", metavar="PATH",
                                help="also validate a Chrome trace written by "
                                     "--trace-out (exit 1 when invalid)")
+
+    agent_parser = commands.add_parser(
+        "worker-agent",
+        help="serve DSE evaluations to a coordinator over the socket "
+             "transport (see dse/dnn --listen)")
+    agent_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                              help="coordinator address (its --listen value)")
+    agent_parser.add_argument("--agent-id", default="", metavar="NAME",
+                              help="name reported to the coordinator "
+                                   "(default: agent-<pid>)")
+    agent_parser.add_argument("--reconnect-base", type=float, default=0.25,
+                              metavar="SECONDS",
+                              help="base of the deterministic exponential "
+                                   "reconnect backoff (default: 0.25)")
+    agent_parser.add_argument("--max-reconnects", type=int, default=30,
+                              metavar="N",
+                              help="failed connection attempts before the "
+                                   "agent gives up (default: 30)")
     return parser
 
 
@@ -445,6 +525,7 @@ def run_dse(args) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH (otherwise the "
                          "exploration would silently restart from scratch)")
+    _validate_supervision(args)
     _register_pipelines(args.register_pipeline)
     started = time.perf_counter()
     module = _load_module(args)
@@ -460,7 +541,8 @@ def run_dse(args) -> int:
                   task_timeout=args.task_timeout,
                   max_retries=args.max_retries, on_fault=args.on_fault,
                   faults=_fault_plan(args),
-                  platforms=platforms if len(platforms) > 1 else None)
+                  platforms=platforms if len(platforms) > 1 else None,
+                  transport=_transport_config(args))
 
     if args.all_functions:
         if args.frontier_out:
@@ -475,7 +557,7 @@ def run_dse(args) -> int:
         if not results:
             raise SystemExit("no explorable functions: the module contains "
                              "no affine loop nests")
-        _note_dse_wall(started, args.jobs)
+        _note_dse_wall(started, max(args.jobs, args.workers))
         for name in sorted(results):
             baselines = None
             if len(platforms) > 1:
@@ -498,7 +580,7 @@ def run_dse(args) -> int:
                      for target in platforms}
     result = explore_kernel(module, platform, checkpoint_path=args.checkpoint,
                             **common)
-    _note_dse_wall(started, args.jobs)
+    _note_dse_wall(started, max(args.jobs, args.workers))
     _print_dse_result("", result, baseline, baselines=baselines)
     if args.frontier_out:
         with open(args.frontier_out, "w", encoding="utf-8") as handle:
@@ -617,6 +699,7 @@ def run_dnn_dse(args) -> int:
             and not os.path.isdir(args.checkpoint):
         raise SystemExit("--checkpoint must name a directory for a model "
                          f"sweep: {args.checkpoint!r} is a file")
+    _validate_supervision(args)
     _register_pipelines(args.register_pipeline)
     platforms = _resolve_platforms(args, "vu9p-slr")
     platform = platforms[0]
@@ -636,7 +719,8 @@ def run_dnn_dse(args) -> int:
         task_timeout=args.task_timeout, max_retries=args.max_retries,
         on_fault=args.on_fault, faults=_fault_plan(args),
         budget_mode=args.budget, max_nodes=max_nodes,
-        platforms=platforms if len(platforms) > 1 else None)
+        platforms=platforms if len(platforms) > 1 else None,
+        transport=_transport_config(args))
 
     cache_parts = []
     if result.cache_hits:
@@ -777,6 +861,21 @@ def run_report(args) -> int:
     return 0
 
 
+def run_worker_agent_cmd(args) -> int:
+    from repro.dse.runtime import run_worker_agent
+
+    host, port = _parse_address(args.connect, "--connect")
+    if args.reconnect_base <= 0:
+        raise SystemExit(f"--reconnect-base must be positive, "
+                         f"got {args.reconnect_base:g}")
+    if args.max_reconnects < 0:
+        raise SystemExit(f"--max-reconnects must be >= 0, "
+                         f"got {args.max_reconnects}")
+    return run_worker_agent(host, port, agent_id=args.agent_id,
+                            reconnect_base=args.reconnect_base,
+                            max_reconnects=args.max_reconnects)
+
+
 _COMMANDS = {
     "compile": run_compile,
     "estimate": run_estimate,
@@ -785,6 +884,7 @@ _COMMANDS = {
     "dnn": run_dnn,
     "list-passes": run_list_passes,
     "report": run_report,
+    "worker-agent": run_worker_agent_cmd,
 }
 
 

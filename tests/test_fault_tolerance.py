@@ -5,6 +5,7 @@ interruption with ``--resume``."""
 
 import os
 import random
+import signal
 import subprocess
 import sys
 import time
@@ -587,3 +588,48 @@ class TestKillAndResume:
         strip = lambda text: [line for line in text.splitlines()
                               if not any(m in line for m in volatile)]
         assert strip(resumed) == strip(clean)
+
+
+class TestDnnInterruptCheckpoint:
+    """Ctrl-C on a ``dnn --dse`` sweep must persist the last batch boundary
+    per node and resume to a byte-identical model frontier."""
+
+    def test_sigint_checkpoints_batch_boundary_and_resumes(self, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        base = ["dnn", "mobilenet", "--dse", "--samples", "8",
+                "--iterations", "16", "--batch-size", "2", "--seed", "7"]
+        src_root = os.path.dirname(os.path.abspath(
+            next(iter(repro.__path__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.driver"] + base
+            + ["--checkpoint", str(checkpoint), "--checkpoint-every", "1",
+               "--frontier-out", str(tmp_path / "partial.json")],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # Ctrl-C the sweep as soon as the first node checkpoint lands.
+            deadline = time.monotonic() + 120.0
+            while (time.monotonic() < deadline and proc.poll() is None
+                   and not (checkpoint.is_dir()
+                            and any(checkpoint.iterdir()))):
+                time.sleep(0.02)
+            assert checkpoint.is_dir() and any(checkpoint.iterdir()), \
+                "driver exited without writing a node checkpoint"
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+            status = proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # 130 is the graceful-interrupt exit; 0 means the sweep won the race
+        # and finished — its final checkpoints resume to the same result.
+        assert status in (0, 130)
+
+        resumed_out = tmp_path / "resumed.json"
+        assert main(base + ["--checkpoint", str(checkpoint), "--resume",
+                            "--frontier-out", str(resumed_out)]) == 0
+        clean_out = tmp_path / "clean.json"
+        assert main(base + ["--frontier-out", str(clean_out)]) == 0
+        assert resumed_out.read_bytes() == clean_out.read_bytes()
